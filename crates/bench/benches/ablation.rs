@@ -1,0 +1,105 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md.
+//!
+//! These benches report *quality* trade-offs through Criterion timing of the
+//! full evaluate pipeline under different switches; the resulting volumes are
+//! printed to stderr once per configuration so the ablation outcome is
+//! visible in the bench log:
+//!
+//! * barriers between rounds: on vs off;
+//! * routing policy: adaptive vs dimension-ordered;
+//! * dipole heuristic in the force-directed mapper: on vs off;
+//! * intermediate hops in hierarchical stitching: none vs annealed midpoint.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use msfu_core::{evaluate, EvaluationConfig, Strategy};
+use msfu_distill::FactoryConfig;
+use msfu_layout::{ForceDirectedConfig, HopStrategy, StitchingConfig};
+use msfu_sim::SimConfig;
+
+fn print_volume(label: &str, cfg: &FactoryConfig, strategy: &Strategy, eval_cfg: &EvaluationConfig) {
+    match evaluate(cfg, strategy, eval_cfg) {
+        Ok(e) => eprintln!("[ablation] {label}: volume = {}", e.volume),
+        Err(e) => eprintln!("[ablation] {label}: failed ({e})"),
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    let eval_cfg = EvaluationConfig::default();
+    let dimension_ordered = EvaluationConfig {
+        sim: SimConfig::dimension_ordered(),
+    };
+    let two_level = FactoryConfig::two_level(2);
+    let no_barriers = two_level.with_barriers(false);
+
+    // Barrier ablation (GP mapper, two-level factory).
+    print_volume("barriers-on/GP", &two_level, &Strategy::GraphPartition { seed: 1 }, &eval_cfg);
+    print_volume("barriers-off/GP", &no_barriers, &Strategy::GraphPartition { seed: 1 }, &eval_cfg);
+    group.bench_function("barriers-on/GP", |b| {
+        b.iter(|| evaluate(&two_level, &Strategy::GraphPartition { seed: 1 }, &eval_cfg).unwrap())
+    });
+    group.bench_function("barriers-off/GP", |b| {
+        b.iter(|| evaluate(&no_barriers, &Strategy::GraphPartition { seed: 1 }, &eval_cfg).unwrap())
+    });
+
+    // Routing policy ablation (linear mapper, single-level factory).
+    let single = FactoryConfig::single_level(4);
+    print_volume("adaptive-routing/Line", &single, &Strategy::Linear, &eval_cfg);
+    print_volume("dimension-ordered/Line", &single, &Strategy::Linear, &dimension_ordered);
+    group.bench_function("adaptive-routing/Line", |b| {
+        b.iter(|| evaluate(&single, &Strategy::Linear, &eval_cfg).unwrap())
+    });
+    group.bench_function("dimension-ordered/Line", |b| {
+        b.iter(|| evaluate(&single, &Strategy::Linear, &dimension_ordered).unwrap())
+    });
+
+    // Dipole-heuristic ablation (FD mapper, single-level factory).
+    let fd_with = Strategy::ForceDirected(ForceDirectedConfig {
+        seed: 1,
+        iterations: 8,
+        repulsion_sample: 1_000,
+        ..ForceDirectedConfig::default()
+    });
+    let fd_without = Strategy::ForceDirected(ForceDirectedConfig {
+        seed: 1,
+        iterations: 8,
+        repulsion_sample: 1_000,
+        dipole: 0.0,
+        ..ForceDirectedConfig::default()
+    });
+    print_volume("fd-dipole-on", &single, &fd_with, &eval_cfg);
+    print_volume("fd-dipole-off", &single, &fd_without, &eval_cfg);
+    group.bench_function("fd-dipole-on", |b| {
+        b.iter(|| evaluate(&single, &fd_with, &eval_cfg).unwrap())
+    });
+    group.bench_function("fd-dipole-off", |b| {
+        b.iter(|| evaluate(&single, &fd_without, &eval_cfg).unwrap())
+    });
+
+    // Intermediate-hop ablation (HS mapper, two-level factory).
+    let hs_hops = Strategy::HierarchicalStitching(StitchingConfig {
+        seed: 1,
+        ..StitchingConfig::default()
+    });
+    let hs_no_hops = Strategy::HierarchicalStitching(StitchingConfig {
+        seed: 1,
+        hop_strategy: HopStrategy::None,
+        ..StitchingConfig::default()
+    });
+    print_volume("hs-annealed-midpoint-hops", &two_level, &hs_hops, &eval_cfg);
+    print_volume("hs-no-hops", &two_level, &hs_no_hops, &eval_cfg);
+    group.bench_function("hs-annealed-midpoint-hops", |b| {
+        b.iter(|| evaluate(&two_level, &hs_hops, &eval_cfg).unwrap())
+    });
+    group.bench_function("hs-no-hops", |b| {
+        b.iter(|| evaluate(&two_level, &hs_no_hops, &eval_cfg).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

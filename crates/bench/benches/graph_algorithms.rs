@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the interaction-graph algorithms (metrics,
+//! community detection, partitioning) that back the mappers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use msfu_distill::{Factory, FactoryConfig};
+use msfu_graph::{community, metrics, partition, InteractionGraph};
+use msfu_layout::{FactoryMapper, LinearMapper};
+
+fn bench_graph_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph-algorithms");
+    group.sample_size(10);
+
+    for k in [4usize, 8] {
+        let factory = Factory::build(&FactoryConfig::single_level(k)).unwrap();
+        let graph = InteractionGraph::from_circuit(factory.circuit());
+        let layout = LinearMapper::new().map_factory(&factory).unwrap();
+        let points = layout.mapping.to_points();
+
+        group.bench_with_input(BenchmarkId::new("edge-crossings", k), &graph, |b, g| {
+            b.iter(|| metrics::edge_crossings(g, &points))
+        });
+        group.bench_with_input(BenchmarkId::new("mapping-metrics", k), &graph, |b, g| {
+            b.iter(|| metrics::MappingMetrics::compute(g, &points))
+        });
+        group.bench_with_input(BenchmarkId::new("louvain", k), &graph, |b, g| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(1);
+                community::louvain(g, &mut rng)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bisect", k), &graph, |b, g| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(1);
+                partition::bisect(g, &mut rng)
+            })
+        });
+    }
+
+    // A two-level interaction graph, which is larger and non-planar.
+    let two_level = Factory::build(&FactoryConfig::two_level(2)).unwrap();
+    let graph = InteractionGraph::from_circuit(two_level.circuit());
+    group.bench_function("recursive-bisection/two-level-k2", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            partition::recursive_bisection(&graph, 16, &mut rng)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_algorithms);
+criterion_main!(benches);

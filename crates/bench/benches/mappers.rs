@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the mapping algorithms' runtime scalability
+//! (Section VI-B3 of the paper compares the per-iteration complexity of the
+//! force-directed and graph-partitioning procedures).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use msfu_distill::{Factory, FactoryConfig};
+use msfu_layout::{
+    FactoryMapper, ForceDirectedConfig, ForceDirectedMapper, GraphPartitionMapper,
+    HierarchicalStitchingMapper, LinearMapper,
+};
+
+fn bench_mappers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mappers");
+    group.sample_size(10);
+
+    for k in [2usize, 4, 8] {
+        let factory = Factory::build(&FactoryConfig::single_level(k)).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("linear", k), &factory, |b, f| {
+            b.iter(|| LinearMapper::new().map_factory(f).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("graph-partition", k), &factory, |b, f| {
+            b.iter(|| GraphPartitionMapper::new(1).map_factory(f).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("force-directed", k), &factory, |b, f| {
+            let cfg = ForceDirectedConfig {
+                iterations: 5,
+                repulsion_sample: 1_000,
+                ..ForceDirectedConfig::default()
+            };
+            b.iter(|| ForceDirectedMapper::with_config(cfg).map_factory(f).unwrap())
+        });
+    }
+
+    // Hierarchical stitching on a small two-level factory.
+    let two_level = Factory::build(&FactoryConfig::two_level(2)).unwrap();
+    group.bench_function("hierarchical-stitching/two-level-k2", |b| {
+        b.iter(|| {
+            HierarchicalStitchingMapper::new(1)
+                .map_factory(&two_level)
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mappers);
+criterion_main!(benches);

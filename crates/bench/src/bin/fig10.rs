@@ -1,0 +1,109 @@
+//! Regenerates **Fig. 10** of the paper: latency (10a/10c), area (10b/10d)
+//! and space-time volume (10e/10f) of single- and two-level factories under
+//! the linear, force-directed, graph-partitioning and (for two-level)
+//! hierarchical-stitching mappers. Each strategy uses its better qubit-reuse
+//! policy, as in the paper (Section VIII-C1).
+//!
+//! Usage: `cargo run -p msfu-bench --bin fig10 --release [full]`
+
+use msfu_bench::{evaluate_best_reuse, lineup_for, Mode};
+use msfu_core::Evaluation;
+use msfu_distill::FactoryConfig;
+
+struct Row {
+    capacity: usize,
+    evals: Vec<(String, Evaluation)>,
+}
+
+fn sweep(levels: usize, capacities: &[usize], seed: u64, include_hs: bool) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &capacity in capacities {
+        let config = FactoryConfig::from_total_capacity(capacity, levels).expect("exact power");
+        let mut evals = Vec::new();
+        for strategy in lineup_for(&config, seed) {
+            let name = strategy.short_name().to_string();
+            if name == "Random" {
+                continue; // Fig. 10 plots Linear/FD/GP(/HS); Random appears in Table I only.
+            }
+            if name == "HS" && !include_hs {
+                continue;
+            }
+            let (eval, policy) =
+                evaluate_best_reuse(capacity, levels, &strategy).expect("evaluation succeeds");
+            eprintln!(
+                "done L={levels} capacity={capacity} {name}({}) latency={} area={} volume={}",
+                policy.short_name(),
+                eval.latency_cycles,
+                eval.area,
+                eval.volume
+            );
+            evals.push((name, eval));
+        }
+        rows.push(Row { capacity, evals });
+    }
+    rows
+}
+
+fn print_metric(title: &str, rows: &[Row], metric: impl Fn(&Evaluation) -> f64) {
+    println!("# {title}");
+    if let Some(first) = rows.first() {
+        print!("{:<12}", "capacity");
+        for (name, _) in &first.evals {
+            print!("{name:>16}");
+        }
+        println!();
+    }
+    for row in rows {
+        print!("{:<12}", row.capacity);
+        for (_, eval) in &row.evals {
+            print!("{:>16.0}", metric(eval));
+        }
+        println!();
+    }
+    println!();
+}
+
+fn main() {
+    let mode = Mode::from_args();
+    let seed = 42;
+
+    let single = sweep(1, &mode.single_level_capacities(), seed, false);
+    print_metric("Fig. 10a — single-level latency (cycles)", &single, |e| {
+        e.latency_cycles as f64
+    });
+    print_metric("Fig. 10b — single-level area (qubits)", &single, |e| {
+        e.area as f64
+    });
+    print_metric(
+        "Fig. 10e — single-level quantum volume (qubits x cycles)",
+        &single,
+        |e| e.volume as f64,
+    );
+
+    let double = sweep(2, &mode.two_level_capacities(), seed, true);
+    print_metric("Fig. 10c — two-level latency (cycles)", &double, |e| {
+        e.latency_cycles as f64
+    });
+    print_metric("Fig. 10d — two-level area (qubits)", &double, |e| {
+        e.area as f64
+    });
+    print_metric(
+        "Fig. 10f — two-level quantum volume (qubits x cycles)",
+        &double,
+        |e| e.volume as f64,
+    );
+
+    // Headline number: volume reduction from Line(NR) to HS at the largest
+    // two-level capacity evaluated (5.64x in the paper at capacity 100).
+    if let Some(last) = double.last() {
+        let line = last.evals.iter().find(|(n, _)| n == "Line");
+        let hs = last.evals.iter().find(|(n, _)| n == "HS");
+        if let (Some((_, line)), Some((_, hs))) = (line, hs) {
+            println!(
+                "# headline: capacity {} two-level volume reduction Line -> HS = {:.2}x (paper: 5.64x at capacity 100, Line(NR) -> HS)",
+                last.capacity,
+                line.volume as f64 / hs.volume as f64
+            );
+        }
+    }
+}

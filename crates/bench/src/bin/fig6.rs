@@ -1,0 +1,63 @@
+//! Regenerates **Fig. 6** of the paper: correlation of the three congestion
+//! metrics (edge crossings, average edge Manhattan length, average edge
+//! spacing) with simulated circuit latency across randomised mappings of a
+//! single-level distillation circuit.
+//!
+//! Usage: `cargo run -p msfu-bench --bin fig6 --release [full]`
+
+use msfu_bench::Mode;
+use msfu_distill::{Factory, FactoryConfig};
+use msfu_graph::{correlation, metrics, InteractionGraph};
+use msfu_layout::{Layout, RandomMapper};
+use msfu_sim::{SimConfig, Simulator};
+
+fn main() {
+    let mode = Mode::from_args();
+    let samples = mode.fig6_samples();
+    // The paper's correlation study uses a single-level factory; capacity 8 is
+    // the canonical example of Fig. 4a / Fig. 5.
+    let factory = Factory::build(&FactoryConfig::single_level(8)).expect("factory builds");
+    let graph = InteractionGraph::from_circuit(factory.circuit());
+    // Fixed-path routing with stall-on-intersection, as in the paper's
+    // simulator: this is what makes edge crossings show up as latency.
+    let simulator = Simulator::new(SimConfig::dimension_ordered());
+
+    let mut crossings = Vec::with_capacity(samples);
+    let mut lengths = Vec::with_capacity(samples);
+    let mut spacings = Vec::with_capacity(samples);
+    let mut latencies = Vec::with_capacity(samples);
+
+    println!("# Fig. 6 reproduction: metric vs latency over {samples} randomised mappings");
+    println!("# columns: seed crossings avg_edge_length avg_edge_spacing latency_cycles");
+    for seed in 0..samples as u64 {
+        // Expansion 1.5 leaves routing slack, as in the paper's randomised
+        // mappings which are not packed solid.
+        let mapping = RandomMapper::new(seed)
+            .with_expansion(1.5)
+            .map_qubits(factory.num_qubits())
+            .expect("random mapping succeeds");
+        let points = mapping.to_points();
+        let m = metrics::MappingMetrics::compute(&graph, &points);
+        let result = simulator
+            .run(factory.circuit(), &Layout::new(mapping))
+            .expect("simulation succeeds");
+        println!(
+            "{seed:>4} {:>8} {:>18.3} {:>18.3} {:>14}",
+            m.edge_crossings, m.avg_edge_length, m.avg_edge_spacing, result.cycles
+        );
+        crossings.push(m.edge_crossings as f64);
+        lengths.push(m.avg_edge_length);
+        spacings.push(m.avg_edge_spacing);
+        latencies.push(result.cycles as f64);
+    }
+
+    let r_cross = correlation::pearson(&crossings, &latencies).unwrap_or(0.0);
+    let r_len = correlation::pearson(&lengths, &latencies).unwrap_or(0.0);
+    let r_space = correlation::pearson(&spacings, &latencies).unwrap_or(0.0);
+
+    println!();
+    println!("# Pearson correlation with simulated latency (paper values in parentheses)");
+    println!("edge crossings      r = {r_cross:+.3}   (paper: +0.831)");
+    println!("avg edge length     r = {r_len:+.3}   (paper: +0.601)");
+    println!("avg edge spacing    r = {r_space:+.3}   (paper: -0.625)");
+}

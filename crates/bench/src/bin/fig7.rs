@@ -1,0 +1,72 @@
+//! Regenerates **Fig. 7** of the paper: realised circuit latency of the
+//! force-directed and graph-partitioning mappers against the critical-path
+//! ("theoretical lower bound") latency, for single-level (7a) and two-level
+//! (7b) factories of increasing capacity.
+//!
+//! Usage: `cargo run -p msfu-bench --bin fig7 --release [full]`
+
+use msfu_bench::{evaluate_with_reuse, scaled_fd_config, Mode};
+use msfu_core::{report::Series, Strategy};
+use msfu_distill::{FactoryConfig, ReusePolicy};
+
+fn sweep(levels: usize, capacities: &[usize], seed: u64) -> Vec<Series> {
+    let mut fd = Series::new("Force Directed");
+    let mut gp = Series::new("Graph Partitioning");
+    let mut lower = Series::new("Theoretical Lower Bound");
+    for &capacity in capacities {
+        let config = FactoryConfig::from_total_capacity(capacity, levels).expect("exact power");
+        let qubits = config.total_modules() * config.qubits_per_module();
+        let fd_strategy = Strategy::ForceDirected(scaled_fd_config(seed, qubits));
+        let gp_strategy = Strategy::GraphPartition { seed };
+
+        let fd_eval = evaluate_with_reuse(capacity, levels, &fd_strategy, ReusePolicy::Reuse)
+            .expect("FD evaluation succeeds");
+        let gp_eval = evaluate_with_reuse(capacity, levels, &gp_strategy, ReusePolicy::Reuse)
+            .expect("GP evaluation succeeds");
+
+        fd.push(capacity as f64, fd_eval.latency_cycles as f64);
+        gp.push(capacity as f64, gp_eval.latency_cycles as f64);
+        lower.push(capacity as f64, gp_eval.critical_path_cycles as f64);
+        eprintln!(
+            "done L={levels} capacity={capacity}: FD={} GP={} bound={}",
+            fd_eval.latency_cycles, gp_eval.latency_cycles, gp_eval.critical_path_cycles
+        );
+    }
+    vec![fd, gp, lower]
+}
+
+fn print_series(title: &str, series: &[Series]) {
+    println!("# {title}");
+    print!("{:<12}", "capacity");
+    for s in series {
+        print!("{:>26}", s.label);
+    }
+    println!();
+    if let Some(first) = series.first() {
+        for (i, x) in first.x.iter().enumerate() {
+            print!("{:<12}", x);
+            for s in series {
+                print!("{:>26.0}", s.y[i]);
+            }
+            println!();
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let mode = Mode::from_args();
+    let seed = 42;
+
+    let single = sweep(1, &mode.single_level_capacities(), seed);
+    print_series(
+        "Fig. 7a — single-level factory latency (cycles) vs capacity",
+        &single,
+    );
+
+    let double = sweep(2, &mode.two_level_capacities(), seed);
+    print_series(
+        "Fig. 7b — two-level factory latency (cycles) vs capacity",
+        &double,
+    );
+}

@@ -1,0 +1,94 @@
+//! Regenerates **Fig. 9** of the paper:
+//!
+//! * 9a/9b — sensitivity of the achieved quantum volume to the qubit-reuse
+//!   policy: the volume differential `(NR − R)/NR` per mapping strategy.
+//! * 9c/9d — latency of the inter-round permutation step under the four
+//!   intermediate-hop strategies (no hop, randomised Valiant hop, annealed
+//!   random hop, annealed midpoint hop).
+//!
+//! Usage: `cargo run -p msfu-bench --bin fig9 --release [full]`
+
+use msfu_bench::{evaluate_with_reuse, harness_eval_config, scaled_fd_config, Mode};
+use msfu_core::{pipeline, Strategy};
+use msfu_distill::{Factory, FactoryConfig, ReusePolicy};
+use msfu_layout::{HierarchicalStitchingMapper, HopStrategy, StitchingConfig};
+
+fn reuse_differentials(capacities: &[usize], seed: u64) {
+    println!("# Fig. 9a/9b — volume differential (NR - R)/NR per strategy, two-level factories");
+    println!(
+        "{:<12}{:>18}{:>18}{:>18}",
+        "capacity", "Linear Mapping", "Force Directed", "Graph Partitioning"
+    );
+    for &capacity in capacities {
+        let config = FactoryConfig::from_total_capacity(capacity, 2).expect("exact power");
+        let qubits = config.total_modules() * config.qubits_per_module();
+        let strategies = [
+            Strategy::Linear,
+            Strategy::ForceDirected(scaled_fd_config(seed, qubits)),
+            Strategy::GraphPartition { seed },
+        ];
+        print!("{capacity:<12}");
+        for strategy in &strategies {
+            let reuse = evaluate_with_reuse(capacity, 2, strategy, ReusePolicy::Reuse)
+                .expect("reuse evaluation succeeds");
+            let no_reuse = evaluate_with_reuse(capacity, 2, strategy, ReusePolicy::NoReuse)
+                .expect("no-reuse evaluation succeeds");
+            let differential =
+                (no_reuse.volume as f64 - reuse.volume as f64) / no_reuse.volume as f64;
+            print!("{differential:>18.3}");
+        }
+        println!();
+    }
+    println!("# positive values mean reuse achieves the smaller volume");
+    println!();
+}
+
+fn permutation_latencies(capacities: &[usize], seed: u64) {
+    println!("# Fig. 9c/9d — permutation-step latency (cycles) by intermediate-hop strategy");
+    println!(
+        "{:<12}{:>14}{:>18}{:>22}{:>24}",
+        "capacity", "No Hop", "Randomized Hop", "Annealed Random Hop", "Annealed Midpoint Hop"
+    );
+    let hop_strategies = [
+        HopStrategy::None,
+        HopStrategy::RandomHop,
+        HopStrategy::AnnealedRandomHop,
+        HopStrategy::AnnealedMidpointHop,
+    ];
+    for &capacity in capacities {
+        let config = FactoryConfig::from_total_capacity(capacity, 2).expect("exact power");
+        print!("{capacity:<12}");
+        for hop in hop_strategies {
+            let mut factory = Factory::build(&config).expect("factory builds");
+            let mapper = HierarchicalStitchingMapper::with_config(StitchingConfig {
+                seed,
+                hop_strategy: hop,
+                ..StitchingConfig::default()
+            });
+            let layout = mapper
+                .map_factory_optimized(&mut factory)
+                .expect("stitching succeeds");
+            let breakdown =
+                pipeline::per_round_breakdown(&factory, &layout, &harness_eval_config().sim)
+                    .expect("breakdown succeeds");
+            let cycles = pipeline::total_permutation_cycles(&breakdown);
+            let width = match hop {
+                HopStrategy::None => 14,
+                HopStrategy::RandomHop => 18,
+                HopStrategy::AnnealedRandomHop => 22,
+                HopStrategy::AnnealedMidpointHop => 24,
+            };
+            print!("{cycles:>width$}");
+        }
+        println!();
+    }
+    println!();
+}
+
+fn main() {
+    let mode = Mode::from_args();
+    let seed = 42;
+    let capacities = mode.two_level_capacities();
+    reuse_differentials(&capacities, seed);
+    permutation_latencies(&capacities, seed);
+}

@@ -1,0 +1,200 @@
+//! # msfu-bench
+//!
+//! Benchmark harness that regenerates every table and figure of the MSFU
+//! paper's evaluation (Section VIII):
+//!
+//! | Binary    | Paper artefact | Content |
+//! |-----------|----------------|---------|
+//! | `fig6`    | Fig. 6         | correlation of edge crossings / length / spacing with simulated latency over randomised mappings |
+//! | `fig7`    | Fig. 7a/7b     | FD and GP latency vs capacity against the critical-path lower bound |
+//! | `fig9`    | Fig. 9a–9d     | qubit reuse vs no-reuse volume differentials; permutation-step latency per hop strategy |
+//! | `fig10`   | Fig. 10a–10f   | latency / area / volume for every strategy, single- and two-level |
+//! | `table1`  | Table I        | quantum volumes for Random, Line(NR), Line(R), FD, GP, HS and the critical bound |
+//!
+//! Every binary accepts an optional `full` argument to sweep the paper's
+//! complete capacity range; without it a reduced sweep is used so the whole
+//! harness completes in minutes on a laptop. Criterion benches
+//! (`cargo bench -p msfu-bench`) measure the runtime scalability of the
+//! mapping algorithms themselves (Section VI-B3) and the ablations called out
+//! in DESIGN.md.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use msfu_core::{evaluate, Evaluation, EvaluationConfig, Strategy};
+use msfu_distill::{FactoryConfig, ReusePolicy};
+use msfu_layout::{ForceDirectedConfig, StitchingConfig};
+
+/// Execution mode of a figure/table binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Reduced parameter sweep (default): completes in minutes.
+    Quick,
+    /// The paper's full parameter sweep.
+    Full,
+}
+
+impl Mode {
+    /// Parses the mode from the process arguments: any argument equal to
+    /// `full` selects [`Mode::Full`].
+    pub fn from_args() -> Mode {
+        if std::env::args().any(|a| a == "full") {
+            Mode::Full
+        } else {
+            Mode::Quick
+        }
+    }
+
+    /// Single-level capacities to sweep (Fig. 10a/b/e, Table I level 1).
+    pub fn single_level_capacities(self) -> Vec<usize> {
+        match self {
+            Mode::Quick => vec![2, 4, 8],
+            Mode::Full => vec![2, 4, 6, 8, 12, 16, 20, 24],
+        }
+    }
+
+    /// Two-level total capacities to sweep (Fig. 10c/d/f, Table I level 2).
+    pub fn two_level_capacities(self) -> Vec<usize> {
+        match self {
+            Mode::Quick => vec![4, 16],
+            Mode::Full => vec![4, 16, 36, 64, 100],
+        }
+    }
+
+    /// Number of randomised mappings for the Fig. 6 correlation study.
+    pub fn fig6_samples(self) -> usize {
+        match self {
+            Mode::Quick => 40,
+            Mode::Full => 200,
+        }
+    }
+}
+
+/// The evaluation configuration used by every harness binary.
+///
+/// The paper's simulator routes each braid along a fixed path and inserts a
+/// stall whenever two braids would intersect (Section VIII-A); the harness
+/// therefore uses dimension-ordered routing, so that mapping quality (edge
+/// crossings, lengths) translates into realised latency the same way it does
+/// in the paper. Adaptive routing remains available as an ablation
+/// (`benches/ablation.rs`).
+pub fn harness_eval_config() -> EvaluationConfig {
+    EvaluationConfig {
+        sim: msfu_sim::SimConfig::dimension_ordered(),
+    }
+}
+
+/// Force-directed configuration scaled to the problem size: large factories
+/// get fewer sweeps and a smaller repulsion sample so the harness stays
+/// tractable, mirroring the paper's observation that FD is the most expensive
+/// procedure (Section VI-B3).
+pub fn scaled_fd_config(seed: u64, num_qubits: usize) -> ForceDirectedConfig {
+    let (iterations, sample) = if num_qubits > 1500 {
+        (8, 4_000)
+    } else if num_qubits > 500 {
+        (15, 8_000)
+    } else {
+        (30, 20_000)
+    };
+    ForceDirectedConfig {
+        seed,
+        iterations,
+        repulsion_sample: sample,
+        ..ForceDirectedConfig::default()
+    }
+}
+
+/// The strategy line-up used by the Fig. 10 / Table I sweeps for a given
+/// factory configuration (FD iteration counts scale with factory size).
+pub fn lineup_for(config: &FactoryConfig, seed: u64) -> Vec<Strategy> {
+    let qubits = config.total_modules() * config.qubits_per_module();
+    vec![
+        Strategy::Random { seed },
+        Strategy::Linear,
+        Strategy::ForceDirected(scaled_fd_config(seed, qubits)),
+        Strategy::GraphPartition { seed },
+        Strategy::HierarchicalStitching(StitchingConfig {
+            seed,
+            ..StitchingConfig::default()
+        }),
+    ]
+}
+
+/// Evaluates a strategy under both reuse policies and returns the evaluation
+/// with the smaller quantum volume, together with the policy that won. This is
+/// how the paper selects the configuration for its final plots
+/// (Section VIII-C1).
+pub fn evaluate_best_reuse(
+    capacity: usize,
+    levels: usize,
+    strategy: &Strategy,
+) -> Result<(Evaluation, ReusePolicy), msfu_core::CoreError> {
+    let mut best: Option<(Evaluation, ReusePolicy)> = None;
+    for policy in [ReusePolicy::Reuse, ReusePolicy::NoReuse] {
+        let config = FactoryConfig::from_total_capacity(capacity, levels)
+            .expect("capacity is an exact power")
+            .with_reuse(policy);
+        let eval = evaluate(&config, strategy, &harness_eval_config())?;
+        match &best {
+            Some((b, _)) if b.volume <= eval.volume => {}
+            _ => best = Some((eval, policy)),
+        }
+    }
+    Ok(best.expect("both policies evaluated"))
+}
+
+/// Evaluates a strategy under a specific reuse policy.
+pub fn evaluate_with_reuse(
+    capacity: usize,
+    levels: usize,
+    strategy: &Strategy,
+    policy: ReusePolicy,
+) -> Result<Evaluation, msfu_core::CoreError> {
+    let config = FactoryConfig::from_total_capacity(capacity, levels)
+        .expect("capacity is an exact power")
+        .with_reuse(policy);
+    evaluate(&config, strategy, &harness_eval_config())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_sweeps_are_subsets_of_full() {
+        let q1 = Mode::Quick.single_level_capacities();
+        let f1 = Mode::Full.single_level_capacities();
+        assert!(q1.iter().all(|c| f1.contains(c)));
+        let q2 = Mode::Quick.two_level_capacities();
+        let f2 = Mode::Full.two_level_capacities();
+        assert!(q2.iter().all(|c| f2.contains(c)));
+        assert!(Mode::Quick.fig6_samples() < Mode::Full.fig6_samples());
+    }
+
+    #[test]
+    fn full_mode_matches_paper_capacities() {
+        assert_eq!(Mode::Full.two_level_capacities(), vec![4, 16, 36, 64, 100]);
+        assert!(Mode::Full.single_level_capacities().contains(&24));
+    }
+
+    #[test]
+    fn scaled_fd_config_shrinks_with_size() {
+        let small = scaled_fd_config(1, 100);
+        let big = scaled_fd_config(1, 3000);
+        assert!(big.iterations < small.iterations);
+        assert!(big.repulsion_sample < small.repulsion_sample);
+    }
+
+    #[test]
+    fn lineup_contains_all_five_strategies() {
+        let lineup = lineup_for(&FactoryConfig::two_level(2), 1);
+        let names: Vec<&str> = lineup.iter().map(|s| s.short_name()).collect();
+        assert_eq!(names, vec!["Random", "Line", "FD", "GP", "HS"]);
+    }
+
+    #[test]
+    fn evaluate_with_reuse_runs_end_to_end() {
+        let eval = evaluate_with_reuse(2, 1, &Strategy::Linear, ReusePolicy::Reuse).unwrap();
+        assert!(eval.latency_cycles > 0);
+    }
+}

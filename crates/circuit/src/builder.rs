@@ -1,0 +1,309 @@
+//! Ergonomic construction of circuits with named registers.
+
+use crate::{Circuit, Gate, GateId, QubitId, QubitRegister, QubitRole, Result};
+
+/// Builder for [`Circuit`]s that manages qubit allocation via named registers.
+///
+/// The builder mirrors the structure of the Scaffold programs used in the
+/// paper: registers are declared first (`raw_states`, `anc`, `out`), then
+/// gates are appended in program order.
+///
+/// # Example
+///
+/// ```
+/// use msfu_circuit::{CircuitBuilder, QubitRole};
+///
+/// let mut b = CircuitBuilder::new("module");
+/// let raw = b.register("raw", QubitRole::Raw, 2);
+/// let anc = b.register("anc", QubitRole::Ancilla, 1);
+/// b.inject_t(raw[0], anc[0]).unwrap();
+/// b.inject_tdg(raw[1], anc[0]).unwrap();
+/// b.meas_x(anc[0]).unwrap();
+/// let c = b.build();
+/// assert_eq!(c.num_qubits(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    name: String,
+    roles: Vec<QubitRole>,
+    registers: Vec<QubitRegister>,
+    gates: Vec<Gate>,
+}
+
+impl CircuitBuilder {
+    /// Creates a builder for a circuit with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            roles: Vec::new(),
+            registers: Vec::new(),
+            gates: Vec::new(),
+        }
+    }
+
+    /// Declares a register of `len` fresh qubits with the given role and
+    /// returns their identifiers in declaration order.
+    pub fn register(&mut self, name: impl Into<String>, role: QubitRole, len: usize) -> Vec<QubitId> {
+        let start = self.roles.len() as u32;
+        let qubits: Vec<QubitId> = (0..len as u32).map(|i| QubitId::new(start + i)).collect();
+        self.roles.extend(std::iter::repeat(role).take(len));
+        self.registers
+            .push(QubitRegister::new(name, role, qubits.clone()));
+        qubits
+    }
+
+    /// Allocates a single fresh qubit with the given role.
+    pub fn qubit(&mut self, name: impl Into<String>, role: QubitRole) -> QubitId {
+        self.register(name, role, 1)[0]
+    }
+
+    /// Number of qubits allocated so far.
+    pub fn num_qubits(&self) -> u32 {
+        self.roles.len() as u32
+    }
+
+    /// Number of gates appended so far.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Appends an arbitrary gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the gate references unallocated qubits, repeats a
+    /// qubit, or is an empty multi-target gate.
+    pub fn push(&mut self, gate: Gate) -> Result<GateId> {
+        // Validate against a temporary circuit view; cheaper than rebuilding,
+        // we just reuse the same validation logic via a scratch circuit.
+        let mut scratch = Circuit::new("scratch", self.roles.clone());
+        scratch.push(gate.clone())?;
+        let id = GateId::new(self.gates.len() as u32);
+        self.gates.push(gate);
+        Ok(id)
+    }
+
+    /// Appends a Hadamard gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the qubit is unallocated.
+    pub fn h(&mut self, q: QubitId) -> Result<GateId> {
+        self.push(Gate::H(q))
+    }
+
+    /// Appends a Pauli-X gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the qubit is unallocated.
+    pub fn x(&mut self, q: QubitId) -> Result<GateId> {
+        self.push(Gate::X(q))
+    }
+
+    /// Appends a Pauli-Z gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the qubit is unallocated.
+    pub fn z(&mut self, q: QubitId) -> Result<GateId> {
+        self.push(Gate::Z(q))
+    }
+
+    /// Appends an S gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the qubit is unallocated.
+    pub fn s(&mut self, q: QubitId) -> Result<GateId> {
+        self.push(Gate::S(q))
+    }
+
+    /// Appends a T gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the qubit is unallocated.
+    pub fn t(&mut self, q: QubitId) -> Result<GateId> {
+        self.push(Gate::T(q))
+    }
+
+    /// Appends a CNOT gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either qubit is unallocated or both are the same.
+    pub fn cnot(&mut self, control: QubitId, target: QubitId) -> Result<GateId> {
+        self.push(Gate::Cnot { control, target })
+    }
+
+    /// Appends a single-control multi-target CNOT (`CXX`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any qubit is unallocated, the target list is empty,
+    /// or a qubit is repeated.
+    pub fn cxx(&mut self, control: QubitId, targets: Vec<QubitId>) -> Result<GateId> {
+        self.push(Gate::Cxx { control, targets })
+    }
+
+    /// Appends a probabilistic T-state injection.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either qubit is unallocated or both are the same.
+    pub fn inject_t(&mut self, raw: QubitId, target: QubitId) -> Result<GateId> {
+        self.push(Gate::InjectT { raw, target })
+    }
+
+    /// Appends a probabilistic T†-state injection.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either qubit is unallocated or both are the same.
+    pub fn inject_tdg(&mut self, raw: QubitId, target: QubitId) -> Result<GateId> {
+        self.push(Gate::InjectTdg { raw, target })
+    }
+
+    /// Appends an X-basis measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the qubit is unallocated.
+    pub fn meas_x(&mut self, q: QubitId) -> Result<GateId> {
+        self.push(Gate::MeasX(q))
+    }
+
+    /// Appends a Z-basis measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the qubit is unallocated.
+    pub fn meas_z(&mut self, q: QubitId) -> Result<GateId> {
+        self.push(Gate::MeasZ(q))
+    }
+
+    /// Appends a qubit (re-)initialisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the qubit is unallocated.
+    pub fn init(&mut self, q: QubitId) -> Result<GateId> {
+        self.push(Gate::Init(q))
+    }
+
+    /// Appends a scheduling barrier over the given qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the list is empty or references unallocated qubits.
+    pub fn barrier(&mut self, qubits: Vec<QubitId>) -> Result<GateId> {
+        self.push(Gate::Barrier(qubits))
+    }
+
+    /// Appends a scheduling barrier over every qubit allocated so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no qubits have been allocated.
+    pub fn barrier_all(&mut self) -> Result<GateId> {
+        let all: Vec<QubitId> = (0..self.num_qubits()).map(QubitId::new).collect();
+        self.push(Gate::Barrier(all))
+    }
+
+    /// Finalises the builder into a [`Circuit`].
+    pub fn build(self) -> Circuit {
+        let mut c = Circuit::new(self.name, self.roles);
+        c.set_registers(self.registers);
+        for g in self.gates {
+            // Gates were validated at push time against the allocation state
+            // that existed then; allocation only grows, so re-validation
+            // cannot fail here.
+            c.push(g).expect("builder gates are pre-validated");
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircuitError, GateKind};
+
+    #[test]
+    fn registers_allocate_dense_ids() {
+        let mut b = CircuitBuilder::new("c");
+        let a = b.register("a", QubitRole::Raw, 3);
+        let c = b.register("c", QubitRole::Output, 2);
+        assert_eq!(a, vec![QubitId::new(0), QubitId::new(1), QubitId::new(2)]);
+        assert_eq!(c, vec![QubitId::new(3), QubitId::new(4)]);
+        assert_eq!(b.num_qubits(), 5);
+    }
+
+    #[test]
+    fn builder_rejects_unallocated_qubits() {
+        let mut b = CircuitBuilder::new("c");
+        b.register("a", QubitRole::Data, 1);
+        let err = b.h(QubitId::new(3)).unwrap_err();
+        assert!(matches!(err, CircuitError::QubitOutOfRange { .. }));
+    }
+
+    #[test]
+    fn build_preserves_order_roles_and_registers() {
+        let mut b = CircuitBuilder::new("c");
+        let raw = b.register("raw", QubitRole::Raw, 1);
+        let out = b.register("out", QubitRole::Output, 1);
+        b.h(out[0]).unwrap();
+        b.inject_t(raw[0], out[0]).unwrap();
+        b.meas_x(raw[0]).unwrap();
+        let c = b.build();
+        assert_eq!(c.name(), "c");
+        assert_eq!(c.num_gates(), 3);
+        assert_eq!(c.gates()[0].kind(), GateKind::H);
+        assert_eq!(c.gates()[1].kind(), GateKind::InjectT);
+        assert_eq!(c.role(raw[0]), QubitRole::Raw);
+        assert_eq!(c.role(out[0]), QubitRole::Output);
+        assert_eq!(c.registers().len(), 2);
+        assert_eq!(c.registers()[0].name(), "raw");
+    }
+
+    #[test]
+    fn barrier_all_covers_every_qubit() {
+        let mut b = CircuitBuilder::new("c");
+        b.register("a", QubitRole::Data, 4);
+        b.barrier_all().unwrap();
+        let c = b.build();
+        assert_eq!(c.gates()[0].qubits().len(), 4);
+        assert!(c.gates()[0].is_barrier());
+    }
+
+    #[test]
+    fn single_qubit_helper_allocates() {
+        let mut b = CircuitBuilder::new("c");
+        let q0 = b.qubit("ctrl", QubitRole::BarrierControl);
+        assert_eq!(q0, QubitId::new(0));
+        assert_eq!(b.num_qubits(), 1);
+    }
+
+    #[test]
+    fn all_helper_methods_append() {
+        let mut b = CircuitBuilder::new("c");
+        let q = b.register("q", QubitRole::Data, 3);
+        b.h(q[0]).unwrap();
+        b.x(q[0]).unwrap();
+        b.z(q[1]).unwrap();
+        b.s(q[1]).unwrap();
+        b.t(q[2]).unwrap();
+        b.cnot(q[0], q[1]).unwrap();
+        b.cxx(q[0], vec![q[1], q[2]]).unwrap();
+        b.inject_t(q[0], q[1]).unwrap();
+        b.inject_tdg(q[1], q[2]).unwrap();
+        b.meas_x(q[0]).unwrap();
+        b.meas_z(q[1]).unwrap();
+        b.init(q[2]).unwrap();
+        b.barrier(vec![q[0], q[1]]).unwrap();
+        assert_eq!(b.num_gates(), 13);
+        let c = b.build();
+        assert_eq!(c.num_gates(), 13);
+    }
+}

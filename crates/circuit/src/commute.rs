@@ -1,0 +1,350 @@
+//! Gate commutativity analysis and commutation-aware schedule relaxation
+//! (Section V-A of the paper).
+//!
+//! Quantum gate scheduling differs from classical instruction scheduling
+//! because commuting gates need not respect program order. The paper notes
+//! that for block-code distillation circuits this extra freedom buys little
+//! (barriers and checkpoints limit gate mobility to a small constant per
+//! round), but the analysis itself is a standard tool and this module
+//! provides it: pairwise commutation rules over the distillation gate set and
+//! a relaxed dependency analysis that drops order constraints between
+//! commuting gates acting on shared qubits.
+
+use crate::{Circuit, Gate, GateId, GateKind, LatencyModel, QubitId};
+
+/// The Pauli basis in which a gate acts on one of its qubits, for the purpose
+/// of commutation checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AxisUse {
+    /// The gate is diagonal in Z on this qubit (Z, S, T, CNOT control,
+    /// measurement in Z, injections on the target side behave like Rz).
+    Z,
+    /// The gate acts as an X-type operator on this qubit (X, CNOT target,
+    /// X-basis measurement).
+    X,
+    /// Anything else (Hadamard, initialisation, barrier): treated as
+    /// non-commuting with everything sharing the qubit.
+    Other,
+}
+
+/// Axis use of `gate` on `qubit` (which must be one of the gate's operands).
+fn axis_use(gate: &Gate, qubit: QubitId) -> AxisUse {
+    match gate {
+        Gate::Z(_) | Gate::S(_) | Gate::Sdg(_) | Gate::T(_) | Gate::Tdg(_) | Gate::MeasZ(_) => {
+            AxisUse::Z
+        }
+        Gate::X(_) | Gate::MeasX(_) => AxisUse::X,
+        Gate::Cnot { control, .. } => {
+            if *control == qubit {
+                AxisUse::Z
+            } else {
+                AxisUse::X
+            }
+        }
+        Gate::Cxx { control, .. } => {
+            if *control == qubit {
+                AxisUse::Z
+            } else {
+                AxisUse::X
+            }
+        }
+        // An injection applies a (probabilistic) Rz rotation to the target and
+        // consumes/measures the raw state: Z-like on the target, Other on the
+        // raw qubit (it destroys it).
+        Gate::InjectT { raw, .. } | Gate::InjectTdg { raw, .. } => {
+            if *raw == qubit {
+                AxisUse::Other
+            } else {
+                AxisUse::Z
+            }
+        }
+        Gate::H(_) | Gate::Init(_) | Gate::Barrier(_) => AxisUse::Other,
+    }
+}
+
+/// Returns `true` when two gates commute, i.e. exchanging their order leaves
+/// the circuit's action unchanged.
+///
+/// Gates on disjoint qubit sets always commute. Gates sharing qubits commute
+/// when, on every shared qubit, both act in the same diagonal basis (both
+/// Z-like or both X-like). Barriers never commute with anything sharing a
+/// qubit — that is their purpose.
+pub fn gates_commute(a: &Gate, b: &Gate) -> bool {
+    if a.is_barrier() || b.is_barrier() {
+        // Barriers share qubits with almost everything; they only "commute"
+        // with gates on disjoint qubit sets.
+        let qa = a.qubits();
+        return !b.qubits().iter().any(|q| qa.contains(q));
+    }
+    let qa = a.qubits();
+    for q in b.qubits() {
+        if !qa.contains(&q) {
+            continue;
+        }
+        let ua = axis_use(a, q);
+        let ub = axis_use(b, q);
+        match (ua, ub) {
+            (AxisUse::Z, AxisUse::Z) | (AxisUse::X, AxisUse::X) => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Commutation-aware dependency statistics of a circuit: how many of the
+/// program-order data hazards are *false* in the sense that the two gates
+/// commute and could legally be reordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommutationAnalysis {
+    /// Number of hazard edges in the strict (program-order) dependency DAG.
+    pub strict_dependencies: usize,
+    /// Of those, the number connecting gates that actually commute.
+    pub commuting_pairs: usize,
+    /// Critical path in cycles under the strict hazard model.
+    pub strict_critical_path: u64,
+    /// Critical path in cycles when commuting pairs are not ordered.
+    pub relaxed_critical_path: u64,
+}
+
+impl CommutationAnalysis {
+    /// Fraction of strict dependencies that are removable by commutation.
+    pub fn false_dependency_fraction(&self) -> f64 {
+        if self.strict_dependencies == 0 {
+            return 0.0;
+        }
+        self.commuting_pairs as f64 / self.strict_dependencies as f64
+    }
+
+    /// Relative critical-path reduction offered by commutation-aware
+    /// scheduling (0.0 when it offers nothing, as the paper observes for
+    /// barriered block-code circuits).
+    pub fn critical_path_reduction(&self) -> f64 {
+        if self.strict_critical_path == 0 {
+            return 0.0;
+        }
+        1.0 - self.relaxed_critical_path as f64 / self.strict_critical_path as f64
+    }
+}
+
+/// Analyses a circuit under the strict hazard model and under a relaxed model
+/// where commuting gates are not ordered.
+pub fn analyze(circuit: &Circuit, model: &LatencyModel) -> CommutationAnalysis {
+    let dag = circuit.dependency_dag();
+    let n = circuit.num_gates();
+
+    let mut strict_dependencies = 0usize;
+    let mut commuting_pairs = 0usize;
+    // Relaxed predecessor lists: keep only non-commuting hazards, but make the
+    // relation transitive enough for a sound longest path by falling back to
+    // the previous non-commuting user of each qubit.
+    let mut relaxed_preds: Vec<Vec<GateId>> = vec![Vec::new(); n];
+    let mut last_conflict: Vec<Option<GateId>> = vec![None; circuit.num_qubits() as usize];
+
+    for (id, gate) in circuit.iter_gates() {
+        for p in dag.predecessors(id) {
+            strict_dependencies += 1;
+            if gates_commute(gate, circuit.gate(*p)) {
+                commuting_pairs += 1;
+            }
+        }
+        let mut preds = Vec::new();
+        for q in gate.qubits() {
+            if let Some(prev) = last_conflict[q.index()] {
+                if !gates_commute(gate, circuit.gate(prev)) && !preds.contains(&prev) {
+                    preds.push(prev);
+                }
+            }
+        }
+        for q in gate.qubits() {
+            // A gate becomes the new conflict anchor on its qubits unless it
+            // commutes with the previous anchor, in which case the anchor is
+            // kept (both must still precede any later non-commuting gate; the
+            // kept anchor is the earlier of the two, which is conservative).
+            let replace = match last_conflict[q.index()] {
+                Some(prev) => !gates_commute(gate, circuit.gate(prev)),
+                None => true,
+            };
+            if replace {
+                last_conflict[q.index()] = Some(id);
+            }
+        }
+        relaxed_preds[id.index()] = preds;
+    }
+
+    // Longest path under the relaxed model.
+    let mut finish = vec![0u64; n];
+    let mut relaxed_critical_path = 0u64;
+    for i in 0..n {
+        let start = relaxed_preds[i]
+            .iter()
+            .map(|p| finish[p.index()])
+            .max()
+            .unwrap_or(0);
+        finish[i] = start + model.cycles(&circuit.gates()[i]);
+        relaxed_critical_path = relaxed_critical_path.max(finish[i]);
+    }
+
+    CommutationAnalysis {
+        strict_dependencies,
+        commuting_pairs,
+        strict_critical_path: dag.critical_path_cycles(circuit, model),
+        relaxed_critical_path,
+    }
+}
+
+/// Returns the gates of `circuit` whose kind matches `kind` and that could be
+/// hoisted above at least one of their strict predecessors by commutation —
+/// the "small constant number of gates that may execute early" the paper
+/// refers to.
+pub fn hoistable_gates(circuit: &Circuit, kind: GateKind) -> Vec<GateId> {
+    let dag = circuit.dependency_dag();
+    circuit
+        .iter_gates()
+        .filter(|(id, gate)| {
+            gate.kind() == kind
+                && dag
+                    .predecessors(*id)
+                    .iter()
+                    .any(|p| gates_commute(gate, circuit.gate(*p)))
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircuitBuilder, QubitRole};
+
+    fn q(i: u32) -> QubitId {
+        QubitId::new(i)
+    }
+
+    #[test]
+    fn disjoint_gates_commute() {
+        let a = Gate::Cnot {
+            control: q(0),
+            target: q(1),
+        };
+        let b = Gate::Cnot {
+            control: q(2),
+            target: q(3),
+        };
+        assert!(gates_commute(&a, &b));
+    }
+
+    #[test]
+    fn z_rotations_commute_with_cnot_controls() {
+        let t = Gate::T(q(0));
+        let cnot = Gate::Cnot {
+            control: q(0),
+            target: q(1),
+        };
+        assert!(gates_commute(&t, &cnot));
+        // ...but not with the CNOT acting on q0 as the target.
+        let cnot_rev = Gate::Cnot {
+            control: q(1),
+            target: q(0),
+        };
+        assert!(!gates_commute(&t, &cnot_rev));
+    }
+
+    #[test]
+    fn cnots_sharing_a_control_commute() {
+        let a = Gate::Cnot {
+            control: q(0),
+            target: q(1),
+        };
+        let b = Gate::Cnot {
+            control: q(0),
+            target: q(2),
+        };
+        assert!(gates_commute(&a, &b));
+        // Sharing a target also commutes; control-of-one = target-of-other
+        // does not.
+        let c = Gate::Cnot {
+            control: q(3),
+            target: q(1),
+        };
+        assert!(gates_commute(&a, &c));
+        let d = Gate::Cnot {
+            control: q(1),
+            target: q(3),
+        };
+        assert!(!gates_commute(&a, &d));
+    }
+
+    #[test]
+    fn hadamard_commutes_with_nothing_on_shared_qubits() {
+        let h = Gate::H(q(0));
+        assert!(!gates_commute(&h, &Gate::T(q(0))));
+        assert!(!gates_commute(&h, &Gate::X(q(0))));
+        assert!(gates_commute(&h, &Gate::T(q(1))));
+    }
+
+    #[test]
+    fn barriers_block_shared_qubits() {
+        let barrier = Gate::Barrier(vec![q(0), q(1)]);
+        assert!(!gates_commute(&barrier, &Gate::T(q(0))));
+        assert!(gates_commute(&barrier, &Gate::T(q(2))));
+    }
+
+    #[test]
+    fn measurement_bases_matter() {
+        assert!(gates_commute(&Gate::MeasZ(q(0)), &Gate::T(q(0))));
+        assert!(!gates_commute(&Gate::MeasX(q(0)), &Gate::T(q(0))));
+    }
+
+    #[test]
+    fn analysis_finds_false_dependencies_in_a_z_chain() {
+        // T then CNOT-control then T on the same qubit: all commute pairwise,
+        // so the relaxed critical path collapses.
+        let mut b = CircuitBuilder::new("z-chain");
+        let qs = b.register("q", QubitRole::Data, 2);
+        b.t(qs[0]).unwrap();
+        b.cnot(qs[0], qs[1]).unwrap();
+        b.t(qs[0]).unwrap();
+        let c = b.build();
+        let analysis = analyze(&c, &LatencyModel::default());
+        assert!(analysis.commuting_pairs > 0);
+        assert!(analysis.relaxed_critical_path <= analysis.strict_critical_path);
+        assert!(analysis.false_dependency_fraction() > 0.0);
+        assert!(analysis.critical_path_reduction() >= 0.0);
+    }
+
+    #[test]
+    fn analysis_of_non_commuting_chain_changes_nothing() {
+        let mut b = CircuitBuilder::new("hx");
+        let qs = b.register("q", QubitRole::Data, 1);
+        b.h(qs[0]).unwrap();
+        b.x(qs[0]).unwrap();
+        b.h(qs[0]).unwrap();
+        let c = b.build();
+        let analysis = analyze(&c, &LatencyModel::default());
+        assert_eq!(analysis.commuting_pairs, 0);
+        assert_eq!(analysis.relaxed_critical_path, analysis.strict_critical_path);
+        assert_eq!(analysis.false_dependency_fraction(), 0.0);
+    }
+
+    #[test]
+    fn hoistable_gates_are_detected() {
+        let mut b = CircuitBuilder::new("hoist");
+        let qs = b.register("q", QubitRole::Data, 2);
+        b.t(qs[0]).unwrap();
+        b.cnot(qs[0], qs[1]).unwrap(); // commutes with the preceding T
+        b.h(qs[1]).unwrap(); // does not commute with the CNOT target use
+        let c = b.build();
+        let hoistable = hoistable_gates(&c, GateKind::Cnot);
+        assert_eq!(hoistable.len(), 1);
+        assert!(hoistable_gates(&c, GateKind::H).is_empty());
+    }
+
+    #[test]
+    fn empty_circuit_analysis() {
+        let c = CircuitBuilder::new("empty").build();
+        let analysis = analyze(&c, &LatencyModel::default());
+        assert_eq!(analysis.strict_dependencies, 0);
+        assert_eq!(analysis.false_dependency_fraction(), 0.0);
+        assert_eq!(analysis.critical_path_reduction(), 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types for circuit construction and parsing.
+
+use std::fmt;
+
+use crate::QubitId;
+
+/// Errors produced by circuit construction, validation and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A gate referenced a qubit outside the circuit's allocated range.
+    QubitOutOfRange {
+        /// The offending qubit.
+        qubit: QubitId,
+        /// Number of qubits allocated in the circuit.
+        num_qubits: u32,
+    },
+    /// A multi-qubit gate referenced the same qubit more than once.
+    DuplicateQubit {
+        /// The duplicated qubit.
+        qubit: QubitId,
+    },
+    /// A multi-target gate was constructed with no targets.
+    EmptyTargets,
+    /// The textual assembly parser encountered a malformed line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => write!(
+                f,
+                "qubit {qubit} is out of range for a circuit with {num_qubits} qubits"
+            ),
+            CircuitError::DuplicateQubit { qubit } => {
+                write!(f, "qubit {qubit} appears more than once in a single gate")
+            }
+            CircuitError::EmptyTargets => write!(f, "multi-target gate has no targets"),
+            CircuitError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CircuitError::QubitOutOfRange {
+            qubit: QubitId::new(9),
+            num_qubits: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("q9"));
+        assert!(msg.contains('4'));
+
+        let e = CircuitError::DuplicateQubit {
+            qubit: QubitId::new(2),
+        };
+        assert!(e.to_string().contains("q2"));
+
+        assert!(CircuitError::EmptyTargets.to_string().contains("no targets"));
+
+        let e = CircuitError::Parse {
+            line: 12,
+            message: "unknown mnemonic".into(),
+        };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("unknown mnemonic"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<CircuitError>();
+    }
+}

@@ -1,0 +1,343 @@
+//! Scaffold-flavoured textual assembly: emission and parsing.
+//!
+//! The paper expresses distillation circuits in the Scaffold language and
+//! compiles them to gate-level instructions (Fig. 5). This module provides a
+//! flat, gate-per-line assembly format that plays the same role for this
+//! reproduction: circuits can be dumped for inspection, diffed, stored, and
+//! parsed back.
+//!
+//! Format:
+//!
+//! ```text
+//! # circuit <name>
+//! # qubits <n>
+//! # role <index> <role>        (one line per non-Data qubit)
+//! H q0
+//! CNOT q0, q1
+//! CXX q0, q1, q2, q3
+//! injectT q4, q1
+//! MeasX q1
+//! Barrier q0, q1, q2
+//! ```
+
+use crate::{Circuit, CircuitError, Gate, QubitId, QubitRole, Result};
+
+/// Emits a circuit in the textual assembly format.
+///
+/// # Example
+///
+/// ```
+/// use msfu_circuit::{CircuitBuilder, QubitRole, scaffold};
+///
+/// let mut b = CircuitBuilder::new("demo");
+/// let q = b.register("q", QubitRole::Data, 2);
+/// b.cnot(q[0], q[1]).unwrap();
+/// let c = b.build();
+/// let text = scaffold::emit(&c);
+/// let parsed = scaffold::parse(&text)?;
+/// assert_eq!(parsed.num_gates(), 1);
+/// # Ok::<(), msfu_circuit::CircuitError>(())
+/// ```
+pub fn emit(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# circuit {}\n", circuit.name()));
+    out.push_str(&format!("# qubits {}\n", circuit.num_qubits()));
+    for (i, role) in circuit.roles().iter().enumerate() {
+        if *role != QubitRole::Data {
+            out.push_str(&format!("# role {} {}\n", i, role.name()));
+        }
+    }
+    for gate in circuit.gates() {
+        out.push_str(&gate.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_role(s: &str) -> Option<QubitRole> {
+    match s {
+        "raw" => Some(QubitRole::Raw),
+        "anc" => Some(QubitRole::Ancilla),
+        "out" => Some(QubitRole::Output),
+        "data" => Some(QubitRole::Data),
+        "barrier" => Some(QubitRole::BarrierControl),
+        _ => None,
+    }
+}
+
+fn parse_qubit(token: &str, line: usize) -> Result<QubitId> {
+    let token = token.trim();
+    let digits = token
+        .strip_prefix('q')
+        .ok_or_else(|| CircuitError::Parse {
+            line,
+            message: format!("expected qubit token, found `{token}`"),
+        })?;
+    let index: u32 = digits.parse().map_err(|_| CircuitError::Parse {
+        line,
+        message: format!("invalid qubit index `{digits}`"),
+    })?;
+    Ok(QubitId::new(index))
+}
+
+fn parse_operands(rest: &str, line: usize) -> Result<Vec<QubitId>> {
+    rest.split(',')
+        .filter(|t| !t.trim().is_empty())
+        .map(|t| parse_qubit(t, line))
+        .collect()
+}
+
+/// Parses the textual assembly format back into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`CircuitError::Parse`] when a line is malformed, and the usual
+/// validation errors when a gate references qubits outside the declared range.
+pub fn parse(text: &str) -> Result<Circuit> {
+    let mut name = String::from("parsed");
+    let mut num_qubits: u32 = 0;
+    let mut roles_overrides: Vec<(usize, QubitRole)> = Vec::new();
+    let mut gates: Vec<Gate> = Vec::new();
+
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw_line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(comment) = trimmed.strip_prefix('#') {
+            let tokens: Vec<&str> = comment.split_whitespace().collect();
+            match tokens.as_slice() {
+                ["circuit", rest @ ..] => name = rest.join(" "),
+                ["qubits", n] => {
+                    num_qubits = n.parse().map_err(|_| CircuitError::Parse {
+                        line,
+                        message: format!("invalid qubit count `{n}`"),
+                    })?;
+                }
+                ["role", idx, role] => {
+                    let idx: usize = idx.parse().map_err(|_| CircuitError::Parse {
+                        line,
+                        message: format!("invalid role index `{idx}`"),
+                    })?;
+                    let role = parse_role(role).ok_or_else(|| CircuitError::Parse {
+                        line,
+                        message: format!("unknown role `{role}`"),
+                    })?;
+                    roles_overrides.push((idx, role));
+                }
+                _ => {} // unknown comments are ignored
+            }
+            continue;
+        }
+
+        let (mnemonic, rest) = match trimmed.split_once(' ') {
+            Some((m, r)) => (m, r),
+            None => (trimmed, ""),
+        };
+        let operands = parse_operands(rest, line)?;
+        let require = |n: usize| -> Result<()> {
+            if operands.len() == n {
+                Ok(())
+            } else {
+                Err(CircuitError::Parse {
+                    line,
+                    message: format!(
+                        "{mnemonic} expects {n} operand(s), found {}",
+                        operands.len()
+                    ),
+                })
+            }
+        };
+        let gate = match mnemonic {
+            "H" => {
+                require(1)?;
+                Gate::H(operands[0])
+            }
+            "X" => {
+                require(1)?;
+                Gate::X(operands[0])
+            }
+            "Z" => {
+                require(1)?;
+                Gate::Z(operands[0])
+            }
+            "S" => {
+                require(1)?;
+                Gate::S(operands[0])
+            }
+            "Sdg" => {
+                require(1)?;
+                Gate::Sdg(operands[0])
+            }
+            "T" => {
+                require(1)?;
+                Gate::T(operands[0])
+            }
+            "Tdg" => {
+                require(1)?;
+                Gate::Tdg(operands[0])
+            }
+            "CNOT" => {
+                require(2)?;
+                Gate::Cnot {
+                    control: operands[0],
+                    target: operands[1],
+                }
+            }
+            "CXX" => {
+                if operands.len() < 2 {
+                    return Err(CircuitError::Parse {
+                        line,
+                        message: "CXX expects a control and at least one target".into(),
+                    });
+                }
+                Gate::Cxx {
+                    control: operands[0],
+                    targets: operands[1..].to_vec(),
+                }
+            }
+            "injectT" => {
+                require(2)?;
+                Gate::InjectT {
+                    raw: operands[0],
+                    target: operands[1],
+                }
+            }
+            "injectTdag" => {
+                require(2)?;
+                Gate::InjectTdg {
+                    raw: operands[0],
+                    target: operands[1],
+                }
+            }
+            "MeasX" => {
+                require(1)?;
+                Gate::MeasX(operands[0])
+            }
+            "MeasZ" => {
+                require(1)?;
+                Gate::MeasZ(operands[0])
+            }
+            "Init" => {
+                require(1)?;
+                Gate::Init(operands[0])
+            }
+            "Barrier" => {
+                if operands.is_empty() {
+                    return Err(CircuitError::Parse {
+                        line,
+                        message: "Barrier expects at least one operand".into(),
+                    });
+                }
+                Gate::Barrier(operands)
+            }
+            other => {
+                return Err(CircuitError::Parse {
+                    line,
+                    message: format!("unknown mnemonic `{other}`"),
+                })
+            }
+        };
+        gates.push(gate);
+    }
+
+    // If no qubit count was declared, infer it from the highest-index operand.
+    if num_qubits == 0 {
+        let max_q = gates
+            .iter()
+            .flat_map(|g| g.qubits())
+            .map(|q| q.raw() + 1)
+            .max()
+            .unwrap_or(0);
+        num_qubits = max_q;
+    }
+
+    let mut roles = vec![QubitRole::Data; num_qubits as usize];
+    for (idx, role) in roles_overrides {
+        if idx < roles.len() {
+            roles[idx] = role;
+        }
+    }
+    let mut circuit = Circuit::new(name, roles);
+    for gate in gates {
+        circuit.push(gate)?;
+    }
+    Ok(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircuitBuilder, GateKind};
+
+    fn sample_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new("sample");
+        let raw = b.register("raw", QubitRole::Raw, 2);
+        let anc = b.register("anc", QubitRole::Ancilla, 2);
+        let out = b.register("out", QubitRole::Output, 1);
+        b.h(anc[0]).unwrap();
+        b.cxx(anc[0], vec![anc[1], out[0]]).unwrap();
+        b.inject_t(raw[0], anc[0]).unwrap();
+        b.inject_tdg(raw[1], anc[1]).unwrap();
+        b.cnot(anc[1], out[0]).unwrap();
+        b.meas_x(anc[0]).unwrap();
+        b.barrier(vec![anc[0], anc[1], out[0]]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn emit_parse_roundtrip_preserves_gates_and_roles() {
+        let c = sample_circuit();
+        let text = emit(&c);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.num_qubits(), c.num_qubits());
+        assert_eq!(parsed.num_gates(), c.num_gates());
+        assert_eq!(parsed.gates(), c.gates());
+        assert_eq!(parsed.roles(), c.roles());
+        assert_eq!(parsed.name(), "sample");
+    }
+
+    #[test]
+    fn parse_infers_qubit_count_when_missing() {
+        let c = parse("CNOT q0, q3\nH q1\n").unwrap();
+        assert_eq!(c.num_qubits(), 4);
+        assert_eq!(c.num_gates(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_mnemonic() {
+        let err = parse("FROB q0\n").unwrap_err();
+        assert!(matches!(err, CircuitError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_bad_operand_count() {
+        let err = parse("CNOT q0\n").unwrap_err();
+        assert!(matches!(err, CircuitError::Parse { .. }));
+        let err = parse("CXX q0\n").unwrap_err();
+        assert!(matches!(err, CircuitError::Parse { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_bad_qubit_token() {
+        let err = parse("H banana\n").unwrap_err();
+        assert!(matches!(err, CircuitError::Parse { .. }));
+    }
+
+    #[test]
+    fn parse_ignores_blank_lines_and_unknown_comments() {
+        let c = parse("# hello world\n\nH q0\n\n# another\nMeasX q0\n").unwrap();
+        assert_eq!(c.num_gates(), 2);
+        assert_eq!(c.gates()[1].kind(), GateKind::MeasX);
+    }
+
+    #[test]
+    fn emitted_text_contains_role_annotations() {
+        let c = sample_circuit();
+        let text = emit(&c);
+        assert!(text.contains("# role 0 raw"));
+        assert!(text.contains("# role 4 out"));
+        assert!(text.contains("# qubits 5"));
+    }
+}

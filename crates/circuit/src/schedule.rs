@@ -1,0 +1,217 @@
+//! ASAP level scheduling of circuits into parallel timesteps.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Circuit, GateId, LatencyModel};
+
+/// One parallel step of a [`Schedule`]: a set of gates whose dependency levels
+/// allow them to begin together.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeStep {
+    gates: Vec<GateId>,
+}
+
+impl TimeStep {
+    /// Creates a timestep from a gate list.
+    pub fn new(gates: Vec<GateId>) -> Self {
+        TimeStep { gates }
+    }
+
+    /// Gates scheduled in this step.
+    pub fn gates(&self) -> &[GateId] {
+        &self.gates
+    }
+
+    /// Number of gates in this step.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Returns `true` if the step holds no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+}
+
+/// A dependency-respecting partition of a circuit's gates into parallel steps.
+///
+/// The schedule is the *logical* schedule (unbounded communication resources);
+/// realised latency on a mesh additionally depends on braid congestion and is
+/// produced by the simulator crate.
+///
+/// # Example
+///
+/// ```
+/// use msfu_circuit::{CircuitBuilder, QubitRole, Schedule};
+///
+/// let mut b = CircuitBuilder::new("s");
+/// let q = b.register("q", QubitRole::Data, 4);
+/// b.cnot(q[0], q[1]).unwrap();
+/// b.cnot(q[2], q[3]).unwrap();
+/// b.cnot(q[1], q[2]).unwrap();
+/// let c = b.build();
+/// let s = Schedule::asap(&c);
+/// assert_eq!(s.num_steps(), 2);
+/// assert_eq!(s.step(0).len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    steps: Vec<TimeStep>,
+}
+
+impl Schedule {
+    /// Builds the ASAP (as-soon-as-possible) schedule of a circuit: each gate
+    /// is placed at its dependency level.
+    pub fn asap(circuit: &Circuit) -> Self {
+        let dag = circuit.dependency_dag();
+        let levels = dag.asap_levels();
+        let depth = dag.depth();
+        let mut steps: Vec<Vec<GateId>> = vec![Vec::new(); depth];
+        for (i, level) in levels.iter().enumerate() {
+            steps[*level].push(GateId::new(i as u32));
+        }
+        Schedule {
+            steps: steps.into_iter().map(TimeStep::new).collect(),
+        }
+    }
+
+    /// Number of parallel steps.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns the `i`-th step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn step(&self, i: usize) -> &TimeStep {
+        &self.steps[i]
+    }
+
+    /// All steps in order.
+    pub fn steps(&self) -> &[TimeStep] {
+        &self.steps
+    }
+
+    /// Iterates over the steps.
+    pub fn iter(&self) -> std::slice::Iter<'_, TimeStep> {
+        self.steps.iter()
+    }
+
+    /// Total number of gates across all steps.
+    pub fn num_gates(&self) -> usize {
+        self.steps.iter().map(TimeStep::len).sum()
+    }
+
+    /// Maximum number of gates placed in any single step (a proxy for the
+    /// instruction bandwidth the control system must sustain).
+    pub fn max_parallelism(&self) -> usize {
+        self.steps.iter().map(TimeStep::len).max().unwrap_or(0)
+    }
+
+    /// Sum over steps of the largest gate latency in the step; an idealised
+    /// latency estimate that assumes unlimited routing resources but serial
+    /// steps.
+    pub fn stepwise_latency(&self, circuit: &Circuit, model: &LatencyModel) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| {
+                s.gates()
+                    .iter()
+                    .map(|g| model.cycles(circuit.gate(*g)))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a Schedule {
+    type Item = &'a TimeStep;
+    type IntoIter = std::slice::Iter<'a, TimeStep>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.steps.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircuitBuilder, QubitRole};
+
+    fn parallel_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new("p");
+        let q = b.register("q", QubitRole::Data, 6);
+        b.cnot(q[0], q[1]).unwrap();
+        b.cnot(q[2], q[3]).unwrap();
+        b.cnot(q[4], q[5]).unwrap();
+        b.cnot(q[1], q[2]).unwrap();
+        b.cnot(q[3], q[4]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn asap_groups_independent_gates() {
+        let c = parallel_circuit();
+        let s = Schedule::asap(&c);
+        assert_eq!(s.num_steps(), 2);
+        assert_eq!(s.step(0).len(), 3);
+        assert_eq!(s.step(1).len(), 2);
+        assert_eq!(s.num_gates(), c.num_gates());
+        assert_eq!(s.max_parallelism(), 3);
+    }
+
+    #[test]
+    fn every_gate_appears_exactly_once() {
+        let c = parallel_circuit();
+        let s = Schedule::asap(&c);
+        let mut seen = vec![false; c.num_gates()];
+        for step in &s {
+            for g in step.gates() {
+                assert!(!seen[g.index()], "gate scheduled twice");
+                seen[g.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn schedule_respects_dependencies() {
+        let c = parallel_circuit();
+        let s = Schedule::asap(&c);
+        let dag = c.dependency_dag();
+        // position of each gate
+        let mut pos = vec![0usize; c.num_gates()];
+        for (i, step) in s.steps().iter().enumerate() {
+            for g in step.gates() {
+                pos[g.index()] = i;
+            }
+        }
+        for (id, _) in c.iter_gates() {
+            for p in dag.predecessors(id) {
+                assert!(pos[p.index()] < pos[id.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn stepwise_latency_at_least_critical_path_over_depth() {
+        let c = parallel_circuit();
+        let s = Schedule::asap(&c);
+        let model = LatencyModel::default();
+        let lat = s.stepwise_latency(&c, &model);
+        assert!(lat >= c.critical_path_cycles(&model) / s.num_steps().max(1) as u64);
+        assert!(lat >= 2 * model.cnot);
+    }
+
+    #[test]
+    fn empty_circuit_schedule() {
+        let c = CircuitBuilder::new("e").build();
+        let s = Schedule::asap(&c);
+        assert_eq!(s.num_steps(), 0);
+        assert_eq!(s.num_gates(), 0);
+        assert_eq!(s.max_parallelism(), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for the end-to-end pipeline.
+
+use std::fmt;
+
+/// Errors produced by the end-to-end evaluation pipeline; a thin wrapper over
+/// the errors of the underlying subsystems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Factory construction failed.
+    Distill(msfu_distill::DistillError),
+    /// Qubit placement failed.
+    Layout(msfu_layout::LayoutError),
+    /// Braid simulation failed.
+    Sim(msfu_sim::SimError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Distill(e) => write!(f, "factory construction failed: {e}"),
+            CoreError::Layout(e) => write!(f, "qubit placement failed: {e}"),
+            CoreError::Sim(e) => write!(f, "braid simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Distill(e) => Some(e),
+            CoreError::Layout(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<msfu_distill::DistillError> for CoreError {
+    fn from(value: msfu_distill::DistillError) -> Self {
+        CoreError::Distill(value)
+    }
+}
+
+impl From<msfu_layout::LayoutError> for CoreError {
+    fn from(value: msfu_layout::LayoutError) -> Self {
+        CoreError::Layout(value)
+    }
+}
+
+impl From<msfu_sim::SimError> for CoreError {
+    fn from(value: msfu_sim::SimError) -> Self {
+        CoreError::Sim(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_all_subsystem_errors() {
+        let d = CoreError::from(msfu_distill::DistillError::ZeroCapacity);
+        let l = CoreError::from(msfu_layout::LayoutError::Unmapped {
+            qubit: msfu_circuit::QubitId::new(0),
+        });
+        let s = CoreError::from(msfu_sim::SimError::EmptyGrid);
+        for e in [d, l, s] {
+            assert!(!e.to_string().is_empty());
+            assert!(std::error::Error::source(&e).is_some());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<CoreError>();
+    }
+}

@@ -1,0 +1,185 @@
+//! End-to-end evaluation: factory → mapping → simulation → volume.
+
+use serde::{Deserialize, Serialize};
+
+use msfu_distill::{Factory, FactoryConfig};
+use msfu_sim::{SimConfig, Simulator};
+
+use crate::{Result, Strategy};
+
+/// Configuration of an end-to-end evaluation run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EvaluationConfig {
+    /// Simulator configuration (latency model, routing policy, cycle limit).
+    pub sim: SimConfig,
+}
+
+/// The outcome of evaluating one factory configuration under one strategy:
+/// the quantities plotted in Fig. 10 and tabulated in Table I of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Strategy short name ("Random", "Line", "FD", "GP", "HS").
+    pub strategy: String,
+    /// The factory configuration that was evaluated.
+    pub factory: FactoryConfig,
+    /// Realised circuit latency in cycles.
+    pub latency_cycles: u64,
+    /// Consumed logical-qubit area (bounding box of the placement).
+    pub area: usize,
+    /// Space-time (quantum) volume: `area × latency`.
+    pub volume: u64,
+    /// Total stall cycles inserted by braid congestion.
+    pub stall_cycles: u64,
+    /// Number of failed braid-routing attempts.
+    pub routing_conflicts: u64,
+    /// Critical-path lower bound on latency (unlimited resources).
+    pub critical_path_cycles: u64,
+    /// Lower bound on volume: critical path × the factory's logical qubit
+    /// count (the "Critical" row of Table I).
+    pub critical_volume: u64,
+    /// Number of logical qubits the factory allocates (minimum possible area).
+    pub logical_qubits: usize,
+}
+
+impl Evaluation {
+    /// Ratio of realised volume to the lower-bound volume (≥ 1 in practice).
+    pub fn volume_ratio_to_critical(&self) -> f64 {
+        if self.critical_volume == 0 {
+            return 0.0;
+        }
+        self.volume as f64 / self.critical_volume as f64
+    }
+
+    /// Ratio of realised latency to the critical-path latency.
+    pub fn latency_ratio_to_critical(&self) -> f64 {
+        if self.critical_path_cycles == 0 {
+            return 0.0;
+        }
+        self.latency_cycles as f64 / self.critical_path_cycles as f64
+    }
+}
+
+/// Builds a factory for `factory_config`, maps it with `strategy` and
+/// simulates the braid schedule.
+///
+/// # Errors
+///
+/// Propagates factory-construction, placement and simulation failures.
+pub fn evaluate(
+    factory_config: &FactoryConfig,
+    strategy: &Strategy,
+    config: &EvaluationConfig,
+) -> Result<Evaluation> {
+    let mut factory = Factory::build(factory_config)?;
+    evaluate_factory(&mut factory, strategy, config)
+}
+
+/// Evaluates an already-built factory (which hierarchical stitching may rewire
+/// in place through output-port reassignment).
+///
+/// # Errors
+///
+/// Propagates placement and simulation failures.
+pub fn evaluate_factory(
+    factory: &mut Factory,
+    strategy: &Strategy,
+    config: &EvaluationConfig,
+) -> Result<Evaluation> {
+    let layout = strategy.map(factory)?;
+    let simulator = Simulator::new(config.sim);
+    let result = simulator.run(factory.circuit(), &layout)?;
+    let critical_path_cycles = factory.circuit().critical_path_cycles(&config.sim.latency);
+    let logical_qubits = factory.num_qubits();
+    Ok(Evaluation {
+        strategy: strategy.short_name().to_string(),
+        factory: *factory.config(),
+        latency_cycles: result.cycles,
+        area: result.area,
+        volume: result.volume(),
+        stall_cycles: result.stall_cycles,
+        routing_conflicts: result.routing_conflicts,
+        critical_path_cycles,
+        critical_volume: critical_path_cycles * logical_qubits as u64,
+        logical_qubits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msfu_distill::ReusePolicy;
+    use msfu_layout::ForceDirectedConfig;
+
+    fn cheap_fd(seed: u64) -> Strategy {
+        Strategy::ForceDirected(ForceDirectedConfig {
+            seed,
+            iterations: 3,
+            repulsion_sample: 200,
+            ..ForceDirectedConfig::default()
+        })
+    }
+
+    #[test]
+    fn linear_single_level_evaluation_is_consistent() {
+        let eval = evaluate(
+            &FactoryConfig::single_level(2),
+            &Strategy::Linear,
+            &EvaluationConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(eval.strategy, "Line");
+        assert!(eval.latency_cycles >= eval.critical_path_cycles);
+        assert_eq!(eval.volume, eval.latency_cycles * eval.area as u64);
+        assert!(eval.area >= eval.logical_qubits);
+        assert!(eval.volume >= eval.critical_volume);
+        assert!(eval.volume_ratio_to_critical() >= 1.0);
+        assert!(eval.latency_ratio_to_critical() >= 1.0);
+    }
+
+    #[test]
+    fn linear_beats_random_on_single_level_volume() {
+        let cfg = FactoryConfig::single_level(4);
+        let random = evaluate(&cfg, &Strategy::Random { seed: 1 }, &EvaluationConfig::default()).unwrap();
+        let linear = evaluate(&cfg, &Strategy::Linear, &EvaluationConfig::default()).unwrap();
+        assert!(
+            linear.volume < random.volume,
+            "linear ({}) should beat random ({})",
+            linear.volume,
+            random.volume
+        );
+    }
+
+    #[test]
+    fn all_strategies_evaluate_a_two_level_factory() {
+        let cfg = FactoryConfig::two_level(2).with_reuse(ReusePolicy::Reuse);
+        for strategy in [
+            Strategy::Random { seed: 2 },
+            Strategy::Linear,
+            cheap_fd(2),
+            Strategy::GraphPartition { seed: 2 },
+            Strategy::HierarchicalStitching(Default::default()),
+        ] {
+            let eval = evaluate(&cfg, &strategy, &EvaluationConfig::default()).unwrap();
+            assert!(eval.latency_cycles > 0, "{}", strategy.short_name());
+            assert!(eval.latency_cycles >= eval.critical_path_cycles);
+        }
+    }
+
+    #[test]
+    fn reuse_reduces_area_for_linear_mapping() {
+        let reuse = evaluate(
+            &FactoryConfig::two_level(2).with_reuse(ReusePolicy::Reuse),
+            &Strategy::Linear,
+            &EvaluationConfig::default(),
+        )
+        .unwrap();
+        let no_reuse = evaluate(
+            &FactoryConfig::two_level(2).with_reuse(ReusePolicy::NoReuse),
+            &Strategy::Linear,
+            &EvaluationConfig::default(),
+        )
+        .unwrap();
+        assert!(reuse.logical_qubits < no_reuse.logical_qubits);
+        assert!(reuse.area <= no_reuse.area);
+    }
+}

@@ -1,0 +1,50 @@
+//! # msfu-core
+//!
+//! End-to-end pipeline of the MSFU reproduction (Ding et al., MICRO 2018):
+//! build a Bravyi-Haah block-code factory, map it with one of the paper's
+//! placement strategies, simulate the braid schedule on a 2-D surface-code
+//! mesh, and report latency, area and space-time (quantum) volume.
+//!
+//! The crate glues the substrates together:
+//!
+//! * [`Strategy`] — the mapping strategies of Table I (`Random`, `Line`, `FD`,
+//!   `GP`, `HS`).
+//! * [`evaluate`] — one factory configuration × one strategy → an
+//!   [`Evaluation`] record (realised latency, area, volume, stalls, and the
+//!   critical-path lower bound).
+//! * [`pipeline`] — the per-round breakdown of Fig. 3 / Fig. 9: round
+//!   latencies and inter-round permutation latencies under a given layout.
+//! * [`report`] — small helpers for formatting the tables the paper prints.
+//!
+//! # Example
+//!
+//! ```
+//! use msfu_core::{evaluate, EvaluationConfig, Strategy};
+//! use msfu_distill::FactoryConfig;
+//!
+//! let eval = evaluate(
+//!     &FactoryConfig::single_level(2),
+//!     &Strategy::Linear,
+//!     &EvaluationConfig::default(),
+//! )
+//! .unwrap();
+//! assert!(eval.latency_cycles >= eval.critical_path_cycles);
+//! assert_eq!(eval.volume, eval.latency_cycles * eval.area as u64);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod error;
+mod evaluate;
+pub mod pipeline;
+pub mod report;
+mod strategy;
+pub mod throughput;
+
+pub use error::CoreError;
+pub use evaluate::{evaluate, evaluate_factory, Evaluation, EvaluationConfig};
+pub use strategy::Strategy;
+
+/// Convenience result alias used by fallible APIs in this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,158 @@
+//! Formatting helpers for the tables and figure-series the benchmark harness
+//! prints (Table I and Figs. 6–10 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// A named data series (one line of a figure): x values with matching y
+/// values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Series label (e.g. "Graph Partitioning").
+    pub label: String,
+    /// X coordinates (e.g. factory capacities).
+    pub x: Vec<f64>,
+    /// Y coordinates (e.g. latency in cycles).
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            x: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+
+    /// Appends one point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.x.push(x);
+        self.y.push(y);
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Returns `true` when the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+/// A labelled table with one row per entry and one column per header, as
+/// printed by the `table1` and figure binaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers (the first column is the row label).
+    pub headers: Vec<String>,
+    /// Rows: a label plus one value per remaining header.
+    pub rows: Vec<(String, Vec<Option<f64>>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. `values` may contain `None` for cells the paper leaves
+    /// blank (e.g. hierarchical stitching on single-level factories).
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<Option<f64>>) {
+        self.rows.push((label.into(), values));
+    }
+
+    /// Renders the table as aligned plain text with scientific-notation cells,
+    /// matching the style of Table I.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        let mut header_line = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            if i == 0 {
+                header_line.push_str(&format!("{h:<14}"));
+            } else {
+                header_line.push_str(&format!("{h:>12}"));
+            }
+        }
+        out.push_str(&header_line);
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(&format!("{label:<14}"));
+            for v in values {
+                match v {
+                    Some(x) => out.push_str(&format!("{:>12}", format_scientific(*x))),
+                    None => out.push_str(&format!("{:>12}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a value in the short scientific notation used by Table I of the
+/// paper (e.g. `6.53e3`); values below 1000 are printed plainly.
+pub fn format_scientific(value: f64) -> String {
+    if value == 0.0 {
+        return "0".to_string();
+    }
+    if value.abs() < 1000.0 {
+        if (value.fract()).abs() < 1e-9 {
+            return format!("{}", value as i64);
+        }
+        return format!("{value:.2}");
+    }
+    let exponent = value.abs().log10().floor() as i32;
+    let mantissa = value / 10f64.powi(exponent);
+    format!("{mantissa:.2}e{exponent}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_accumulates_points() {
+        let mut s = Series::new("FD");
+        assert!(s.is_empty());
+        s.push(2.0, 100.0);
+        s.push(4.0, 180.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.label, "FD");
+    }
+
+    #[test]
+    fn scientific_format_matches_paper_style() {
+        assert_eq!(format_scientific(6530.0), "6.53e3");
+        assert_eq!(format_scientific(1.19e6), "1.19e6");
+        assert_eq!(format_scientific(0.0), "0");
+        assert_eq!(format_scientific(42.0), "42");
+        assert_eq!(format_scientific(3.5), "3.50");
+    }
+
+    #[test]
+    fn table_renders_labels_values_and_blanks() {
+        let mut t = Table::new(
+            "Quantum volumes",
+            vec!["Procedure".into(), "K=2".into(), "K=4".into()],
+        );
+        t.push_row("Line(R)", vec![Some(6530.0), Some(11000.0)]);
+        t.push_row("HS", vec![None, Some(2.32e5)]);
+        let text = t.to_text();
+        assert!(text.contains("Quantum volumes"));
+        assert!(text.contains("6.53e3"));
+        assert!(text.contains("1.10e4"));
+        assert!(text.contains("2.32e5"));
+        assert!(text.contains('-'));
+        assert!(text.lines().count() >= 4);
+    }
+}

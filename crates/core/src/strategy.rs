@@ -1,0 +1,140 @@
+//! The mapping strategies evaluated by Table I of the paper.
+
+use msfu_distill::Factory;
+use msfu_layout::{
+    FactoryMapper, ForceDirectedConfig, ForceDirectedMapper, GraphPartitionMapper,
+    HierarchicalStitchingMapper, Layout, LinearMapper, RandomMapper, StitchingConfig,
+};
+
+use crate::Result;
+
+/// A qubit-mapping strategy, matching the rows of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Strategy {
+    /// Uniformly random placement.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// The Fowler-style hand-tuned linear baseline.
+    Linear,
+    /// Force-directed annealing (Section VI-B1).
+    ForceDirected(ForceDirectedConfig),
+    /// Recursive graph-partitioning embedding (Section VI-B2).
+    GraphPartition {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Hierarchical stitching (Section VII). Port reassignment is applied when
+    /// evaluation owns the factory.
+    HierarchicalStitching(StitchingConfig),
+}
+
+impl Strategy {
+    /// Short name matching the paper's Table I row labels.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Strategy::Random { .. } => "Random",
+            Strategy::Linear => "Line",
+            Strategy::ForceDirected(_) => "FD",
+            Strategy::GraphPartition { .. } => "GP",
+            Strategy::HierarchicalStitching(_) => "HS",
+        }
+    }
+
+    /// The default strategy line-up of the paper's evaluation, with the given
+    /// seed applied to every randomised component.
+    pub fn paper_lineup(seed: u64) -> Vec<Strategy> {
+        vec![
+            Strategy::Random { seed },
+            Strategy::Linear,
+            Strategy::ForceDirected(ForceDirectedConfig {
+                seed,
+                ..ForceDirectedConfig::default()
+            }),
+            Strategy::GraphPartition { seed },
+            Strategy::HierarchicalStitching(StitchingConfig {
+                seed,
+                ..StitchingConfig::default()
+            }),
+        ]
+    }
+
+    /// Returns `true` for the hierarchical-stitching strategy, which benefits
+    /// from mutable access to the factory (output-port reassignment).
+    pub fn wants_factory_mutation(&self) -> bool {
+        matches!(self, Strategy::HierarchicalStitching(_))
+    }
+
+    /// Maps a factory using this strategy. When the strategy is hierarchical
+    /// stitching the factory may be rewired in place (port reassignment); all
+    /// other strategies leave it untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping failures from the underlying mapper.
+    pub fn map(&self, factory: &mut Factory) -> Result<Layout> {
+        let layout = match self {
+            Strategy::Random { seed } => RandomMapper::new(*seed).map_factory(factory)?,
+            Strategy::Linear => LinearMapper::new().map_factory(factory)?,
+            Strategy::ForceDirected(cfg) => {
+                ForceDirectedMapper::with_config(*cfg).map_factory(factory)?
+            }
+            Strategy::GraphPartition { seed } => {
+                GraphPartitionMapper::new(*seed).map_factory(factory)?
+            }
+            Strategy::HierarchicalStitching(cfg) => {
+                HierarchicalStitchingMapper::with_config(*cfg).map_factory_optimized(factory)?
+            }
+        };
+        Ok(layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msfu_distill::FactoryConfig;
+
+    #[test]
+    fn paper_lineup_has_five_strategies_with_distinct_names() {
+        let lineup = Strategy::paper_lineup(1);
+        assert_eq!(lineup.len(), 5);
+        let names: std::collections::HashSet<_> = lineup.iter().map(|s| s.short_name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn only_stitching_wants_mutation() {
+        for s in Strategy::paper_lineup(1) {
+            assert_eq!(
+                s.wants_factory_mutation(),
+                s.short_name() == "HS",
+                "{}",
+                s.short_name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_strategy_maps_a_small_factory() {
+        for strategy in Strategy::paper_lineup(3) {
+            // Keep force-directed cheap in tests.
+            let strategy = match strategy {
+                Strategy::ForceDirected(mut cfg) => {
+                    cfg.iterations = 3;
+                    cfg.repulsion_sample = 200;
+                    Strategy::ForceDirected(cfg)
+                }
+                other => other,
+            };
+            let mut factory = Factory::build(&FactoryConfig::single_level(2)).unwrap();
+            let layout = strategy.map(&mut factory).unwrap();
+            assert!(
+                layout.mapping.is_complete(),
+                "strategy {} left qubits unplaced",
+                strategy.short_name()
+            );
+        }
+    }
+}

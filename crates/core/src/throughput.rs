@@ -1,0 +1,169 @@
+//! System-level factory provisioning (the "System-Level Performance" future
+//! work of Section IX, and the motivation of Section II-D).
+//!
+//! An application consumes magic states at some rate; a factory design (as
+//! evaluated by [`crate::evaluate`]) produces `capacity` states every
+//! `latency` cycles and occupies `area` logical qubits, but only succeeds with
+//! the probability given by the Bravyi-Haah error model. This module sizes a
+//! bank of factories and a prepared-state buffer for a target application.
+
+use serde::{Deserialize, Serialize};
+
+use msfu_distill::{error_model, FactoryConfig};
+
+use crate::Evaluation;
+
+/// Demand side: how fast an application consumes magic states.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationDemand {
+    /// Total number of T gates in the application (each consumes one state).
+    pub t_count: f64,
+    /// Average number of T gates the application wants to commit per logical
+    /// cycle (its T-gate bandwidth).
+    pub t_gates_per_cycle: f64,
+}
+
+impl ApplicationDemand {
+    /// Demand of the Fe2S2 ground-state estimation workload used by the paper
+    /// (Section II-D): ~10¹² T gates, with roughly one T gate issued per
+    /// logical cycle.
+    pub fn fe2s2() -> Self {
+        ApplicationDemand {
+            t_count: 1e12,
+            t_gates_per_cycle: 1.0,
+        }
+    }
+}
+
+/// Provisioning plan for a bank of identical factories.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FactoryProvisioning {
+    /// Expected number of good states one factory delivers per cycle,
+    /// accounting for module failures.
+    pub states_per_cycle_per_factory: f64,
+    /// Number of factories needed to sustain the application's bandwidth.
+    pub factories_needed: usize,
+    /// Logical-qubit area of the whole bank.
+    pub total_area: usize,
+    /// Buffer capacity (in states) needed to ride out one full factory
+    /// latency without starving the application.
+    pub buffer_states: usize,
+    /// Total cycles to finish the application, limited by either its own
+    /// T-gate bandwidth or by state production.
+    pub completion_cycles: f64,
+    /// Total space-time volume spent on distillation over the run.
+    pub distillation_volume: f64,
+}
+
+/// Sizes a bank of factories described by `eval` (one factory design,
+/// already mapped and simulated) for the given application demand.
+///
+/// The success probability of a factory run is the per-module success
+/// probability compounded over all modules of the design, using the
+/// injected-state error rate `eps_inject`.
+pub fn provision(
+    eval: &Evaluation,
+    config: &FactoryConfig,
+    demand: &ApplicationDemand,
+    eps_inject: f64,
+) -> FactoryProvisioning {
+    let latency = eval.latency_cycles.max(1) as f64;
+    let capacity = config.capacity() as f64;
+
+    // Probability that every module of every round succeeds. Rounds see
+    // progressively cleaner states, so compute per-round success and compound
+    // over the module counts.
+    let mut success = 1.0f64;
+    for round in 0..config.levels {
+        let eps = error_model::input_error_at_round(config.k, round, eps_inject);
+        let per_module = error_model::success_probability(config.k, eps);
+        success *= per_module.powi(config.modules_in_round(round) as i32);
+    }
+    let states_per_cycle = capacity * success / latency;
+
+    let factories_needed = if states_per_cycle <= 0.0 {
+        usize::MAX
+    } else {
+        (demand.t_gates_per_cycle / states_per_cycle).ceil().max(1.0) as usize
+    };
+    let production_rate = states_per_cycle * factories_needed as f64;
+    let completion_cycles = if production_rate <= 0.0 {
+        f64::INFINITY
+    } else {
+        (demand.t_count / demand.t_gates_per_cycle).max(demand.t_count / production_rate)
+    };
+
+    FactoryProvisioning {
+        states_per_cycle_per_factory: states_per_cycle,
+        factories_needed,
+        total_area: eval.area.saturating_mul(factories_needed),
+        buffer_states: (demand.t_gates_per_cycle * latency).ceil() as usize,
+        completion_cycles,
+        distillation_volume: eval.area as f64 * factories_needed as f64 * completion_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{evaluate, EvaluationConfig, Strategy};
+
+    fn sample_eval() -> (Evaluation, FactoryConfig) {
+        let config = FactoryConfig::single_level(4);
+        let eval = evaluate(&config, &Strategy::Linear, &EvaluationConfig::default()).unwrap();
+        (eval, config)
+    }
+
+    #[test]
+    fn provisioning_scales_with_demand() {
+        let (eval, config) = sample_eval();
+        let light = ApplicationDemand {
+            t_count: 1e6,
+            t_gates_per_cycle: 0.01,
+        };
+        let heavy = ApplicationDemand {
+            t_count: 1e6,
+            t_gates_per_cycle: 1.0,
+        };
+        let p_light = provision(&eval, &config, &light, 1e-3);
+        let p_heavy = provision(&eval, &config, &heavy, 1e-3);
+        assert!(p_heavy.factories_needed > p_light.factories_needed);
+        assert!(p_heavy.total_area > p_light.total_area);
+        assert!(p_heavy.buffer_states > p_light.buffer_states);
+    }
+
+    #[test]
+    fn success_probability_reduces_throughput() {
+        let (eval, config) = sample_eval();
+        let demand = ApplicationDemand {
+            t_count: 1e6,
+            t_gates_per_cycle: 0.5,
+        };
+        let clean = provision(&eval, &config, &demand, 1e-6);
+        let noisy = provision(&eval, &config, &demand, 5e-3);
+        assert!(noisy.states_per_cycle_per_factory < clean.states_per_cycle_per_factory);
+        assert!(noisy.factories_needed >= clean.factories_needed);
+    }
+
+    #[test]
+    fn completion_is_bandwidth_limited_when_factories_are_plentiful() {
+        let (eval, config) = sample_eval();
+        let demand = ApplicationDemand {
+            t_count: 1e6,
+            t_gates_per_cycle: 0.001,
+        };
+        let p = provision(&eval, &config, &demand, 1e-4);
+        // With a single factory easily covering the demand, the application's
+        // own bandwidth is the limit.
+        assert_eq!(p.factories_needed, 1);
+        assert!((p.completion_cycles - 1e6 / 0.001).abs() < 1.0);
+        assert!(p.distillation_volume > 0.0);
+    }
+
+    #[test]
+    fn fe2s2_demand_matches_the_paper_workload() {
+        let d = ApplicationDemand::fe2s2();
+        assert_eq!(d.t_count, 1e12);
+        assert!(d.t_gates_per_cycle > 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! The Bravyi-Haah `(3k+8) → k` distillation module (Fig. 5 of the paper).
+//!
+//! The module consumes `3k+8` raw magic states, uses `k+5` ancillas and
+//! produces `k` higher-fidelity output states. The gate sequence here follows
+//! the Scaffold listing of Fig. 5 (itself taken from Fowler, Devitt and Jones,
+//! "Surface code implementation of block code state distillation"), with one
+//! correction: the tail's injection index is `2k + 8 + i` (the last `k` raw
+//! states), which makes every raw state be consumed exactly once; the listing
+//! in the paper prints this expression as `2*i + 8 + i`, which would reuse
+//! some raw states and leave others untouched.
+
+use msfu_circuit::{Circuit, CircuitBuilder, Gate, QubitId, QubitRole};
+
+use crate::Result;
+
+/// Emits the gate sequence of one Bravyi-Haah module over explicitly provided
+/// qubits, appending the gates to `gates`.
+///
+/// `raw` must hold `3k+8` qubits, `anc` must hold `k+5`, and `out` must hold
+/// `k`, where `k = out.len()`.
+///
+/// # Panics
+///
+/// Panics (via debug assertions) if the slice lengths are inconsistent with
+/// the protocol; callers inside this crate always size them correctly.
+pub fn emit_module_gates(raw: &[QubitId], anc: &[QubitId], out: &[QubitId], gates: &mut Vec<Gate>) {
+    let k = out.len();
+    debug_assert_eq!(raw.len(), 3 * k + 8, "raw register must hold 3k+8 qubits");
+    debug_assert_eq!(anc.len(), k + 5, "ancilla register must hold k+5 qubits");
+
+    // Header: prepare ancilla and output qubits.
+    gates.push(Gate::H(anc[0]));
+    gates.push(Gate::H(anc[1]));
+    gates.push(Gate::H(anc[2]));
+    for &o in out.iter() {
+        gates.push(Gate::H(o));
+    }
+    gates.push(Gate::Cnot {
+        control: anc[1],
+        target: anc[3],
+    });
+    gates.push(Gate::Cnot {
+        control: anc[2],
+        target: anc[4],
+    });
+    // CXX(anc[0], anc, K): control anc[0], K targets anc[1..=K].
+    gates.push(Gate::Cxx {
+        control: anc[0],
+        targets: anc[1..=k].to_vec(),
+    });
+
+    // Tail: couple each output qubit into the syndrome structure and inject
+    // one of the trailing K raw states.
+    for i in 0..k {
+        gates.push(Gate::Cnot {
+            control: out[i],
+            target: anc[5 + i],
+        });
+        gates.push(Gate::InjectT {
+            raw: raw[2 * k + 8 + i],
+            target: anc[5 + i],
+        });
+        gates.push(Gate::Cnot {
+            control: anc[5 + i],
+            target: anc[4 + i],
+        });
+        gates.push(Gate::Cnot {
+            control: anc[3 + i],
+            target: anc[5 + i],
+        });
+        gates.push(Gate::Cnot {
+            control: anc[4 + i],
+            target: anc[3 + i],
+        });
+    }
+
+    // First injection sweep: T injections on anc[1..k+5] from even raw slots.
+    for i in 1..k + 5 {
+        gates.push(Gate::InjectT {
+            raw: raw[2 * i - 2],
+            target: anc[i],
+        });
+    }
+    // CXX(anc[0], anc, K+4): control anc[0], K+4 targets anc[1..=K+4].
+    gates.push(Gate::Cxx {
+        control: anc[0],
+        targets: anc[1..=k + 4].to_vec(),
+    });
+    // Second injection sweep: T† injections from odd raw slots.
+    for i in 1..k + 5 {
+        gates.push(Gate::InjectTdg {
+            raw: raw[2 * i - 1],
+            target: anc[i],
+        });
+    }
+    // Syndrome readout of every ancilla.
+    for &a in anc.iter() {
+        gates.push(Gate::MeasX(a));
+    }
+}
+
+/// Number of gates emitted by [`emit_module_gates`] for a module of capacity
+/// `k`.
+pub fn module_gate_count(k: usize) -> usize {
+    // 3 H + k H + 2 CNOT + 1 CXX + 5k tail + (k+4) injectT + 1 CXX
+    // + (k+4) injectTdag + (k+5) MeasX
+    3 + k + 2 + 1 + 5 * k + (k + 4) + 1 + (k + 4) + (k + 5)
+}
+
+/// Number of two-qubit interaction instances (braids) emitted by one module of
+/// capacity `k`.
+pub fn module_braid_count(k: usize) -> usize {
+    // 2 CNOT + k CXX targets + 5k tail braids + (k+4) injections
+    // + (k+4) CXX targets + (k+4) injections
+    2 + k + 5 * k + 3 * (k + 4)
+}
+
+/// Builds a standalone single-module circuit of capacity `k` (the `L = 1`
+/// factory of Fig. 4a / Fig. 5 of the paper).
+///
+/// # Errors
+///
+/// Returns an error only if the underlying circuit construction fails, which
+/// indicates a bug in the generator.
+///
+/// # Example
+///
+/// ```
+/// use msfu_distill::bravyi_haah;
+///
+/// let circuit = bravyi_haah::single_module_circuit(8)?;
+/// assert_eq!(circuit.num_qubits(), 5 * 8 + 13);
+/// assert_eq!(circuit.num_gates(), bravyi_haah::module_gate_count(8));
+/// # Ok::<(), msfu_distill::DistillError>(())
+/// ```
+pub fn single_module_circuit(k: usize) -> Result<Circuit> {
+    let mut b = CircuitBuilder::new(format!("bravyi-haah-k{k}"));
+    let raw = b.register("raw_states", QubitRole::Raw, 3 * k + 8);
+    let anc = b.register("anc", QubitRole::Ancilla, k + 5);
+    let out = b.register("out", QubitRole::Output, k);
+    let mut gates = Vec::with_capacity(module_gate_count(k));
+    emit_module_gates(&raw, &anc, &out, &mut gates);
+    for g in gates {
+        b.push(g)?;
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msfu_circuit::{stats::CircuitStats, GateKind};
+    use std::collections::HashMap;
+
+    #[test]
+    fn gate_count_matches_formula() {
+        for k in [1usize, 2, 4, 8, 12] {
+            let c = single_module_circuit(k).unwrap();
+            assert_eq!(c.num_gates(), module_gate_count(k), "k={k}");
+            assert_eq!(c.braid_count(), module_braid_count(k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn qubit_counts_match_protocol() {
+        let c = single_module_circuit(8).unwrap();
+        assert_eq!(c.num_qubits(), 53);
+        assert_eq!(c.qubits_with_role(QubitRole::Raw).len(), 32);
+        assert_eq!(c.qubits_with_role(QubitRole::Ancilla).len(), 13);
+        assert_eq!(c.qubits_with_role(QubitRole::Output).len(), 8);
+    }
+
+    #[test]
+    fn every_raw_state_is_injected_exactly_once() {
+        for k in [2usize, 4, 8] {
+            let c = single_module_circuit(k).unwrap();
+            let mut uses: HashMap<QubitId, usize> = HashMap::new();
+            for g in c.gates() {
+                if let Gate::InjectT { raw, .. } | Gate::InjectTdg { raw, .. } = g {
+                    *uses.entry(*raw).or_insert(0) += 1;
+                }
+            }
+            let raw_qubits = c.qubits_with_role(QubitRole::Raw);
+            assert_eq!(uses.len(), raw_qubits.len(), "k={k}");
+            for q in raw_qubits {
+                assert_eq!(uses.get(&q), Some(&1), "raw state {q} must be used once");
+            }
+        }
+    }
+
+    #[test]
+    fn t_count_is_three_k_plus_eight() {
+        for k in [2usize, 8] {
+            let c = single_module_circuit(k).unwrap();
+            let stats = CircuitStats::of(&c);
+            assert_eq!(stats.t_count(), 3 * k + 8);
+        }
+    }
+
+    #[test]
+    fn every_ancilla_is_measured_once() {
+        let c = single_module_circuit(6).unwrap();
+        let stats = CircuitStats::of(&c);
+        assert_eq!(stats.count(GateKind::MeasX), 6 + 5);
+    }
+
+    #[test]
+    fn outputs_are_never_measured() {
+        let c = single_module_circuit(4).unwrap();
+        for g in c.gates() {
+            if g.is_measurement() {
+                let q = g.qubits()[0];
+                assert_ne!(c.role(q), QubitRole::Output);
+            }
+        }
+    }
+
+    #[test]
+    fn interaction_graph_touches_every_output() {
+        let c = single_module_circuit(4).unwrap();
+        let pairs = c.interaction_pairs();
+        for out_q in c.qubits_with_role(QubitRole::Output) {
+            let touched = pairs.keys().any(|(a, b)| *a == out_q || *b == out_q);
+            assert!(touched, "output {out_q} must participate in the circuit");
+        }
+    }
+
+    #[test]
+    fn circuit_has_nontrivial_depth() {
+        let c = single_module_circuit(8).unwrap();
+        let stats = CircuitStats::of(&c);
+        assert!(stats.depth >= 10, "depth {} too small", stats.depth);
+        assert!(stats.critical_path_cycles > 20);
+    }
+}

@@ -1,0 +1,54 @@
+//! # msfu-distill
+//!
+//! Generators and analytical models for **Bravyi-Haah block-code magic-state
+//! distillation factories**, the workload studied by the MSFU paper
+//! (Ding et al., MICRO 2018).
+//!
+//! The crate provides:
+//!
+//! * [`bravyi_haah`] — the `(3k+8) → k` distillation module of Fig. 5 of the
+//!   paper, emitted gate-for-gate into the [`msfu_circuit`] IR.
+//! * [`Factory`] / [`FactoryConfig`] — multi-level block-code factories
+//!   (Section II-G): rounds of identical modules joined by an inter-round
+//!   permutation that forwards at most one output state from any upstream
+//!   module to each downstream module, optional barriers between rounds, and
+//!   the two qubit-reuse policies of Section V-B.
+//! * [`error_model`] — output-error suppression `(1+3k)ε²`, module success
+//!   probability and level-count selection.
+//! * [`resource`] — balanced-investment code distances and physical-qubit
+//!   estimates `qᵣ = mᵣ (5k+13) dᵣ²` per round.
+//!
+//! # Example
+//!
+//! ```
+//! use msfu_distill::{Factory, FactoryConfig, ReusePolicy};
+//!
+//! // A two-level factory with k = 2 per level (total capacity 4), barriers
+//! // between rounds and qubit reuse enabled.
+//! let config = FactoryConfig::new(2, 2)
+//!     .with_reuse(ReusePolicy::Reuse)
+//!     .with_barriers(true);
+//! let factory = Factory::build(&config)?;
+//! assert_eq!(factory.capacity(), 4);
+//! assert_eq!(factory.rounds().len(), 2);
+//! # Ok::<(), msfu_distill::DistillError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bravyi_haah;
+mod config;
+mod error;
+pub mod error_model;
+mod factory;
+mod module;
+pub mod resource;
+
+pub use config::{FactoryConfig, ReusePolicy};
+pub use error::DistillError;
+pub use factory::Factory;
+pub use module::{ModuleInfo, PermutationEdge, RoundInfo};
+
+/// Convenience result alias used by fallible APIs in this crate.
+pub type Result<T> = std::result::Result<T, DistillError>;

@@ -1,0 +1,378 @@
+//! Community detection on interaction graphs (Section VI-B1 of the paper).
+//!
+//! Two detectors are provided:
+//!
+//! * [`louvain`] — greedy modularity optimisation (Blondel et al.), the
+//!   detector used to drive the community-structure forces of the
+//!   force-directed mapper.
+//! * [`label_propagation`] — a cheaper detector useful for very large graphs.
+
+use std::collections::HashMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::InteractionGraph;
+
+/// A partition of the vertex set into communities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Communities {
+    /// Community index of each vertex.
+    pub assignment: Vec<usize>,
+    /// Number of communities.
+    pub count: usize,
+}
+
+impl Communities {
+    fn from_assignment(mut assignment: Vec<usize>) -> Self {
+        // Renumber communities densely.
+        let mut remap: HashMap<usize, usize> = HashMap::new();
+        for a in &mut assignment {
+            let next = remap.len();
+            let id = *remap.entry(*a).or_insert(next);
+            *a = id;
+        }
+        Communities {
+            count: remap.len(),
+            assignment,
+        }
+    }
+
+    /// Vertices belonging to community `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a == c)
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    /// All communities as vertex lists.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.count];
+        for (v, c) in self.assignment.iter().enumerate() {
+            groups[*c].push(v);
+        }
+        groups
+    }
+}
+
+/// Newman modularity of a community assignment on a weighted graph.
+pub fn modularity(graph: &InteractionGraph, assignment: &[usize]) -> f64 {
+    let m = graph.total_edge_weight();
+    if m <= 0.0 {
+        return 0.0;
+    }
+    let mut q = 0.0;
+    // Sum over edges of the same community minus the degree product term.
+    let mut community_degree: HashMap<usize, f64> = HashMap::new();
+    let mut community_internal: HashMap<usize, f64> = HashMap::new();
+    for v in 0..graph.num_vertices() {
+        *community_degree.entry(assignment[v]).or_insert(0.0) += graph.weighted_degree(v);
+    }
+    for (u, v, w) in graph.edges() {
+        if assignment[*u] == assignment[*v] {
+            *community_internal.entry(assignment[*u]).or_insert(0.0) += *w;
+        }
+    }
+    for (c, internal) in &community_internal {
+        let deg = community_degree.get(c).copied().unwrap_or(0.0);
+        q += internal / m - (deg / (2.0 * m)).powi(2);
+    }
+    // Communities with no internal edges still contribute their degree term.
+    for (c, deg) in &community_degree {
+        if !community_internal.contains_key(c) {
+            q -= (deg / (2.0 * m)).powi(2);
+        }
+    }
+    q
+}
+
+/// Louvain community detection: repeated local moving followed by graph
+/// aggregation, until modularity stops improving.
+///
+/// The detector is deterministic for a fixed `rng` seed (vertex visiting order
+/// is shuffled once per pass).
+pub fn louvain<R: Rng>(graph: &InteractionGraph, rng: &mut R) -> Communities {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Communities {
+            assignment: Vec::new(),
+            count: 0,
+        };
+    }
+
+    // Current assignment of original vertices.
+    let mut assignment: Vec<usize> = (0..n).collect();
+    // Working graph (aggregated), its self-loop weights (internal community
+    // weight accumulated by aggregation) and the mapping original vertex ->
+    // super vertex.
+    let mut work = graph.clone();
+    let mut self_loops: Vec<f64> = vec![0.0; n];
+    let mut vertex_of: Vec<usize> = (0..n).collect();
+
+    for _pass in 0..10 {
+        let improved = local_moving(&work, &self_loops, rng, &vertex_of, &mut assignment, n);
+        if !improved {
+            break;
+        }
+        // Aggregate: build the community graph, preserving intra-community
+        // weight as self-loops so later passes see the true modularity terms.
+        let communities = Communities::from_assignment(assignment.clone());
+        let mut edges: HashMap<(usize, usize), f64> = HashMap::new();
+        let mut new_self_loops = vec![0.0; communities.count];
+        for (u, v, w) in work.edges() {
+            // Map work-graph vertices back through membership of any original
+            // vertex they represent.
+            let cu = community_of_super(*u, &vertex_of, &communities.assignment);
+            let cv = community_of_super(*v, &vertex_of, &communities.assignment);
+            if cu == cv {
+                new_self_loops[cu] += *w;
+                continue;
+            }
+            let key = if cu < cv { (cu, cv) } else { (cv, cu) };
+            *edges.entry(key).or_insert(0.0) += *w;
+        }
+        for (s, loop_weight) in self_loops.iter().enumerate() {
+            if *loop_weight > 0.0 {
+                let c = community_of_super(s, &vertex_of, &communities.assignment);
+                new_self_loops[c] += *loop_weight;
+            }
+        }
+        work = InteractionGraph::from_edges(
+            communities.count,
+            edges.into_iter().map(|((a, b), w)| (a, b, w)),
+        );
+        self_loops = new_self_loops;
+        // After aggregation every original vertex's super vertex is its community.
+        vertex_of = communities.assignment.clone();
+        assignment = communities.assignment;
+        if work.num_edges() == 0 {
+            break;
+        }
+    }
+
+    Communities::from_assignment(assignment)
+}
+
+/// Community of super-vertex `s`: look up any original vertex mapped to `s`.
+fn community_of_super(s: usize, vertex_of: &[usize], assignment: &[usize]) -> usize {
+    // vertex_of maps original -> super; find the community recorded for one of
+    // them. Because local_moving assigns communities per super vertex and then
+    // writes them back per original vertex, every original vertex mapped to
+    // `s` shares the same community.
+    for (orig, sv) in vertex_of.iter().enumerate() {
+        if *sv == s {
+            return assignment[orig];
+        }
+    }
+    s
+}
+
+/// One Louvain local-moving phase on the working (aggregated) graph. Returns
+/// whether any vertex changed community. `self_loops[v]` is the internal
+/// weight absorbed into super-vertex `v` by earlier aggregation passes; it
+/// contributes to the vertex degree and to the total weight `m`.
+fn local_moving<R: Rng>(
+    work: &InteractionGraph,
+    self_loops: &[f64],
+    rng: &mut R,
+    vertex_of: &[usize],
+    assignment: &mut [usize],
+    num_original: usize,
+) -> bool {
+    let nw = work.num_vertices();
+    let m = work.total_edge_weight() + self_loops.iter().sum::<f64>();
+    if m <= 0.0 || nw == 0 {
+        return false;
+    }
+    // Community of each super vertex; initially its own community.
+    let mut community: Vec<usize> = (0..nw).collect();
+    let degree: Vec<f64> = (0..nw)
+        .map(|v| work.weighted_degree(v) + 2.0 * self_loops[v])
+        .collect();
+    let mut community_degree: Vec<f64> = degree.clone();
+
+    let mut order: Vec<usize> = (0..nw).collect();
+    order.shuffle(rng);
+
+    let mut any_moved = false;
+    for _ in 0..10 {
+        let mut moved = false;
+        for &v in &order {
+            let current = community[v];
+            // Weights from v to each neighbouring community.
+            let mut to_community: HashMap<usize, f64> = HashMap::new();
+            for (n, w) in work.neighbors(v) {
+                *to_community.entry(community[*n]).or_insert(0.0) += *w;
+            }
+            // Remove v from its community.
+            community_degree[current] -= degree[v];
+            let mut best = current;
+            let mut best_gain = to_community.get(&current).copied().unwrap_or(0.0)
+                - community_degree[current] * degree[v] / (2.0 * m);
+            for (&c, &w_to) in &to_community {
+                if c == current {
+                    continue;
+                }
+                let gain = w_to - community_degree[c] * degree[v] / (2.0 * m);
+                if gain > best_gain + 1e-12 {
+                    best_gain = gain;
+                    best = c;
+                }
+            }
+            community_degree[best] += degree[v];
+            if best != current {
+                community[v] = best;
+                moved = true;
+                any_moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+
+    // Write the community of each original vertex.
+    for orig in 0..num_original {
+        let sv = vertex_of[orig];
+        assignment[orig] = community[sv];
+    }
+    any_moved
+}
+
+/// Label-propagation community detection: every vertex repeatedly adopts the
+/// most common label among its neighbours (ties broken towards the smallest
+/// label), until a fixed point or `max_iters` sweeps.
+pub fn label_propagation<R: Rng>(
+    graph: &InteractionGraph,
+    max_iters: usize,
+    rng: &mut R,
+) -> Communities {
+    let n = graph.num_vertices();
+    let mut labels: Vec<usize> = (0..n).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..max_iters {
+        order.shuffle(rng);
+        let mut changed = false;
+        for &v in &order {
+            if graph.degree(v) == 0 {
+                continue;
+            }
+            let mut votes: HashMap<usize, f64> = HashMap::new();
+            for (nb, w) in graph.neighbors(v) {
+                *votes.entry(labels[*nb]).or_insert(0.0) += *w;
+            }
+            let best = votes
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(a.0)))
+                .map(|(l, _)| *l)
+                .unwrap_or(labels[v]);
+            if best != labels[v] {
+                labels[v] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Communities::from_assignment(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(11)
+    }
+
+    /// Two dense cliques joined by a single weak edge.
+    fn two_cliques() -> InteractionGraph {
+        let mut edges = Vec::new();
+        for i in 0..5usize {
+            for j in (i + 1)..5 {
+                edges.push((i, j, 1.0));
+                edges.push((i + 5, j + 5, 1.0));
+            }
+        }
+        edges.push((0, 5, 0.1));
+        InteractionGraph::from_edges(10, edges)
+    }
+
+    #[test]
+    fn louvain_finds_the_two_cliques() {
+        let g = two_cliques();
+        let c = louvain(&g, &mut rng());
+        assert_eq!(c.count, 2);
+        // Vertices 0..5 share one community, 5..10 the other.
+        let first = c.assignment[0];
+        for v in 0..5 {
+            assert_eq!(c.assignment[v], first);
+        }
+        let second = c.assignment[5];
+        assert_ne!(first, second);
+        for v in 5..10 {
+            assert_eq!(c.assignment[v], second);
+        }
+    }
+
+    #[test]
+    fn louvain_modularity_beats_singletons() {
+        let g = two_cliques();
+        let c = louvain(&g, &mut rng());
+        let singletons: Vec<usize> = (0..g.num_vertices()).collect();
+        assert!(modularity(&g, &c.assignment) > modularity(&g, &singletons));
+    }
+
+    #[test]
+    fn label_propagation_also_finds_cliques() {
+        let g = two_cliques();
+        let c = label_propagation(&g, 50, &mut rng());
+        assert!(c.count <= 3, "expected few communities, found {}", c.count);
+        // The two clique cores must not share a community.
+        assert_ne!(c.assignment[1], c.assignment[6]);
+    }
+
+    #[test]
+    fn modularity_of_single_community_is_zero() {
+        let g = two_cliques();
+        let all_same = vec![0usize; g.num_vertices()];
+        let q = modularity(&g, &all_same);
+        assert!(q.abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_handled() {
+        let g = InteractionGraph::empty(0);
+        let c = louvain(&g, &mut rng());
+        assert_eq!(c.count, 0);
+        assert_eq!(modularity(&g, &c.assignment), 0.0);
+    }
+
+    #[test]
+    fn groups_and_members_are_consistent() {
+        let g = two_cliques();
+        let c = louvain(&g, &mut rng());
+        let groups = c.groups();
+        assert_eq!(groups.len(), c.count);
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, g.num_vertices());
+        for (i, group) in groups.iter().enumerate() {
+            assert_eq!(&c.members(i), group);
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_keep_their_own_community() {
+        let g = InteractionGraph::from_edges(4, [(0, 1, 1.0)]);
+        let c = louvain(&g, &mut rng());
+        // Vertices 2 and 3 are isolated; they must not join 0/1's community.
+        assert_ne!(c.assignment[2], c.assignment[0]);
+        assert_ne!(c.assignment[3], c.assignment[0]);
+    }
+}

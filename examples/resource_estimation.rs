@@ -1,0 +1,56 @@
+//! Physical resource estimation for a target algorithm: how many block-code
+//! levels, what code distances, and how many physical qubits a magic-state
+//! factory needs to support a large computation (Section II-D/II-G of the
+//! paper uses the Fe2S2 ground-state estimation workload, with on the order
+//! of 10^12 T gates).
+//!
+//! Run with: `cargo run --example resource_estimation --release`
+
+use msfu::distill::{error_model, resource, FactoryConfig};
+
+fn main() {
+    // Workload: ~10^12 T gates (Section II-D). Every T gate consumes one
+    // distilled magic state, so the total failure budget fixes the target
+    // output error rate per state.
+    let t_count: f64 = 1e12;
+    let total_failure_budget = 0.1; // 10% chance of any logical fault overall
+    let target_error = total_failure_budget / t_count;
+    let injection_error = 1e-3;
+    let physical_error = 1e-4;
+
+    println!("workload: {t_count:.1e} T gates, target error per magic state {target_error:.2e}");
+    println!("injected-state error {injection_error:.0e}, physical error rate {physical_error:.0e}\n");
+
+    println!(
+        "{:<6}{:>10}{:>16}{:>14}{:>18}{:>20}",
+        "k", "levels", "output error", "distances", "logical qubits", "physical qubits"
+    );
+    for k in [2usize, 4, 6, 8, 10] {
+        let levels = match error_model::required_levels(k, injection_error, target_error) {
+            Some(l) => l.max(1),
+            None => {
+                println!("{k:<6}{:>10}", "diverges");
+                continue;
+            }
+        };
+        let config = FactoryConfig::new(k, levels);
+        let est = resource::estimate(&config, injection_error, physical_error);
+        let distances: Vec<String> = est
+            .rounds
+            .iter()
+            .map(|r| r.code_distance.to_string())
+            .collect();
+        let logical: usize = est.rounds.iter().map(|r| r.logical_qubits).max().unwrap_or(0);
+        println!(
+            "{k:<6}{levels:>10}{:>16.2e}{:>14}{:>18}{:>20}",
+            est.output_error,
+            distances.join("/"),
+            logical,
+            est.peak_physical_qubits
+        );
+    }
+
+    println!(
+        "\nsmaller k needs more levels but smaller modules; larger k reaches the target error in fewer rounds at a higher per-round cost."
+    );
+}

@@ -1,0 +1,47 @@
+//! # msfu — Magic-State Functional Units
+//!
+//! Umbrella crate of the MSFU reproduction (Ding, Holmes, Javadi-Abhari,
+//! Franklin, Martonosi, Chong — *"Magic-State Functional Units: Mapping and
+//! Scheduling Multi-Level Distillation Circuits for Fault-Tolerant Quantum
+//! Architectures"*, MICRO 2018).
+//!
+//! This crate re-exports the individual subsystem crates under one roof so
+//! applications (and the `examples/` directory) only need a single
+//! dependency:
+//!
+//! * [`circuit`] — quantum circuit IR, dependency analysis, scheduling.
+//! * [`distill`] — Bravyi-Haah modules, multi-level block-code factories,
+//!   error and resource models.
+//! * [`graph`] — interaction-graph metrics, communities, partitioning.
+//! * [`layout`] — the mapping strategies (linear, random, force-directed,
+//!   graph partitioning, hierarchical stitching).
+//! * [`sim`] — the cycle-accurate braid network simulator.
+//! * [`core`] — the end-to-end evaluation pipeline and reporting helpers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use msfu::core::{evaluate, EvaluationConfig, Strategy};
+//! use msfu::distill::FactoryConfig;
+//!
+//! let eval = evaluate(
+//!     &FactoryConfig::single_level(2),
+//!     &Strategy::Linear,
+//!     &EvaluationConfig::default(),
+//! )?;
+//! println!(
+//!     "latency {} cycles, area {} qubits, volume {}",
+//!     eval.latency_cycles, eval.area, eval.volume
+//! );
+//! # Ok::<(), msfu::core::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use msfu_circuit as circuit;
+pub use msfu_core as core;
+pub use msfu_distill as distill;
+pub use msfu_graph as graph;
+pub use msfu_layout as layout;
+pub use msfu_sim as sim;
