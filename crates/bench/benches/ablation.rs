@@ -17,7 +17,12 @@ use msfu_distill::FactoryConfig;
 use msfu_layout::{ForceDirectedConfig, HopStrategy, StitchingConfig};
 use msfu_sim::SimConfig;
 
-fn print_volume(label: &str, cfg: &FactoryConfig, strategy: &Strategy, eval_cfg: &EvaluationConfig) {
+fn print_volume(
+    label: &str,
+    cfg: &FactoryConfig,
+    strategy: &Strategy,
+    eval_cfg: &EvaluationConfig,
+) {
     match evaluate(cfg, strategy, eval_cfg) {
         Ok(e) => eprintln!("[ablation] {label}: volume = {}", e.volume),
         Err(e) => eprintln!("[ablation] {label}: failed ({e})"),
@@ -36,19 +41,46 @@ fn bench_ablations(c: &mut Criterion) {
     let no_barriers = two_level.with_barriers(false);
 
     // Barrier ablation (GP mapper, two-level factory).
-    print_volume("barriers-on/GP", &two_level, &Strategy::GraphPartition { seed: 1 }, &eval_cfg);
-    print_volume("barriers-off/GP", &no_barriers, &Strategy::GraphPartition { seed: 1 }, &eval_cfg);
+    print_volume(
+        "barriers-on/GP",
+        &two_level,
+        &Strategy::GraphPartition { seed: 1 },
+        &eval_cfg,
+    );
+    print_volume(
+        "barriers-off/GP",
+        &no_barriers,
+        &Strategy::GraphPartition { seed: 1 },
+        &eval_cfg,
+    );
     group.bench_function("barriers-on/GP", |b| {
         b.iter(|| evaluate(&two_level, &Strategy::GraphPartition { seed: 1 }, &eval_cfg).unwrap())
     });
     group.bench_function("barriers-off/GP", |b| {
-        b.iter(|| evaluate(&no_barriers, &Strategy::GraphPartition { seed: 1 }, &eval_cfg).unwrap())
+        b.iter(|| {
+            evaluate(
+                &no_barriers,
+                &Strategy::GraphPartition { seed: 1 },
+                &eval_cfg,
+            )
+            .unwrap()
+        })
     });
 
     // Routing policy ablation (linear mapper, single-level factory).
     let single = FactoryConfig::single_level(4);
-    print_volume("adaptive-routing/Line", &single, &Strategy::Linear, &eval_cfg);
-    print_volume("dimension-ordered/Line", &single, &Strategy::Linear, &dimension_ordered);
+    print_volume(
+        "adaptive-routing/Line",
+        &single,
+        &Strategy::Linear,
+        &eval_cfg,
+    );
+    print_volume(
+        "dimension-ordered/Line",
+        &single,
+        &Strategy::Linear,
+        &dimension_ordered,
+    );
     group.bench_function("adaptive-routing/Line", |b| {
         b.iter(|| evaluate(&single, &Strategy::Linear, &eval_cfg).unwrap())
     });

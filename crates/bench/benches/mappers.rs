@@ -29,7 +29,11 @@ fn bench_mappers(c: &mut Criterion) {
                 repulsion_sample: 1_000,
                 ..ForceDirectedConfig::default()
             };
-            b.iter(|| ForceDirectedMapper::with_config(cfg).map_factory(f).unwrap())
+            b.iter(|| {
+                ForceDirectedMapper::with_config(cfg)
+                    .map_factory(f)
+                    .unwrap()
+            })
         });
     }
 

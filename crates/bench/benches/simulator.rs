@@ -19,14 +19,22 @@ fn bench_simulator(c: &mut Criterion) {
             BenchmarkId::new("adaptive/linear-layout", k),
             &(&factory, &linear),
             |b, (f, l)| {
-                b.iter(|| Simulator::new(SimConfig::default()).run(f.circuit(), l).unwrap())
+                b.iter(|| {
+                    Simulator::new(SimConfig::default())
+                        .run(f.circuit(), l)
+                        .unwrap()
+                })
             },
         );
         group.bench_with_input(
             BenchmarkId::new("adaptive/gp-layout", k),
             &(&factory, &gp),
             |b, (f, l)| {
-                b.iter(|| Simulator::new(SimConfig::default()).run(f.circuit(), l).unwrap())
+                b.iter(|| {
+                    Simulator::new(SimConfig::default())
+                        .run(f.circuit(), l)
+                        .unwrap()
+                })
             },
         );
         group.bench_with_input(

@@ -4,59 +4,67 @@
 //! hierarchical-stitching mappers. Each strategy uses its better qubit-reuse
 //! policy, as in the paper (Section VIII-C1).
 //!
-//! Usage: `cargo run -p msfu-bench --bin fig10 --release [full]`
+//! The whole figure is one declarative [`SweepSpec`] (both levels, all
+//! capacities, all strategies, both reuse policies) executed in parallel by
+//! the sweep engine; this binary only selects and formats rows.
+//!
+//! Usage: `cargo run -p msfu-bench --bin fig10 --release [full] [serial] [--json]`
 
-use msfu_bench::{evaluate_best_reuse, lineup_for, Mode};
-use msfu_core::Evaluation;
-use msfu_distill::FactoryConfig;
+use msfu_bench::{
+    best_reuse_row, harness_eval_config, lineup_for, reuse_variants, run_spec, HarnessArgs,
+};
+use msfu_core::{Evaluation, SweepResults, SweepSpec};
 
-struct Row {
-    capacity: usize,
-    evals: Vec<(String, Evaluation)>,
-}
-
-fn sweep(levels: usize, capacities: &[usize], seed: u64, include_hs: bool) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for &capacity in capacities {
-        let config = FactoryConfig::from_total_capacity(capacity, levels).expect("exact power");
-        let mut evals = Vec::new();
-        for strategy in lineup_for(&config, seed) {
-            let name = strategy.short_name().to_string();
-            if name == "Random" {
-                continue; // Fig. 10 plots Linear/FD/GP(/HS); Random appears in Table I only.
-            }
-            if name == "HS" && !include_hs {
-                continue;
-            }
-            let (eval, policy) =
-                evaluate_best_reuse(capacity, levels, &strategy).expect("evaluation succeeds");
-            eprintln!(
-                "done L={levels} capacity={capacity} {name}({}) latency={} area={} volume={}",
-                policy.short_name(),
-                eval.latency_cycles,
-                eval.area,
-                eval.volume
-            );
-            evals.push((name, eval));
-        }
-        rows.push(Row { capacity, evals });
+/// Strategies plotted per level: Fig. 10 omits Random entirely and HS on
+/// single-level factories.
+fn plotted_strategies(levels: usize) -> Vec<&'static str> {
+    if levels == 1 {
+        vec!["Line", "FD", "GP"]
+    } else {
+        vec!["Line", "FD", "GP", "HS"]
     }
-    rows
 }
 
-fn print_metric(title: &str, rows: &[Row], metric: impl Fn(&Evaluation) -> f64) {
+fn build_spec(args: &HarnessArgs, seed: u64) -> SweepSpec {
+    let mut spec = SweepSpec::new("fig10", harness_eval_config());
+    for (label, levels, capacities) in [
+        ("single", 1, args.mode.single_level_capacities()),
+        ("double", 2, args.mode.two_level_capacities()),
+    ] {
+        let plotted = plotted_strategies(levels);
+        for &capacity in &capacities {
+            spec = spec.grid(label, &reuse_variants(capacity, levels), |c| {
+                lineup_for(c, seed)
+                    .into_iter()
+                    .filter(|s| plotted.contains(&s.short_name()))
+                    .collect()
+            });
+        }
+    }
+    spec
+}
+
+fn print_metric(
+    title: &str,
+    results: &SweepResults,
+    label: &str,
+    capacities: &[usize],
+    strategies: &[&str],
+    metric: impl Fn(&Evaluation) -> f64,
+) {
     println!("# {title}");
-    if let Some(first) = rows.first() {
-        print!("{:<12}", "capacity");
-        for (name, _) in &first.evals {
-            print!("{name:>16}");
-        }
-        println!();
+    print!("{:<12}", "capacity");
+    for name in strategies {
+        print!("{name:>16}");
     }
-    for row in rows {
-        print!("{:<12}", row.capacity);
-        for (_, eval) in &row.evals {
-            print!("{:>16.0}", metric(eval));
+    println!();
+    for &capacity in capacities {
+        print!("{capacity:<12}");
+        for name in strategies {
+            match best_reuse_row(results, label, name, capacity) {
+                Some(row) => print!("{:>16.0}", metric(&row.evaluation)),
+                None => print!("{:>16}", "-"),
+            }
         }
         println!();
     }
@@ -64,45 +72,75 @@ fn print_metric(title: &str, rows: &[Row], metric: impl Fn(&Evaluation) -> f64) 
 }
 
 fn main() {
-    let mode = Mode::from_args();
+    let args = HarnessArgs::from_env();
     let seed = 42;
+    let spec = build_spec(&args, seed);
+    let results = run_spec(&spec, &args);
 
-    let single = sweep(1, &mode.single_level_capacities(), seed, false);
-    print_metric("Fig. 10a — single-level latency (cycles)", &single, |e| {
-        e.latency_cycles as f64
-    });
-    print_metric("Fig. 10b — single-level area (qubits)", &single, |e| {
-        e.area as f64
-    });
+    let single_caps = args.mode.single_level_capacities();
+    let double_caps = args.mode.two_level_capacities();
+    let single = plotted_strategies(1);
+    let double = plotted_strategies(2);
+
+    print_metric(
+        "Fig. 10a — single-level latency (cycles)",
+        &results,
+        "single",
+        &single_caps,
+        &single,
+        |e| e.latency_cycles as f64,
+    );
+    print_metric(
+        "Fig. 10b — single-level area (qubits)",
+        &results,
+        "single",
+        &single_caps,
+        &single,
+        |e| e.area as f64,
+    );
     print_metric(
         "Fig. 10e — single-level quantum volume (qubits x cycles)",
+        &results,
+        "single",
+        &single_caps,
         &single,
         |e| e.volume as f64,
     );
-
-    let double = sweep(2, &mode.two_level_capacities(), seed, true);
-    print_metric("Fig. 10c — two-level latency (cycles)", &double, |e| {
-        e.latency_cycles as f64
-    });
-    print_metric("Fig. 10d — two-level area (qubits)", &double, |e| {
-        e.area as f64
-    });
+    print_metric(
+        "Fig. 10c — two-level latency (cycles)",
+        &results,
+        "double",
+        &double_caps,
+        &double,
+        |e| e.latency_cycles as f64,
+    );
+    print_metric(
+        "Fig. 10d — two-level area (qubits)",
+        &results,
+        "double",
+        &double_caps,
+        &double,
+        |e| e.area as f64,
+    );
     print_metric(
         "Fig. 10f — two-level quantum volume (qubits x cycles)",
+        &results,
+        "double",
+        &double_caps,
         &double,
         |e| e.volume as f64,
     );
 
-    // Headline number: volume reduction from Line(NR) to HS at the largest
+    // Headline number: volume reduction from Line to HS at the largest
     // two-level capacity evaluated (5.64x in the paper at capacity 100).
-    if let Some(last) = double.last() {
-        let line = last.evals.iter().find(|(n, _)| n == "Line");
-        let hs = last.evals.iter().find(|(n, _)| n == "HS");
-        if let (Some((_, line)), Some((_, hs))) = (line, hs) {
+    if let Some(&capacity) = double_caps.last() {
+        let line = best_reuse_row(&results, "double", "Line", capacity);
+        let hs = best_reuse_row(&results, "double", "HS", capacity);
+        if let (Some(line), Some(hs)) = (line, hs) {
             println!(
                 "# headline: capacity {} two-level volume reduction Line -> HS = {:.2}x (paper: 5.64x at capacity 100, Line(NR) -> HS)",
-                last.capacity,
-                line.volume as f64 / hs.volume as f64
+                capacity,
+                line.evaluation.volume as f64 / hs.evaluation.volume as f64
             );
         }
     }

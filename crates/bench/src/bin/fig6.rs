@@ -3,24 +3,36 @@
 //! spacing) with simulated circuit latency across randomised mappings of a
 //! single-level distillation circuit.
 //!
-//! Usage: `cargo run -p msfu-bench --bin fig6 --release [full]`
+//! The randomised mappings are one declarative [`SweepSpec`] — one
+//! `RandomWithSlack` point per seed over a single shared factory — with the
+//! congestion metrics collected by the engine alongside each simulation.
+//!
+//! Usage: `cargo run -p msfu-bench --bin fig6 --release [full] [serial] [--json]`
 
-use msfu_bench::Mode;
-use msfu_distill::{Factory, FactoryConfig};
-use msfu_graph::{correlation, metrics, InteractionGraph};
-use msfu_layout::{Layout, RandomMapper};
-use msfu_sim::{SimConfig, Simulator};
+use msfu_bench::{harness_eval_config, run_spec, HarnessArgs};
+use msfu_core::{Strategy, SweepSpec};
+use msfu_distill::FactoryConfig;
+use msfu_graph::correlation;
 
 fn main() {
-    let mode = Mode::from_args();
-    let samples = mode.fig6_samples();
+    let args = HarnessArgs::from_env();
+    let samples = args.mode.fig6_samples();
     // The paper's correlation study uses a single-level factory; capacity 8 is
-    // the canonical example of Fig. 4a / Fig. 5.
-    let factory = Factory::build(&FactoryConfig::single_level(8)).expect("factory builds");
-    let graph = InteractionGraph::from_circuit(factory.circuit());
-    // Fixed-path routing with stall-on-intersection, as in the paper's
-    // simulator: this is what makes edge crossings show up as latency.
-    let simulator = Simulator::new(SimConfig::dimension_ordered());
+    // the canonical example of Fig. 4a / Fig. 5. Expansion 1.5 leaves routing
+    // slack, as in the paper's randomised mappings which are not packed solid.
+    let factory_config = FactoryConfig::single_level(8);
+    let mut spec = SweepSpec::new("fig6", harness_eval_config()).with_mapping_metrics();
+    for seed in 0..samples as u64 {
+        spec = spec.point(
+            "random",
+            factory_config,
+            Strategy::RandomWithSlack {
+                seed,
+                expansion: 1.5,
+            },
+        );
+    }
+    let results = run_spec(&spec, &args);
 
     let mut crossings = Vec::with_capacity(samples);
     let mut lengths = Vec::with_capacity(samples);
@@ -29,26 +41,16 @@ fn main() {
 
     println!("# Fig. 6 reproduction: metric vs latency over {samples} randomised mappings");
     println!("# columns: seed crossings avg_edge_length avg_edge_spacing latency_cycles");
-    for seed in 0..samples as u64 {
-        // Expansion 1.5 leaves routing slack, as in the paper's randomised
-        // mappings which are not packed solid.
-        let mapping = RandomMapper::new(seed)
-            .with_expansion(1.5)
-            .map_qubits(factory.num_qubits())
-            .expect("random mapping succeeds");
-        let points = mapping.to_points();
-        let m = metrics::MappingMetrics::compute(&graph, &points);
-        let result = simulator
-            .run(factory.circuit(), &Layout::new(mapping))
-            .expect("simulation succeeds");
+    for (seed, row) in results.rows.iter().enumerate() {
+        let m = row.metrics.expect("mapping metrics were collected");
         println!(
             "{seed:>4} {:>8} {:>18.3} {:>18.3} {:>14}",
-            m.edge_crossings, m.avg_edge_length, m.avg_edge_spacing, result.cycles
+            m.edge_crossings, m.avg_edge_length, m.avg_edge_spacing, row.evaluation.latency_cycles
         );
         crossings.push(m.edge_crossings as f64);
         lengths.push(m.avg_edge_length);
         spacings.push(m.avg_edge_spacing);
-        latencies.push(result.cycles as f64);
+        latencies.push(row.evaluation.latency_cycles as f64);
     }
 
     let r_cross = correlation::pearson(&crossings, &latencies).unwrap_or(0.0);

@@ -3,33 +3,49 @@
 //! ("theoretical lower bound") latency, for single-level (7a) and two-level
 //! (7b) factories of increasing capacity.
 //!
-//! Usage: `cargo run -p msfu-bench --bin fig7 --release [full]`
+//! One declarative [`SweepSpec`] (both levels × all capacities × {FD, GP})
+//! executed in parallel by the sweep engine; this binary only formats rows.
+//!
+//! Usage: `cargo run -p msfu-bench --bin fig7 --release [full] [serial] [--json]`
 
-use msfu_bench::{evaluate_with_reuse, scaled_fd_config, Mode};
-use msfu_core::{report::Series, Strategy};
+use msfu_bench::{harness_eval_config, run_spec, scaled_fd_config, HarnessArgs};
+use msfu_core::{report::Series, Strategy, SweepResults, SweepSpec};
 use msfu_distill::{FactoryConfig, ReusePolicy};
 
-fn sweep(levels: usize, capacities: &[usize], seed: u64) -> Vec<Series> {
+fn build_spec(args: &HarnessArgs, seed: u64) -> SweepSpec {
+    let mut spec = SweepSpec::new("fig7", harness_eval_config());
+    for (label, levels, capacities) in [
+        ("single", 1, args.mode.single_level_capacities()),
+        ("double", 2, args.mode.two_level_capacities()),
+    ] {
+        for &capacity in &capacities {
+            let config = FactoryConfig::from_total_capacity(capacity, levels)
+                .expect("capacity is an exact power")
+                .with_reuse(ReusePolicy::Reuse);
+            spec = spec.grid(label, &[config], |c| {
+                let qubits = c.total_modules() * c.qubits_per_module();
+                vec![
+                    Strategy::ForceDirected(scaled_fd_config(seed, qubits)),
+                    Strategy::GraphPartition { seed },
+                ]
+            });
+        }
+    }
+    spec
+}
+
+fn series(results: &SweepResults, label: &str, capacities: &[usize]) -> Vec<Series> {
     let mut fd = Series::new("Force Directed");
     let mut gp = Series::new("Graph Partitioning");
     let mut lower = Series::new("Theoretical Lower Bound");
     for &capacity in capacities {
-        let config = FactoryConfig::from_total_capacity(capacity, levels).expect("exact power");
-        let qubits = config.total_modules() * config.qubits_per_module();
-        let fd_strategy = Strategy::ForceDirected(scaled_fd_config(seed, qubits));
-        let gp_strategy = Strategy::GraphPartition { seed };
-
-        let fd_eval = evaluate_with_reuse(capacity, levels, &fd_strategy, ReusePolicy::Reuse)
-            .expect("FD evaluation succeeds");
-        let gp_eval = evaluate_with_reuse(capacity, levels, &gp_strategy, ReusePolicy::Reuse)
-            .expect("GP evaluation succeeds");
-
-        fd.push(capacity as f64, fd_eval.latency_cycles as f64);
-        gp.push(capacity as f64, gp_eval.latency_cycles as f64);
-        lower.push(capacity as f64, gp_eval.critical_path_cycles as f64);
-        eprintln!(
-            "done L={levels} capacity={capacity}: FD={} GP={} bound={}",
-            fd_eval.latency_cycles, gp_eval.latency_cycles, gp_eval.critical_path_cycles
+        let fd_row = results.find(label, "FD", capacity).expect("FD row present");
+        let gp_row = results.find(label, "GP", capacity).expect("GP row present");
+        fd.push(capacity as f64, fd_row.evaluation.latency_cycles as f64);
+        gp.push(capacity as f64, gp_row.evaluation.latency_cycles as f64);
+        lower.push(
+            capacity as f64,
+            gp_row.evaluation.critical_path_cycles as f64,
         );
     }
     vec![fd, gp, lower]
@@ -44,7 +60,7 @@ fn print_series(title: &str, series: &[Series]) {
     println!();
     if let Some(first) = series.first() {
         for (i, x) in first.x.iter().enumerate() {
-            print!("{:<12}", x);
+            print!("{x:<12}");
             for s in series {
                 print!("{:>26.0}", s.y[i]);
             }
@@ -55,18 +71,17 @@ fn print_series(title: &str, series: &[Series]) {
 }
 
 fn main() {
-    let mode = Mode::from_args();
+    let args = HarnessArgs::from_env();
     let seed = 42;
+    let spec = build_spec(&args, seed);
+    let results = run_spec(&spec, &args);
 
-    let single = sweep(1, &mode.single_level_capacities(), seed);
     print_series(
         "Fig. 7a — single-level factory latency (cycles) vs capacity",
-        &single,
+        &series(&results, "single", &args.mode.single_level_capacities()),
     );
-
-    let double = sweep(2, &mode.two_level_capacities(), seed);
     print_series(
         "Fig. 7b — two-level factory latency (cycles) vs capacity",
-        &double,
+        &series(&results, "double", &args.mode.two_level_capacities()),
     );
 }

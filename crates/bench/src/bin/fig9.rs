@@ -6,36 +6,81 @@
 //!   intermediate-hop strategies (no hop, randomised Valiant hop, annealed
 //!   random hop, annealed midpoint hop).
 //!
-//! Usage: `cargo run -p msfu-bench --bin fig9 --release [full]`
+//! Both studies live in one declarative [`SweepSpec`]: the reuse grid under
+//! the `reuse` label, and one labelled point per hop strategy with per-round
+//! breakdowns collected by the engine. This binary only formats rows.
+//!
+//! Usage: `cargo run -p msfu-bench --bin fig9 --release [full] [serial] [--json]`
 
-use msfu_bench::{evaluate_with_reuse, harness_eval_config, scaled_fd_config, Mode};
-use msfu_core::{pipeline, Strategy};
-use msfu_distill::{Factory, FactoryConfig, ReusePolicy};
-use msfu_layout::{HierarchicalStitchingMapper, HopStrategy, StitchingConfig};
+use msfu_bench::{harness_eval_config, run_spec, scaled_fd_config, HarnessArgs};
+use msfu_core::{pipeline, Strategy, SweepResults, SweepSpec};
+use msfu_distill::{FactoryConfig, ReusePolicy};
+use msfu_layout::{HopStrategy, StitchingConfig};
 
-fn reuse_differentials(capacities: &[usize], seed: u64) {
+const HOP_STRATEGIES: [HopStrategy; 4] = [
+    HopStrategy::None,
+    HopStrategy::RandomHop,
+    HopStrategy::AnnealedRandomHop,
+    HopStrategy::AnnealedMidpointHop,
+];
+
+fn build_spec(args: &HarnessArgs, seed: u64) -> SweepSpec {
+    let mut spec = SweepSpec::new("fig9", harness_eval_config()).with_breakdowns();
+    for &capacity in &args.mode.two_level_capacities() {
+        let base =
+            FactoryConfig::from_total_capacity(capacity, 2).expect("capacity is an exact power");
+        // 9a/9b: three strategies under both reuse policies.
+        for policy in [ReusePolicy::Reuse, ReusePolicy::NoReuse] {
+            spec = spec.grid("reuse", &[base.with_reuse(policy)], |c| {
+                let qubits = c.total_modules() * c.qubits_per_module();
+                vec![
+                    Strategy::Linear,
+                    Strategy::ForceDirected(scaled_fd_config(seed, qubits)),
+                    Strategy::GraphPartition { seed },
+                ]
+            });
+        }
+        // 9c/9d: hierarchical stitching under each hop strategy, labelled by
+        // hop so the rows stay distinguishable.
+        for hop in HOP_STRATEGIES {
+            spec = spec.point(
+                format!("hops/{}", hop.name()),
+                base,
+                Strategy::HierarchicalStitching(StitchingConfig {
+                    seed,
+                    hop_strategy: hop,
+                    ..StitchingConfig::default()
+                }),
+            );
+        }
+    }
+    spec
+}
+
+fn reuse_differentials(results: &SweepResults, capacities: &[usize]) {
     println!("# Fig. 9a/9b — volume differential (NR - R)/NR per strategy, two-level factories");
     println!(
         "{:<12}{:>18}{:>18}{:>18}",
         "capacity", "Linear Mapping", "Force Directed", "Graph Partitioning"
     );
     for &capacity in capacities {
-        let config = FactoryConfig::from_total_capacity(capacity, 2).expect("exact power");
-        let qubits = config.total_modules() * config.qubits_per_module();
-        let strategies = [
-            Strategy::Linear,
-            Strategy::ForceDirected(scaled_fd_config(seed, qubits)),
-            Strategy::GraphPartition { seed },
-        ];
         print!("{capacity:<12}");
-        for strategy in &strategies {
-            let reuse = evaluate_with_reuse(capacity, 2, strategy, ReusePolicy::Reuse)
-                .expect("reuse evaluation succeeds");
-            let no_reuse = evaluate_with_reuse(capacity, 2, strategy, ReusePolicy::NoReuse)
-                .expect("no-reuse evaluation succeeds");
-            let differential =
-                (no_reuse.volume as f64 - reuse.volume as f64) / no_reuse.volume as f64;
-            print!("{differential:>18.3}");
+        for strategy in ["Line", "FD", "GP"] {
+            let volume_under = |policy: ReusePolicy| {
+                results
+                    .labeled("reuse")
+                    .find(|r| {
+                        r.evaluation.strategy == strategy
+                            && r.evaluation.factory.capacity() == capacity
+                            && r.evaluation.factory.reuse == policy
+                    })
+                    .expect("reuse grid row present")
+                    .evaluation
+                    .volume as f64
+            };
+            let reuse = volume_under(ReusePolicy::Reuse);
+            let no_reuse = volume_under(ReusePolicy::NoReuse);
+            print!("{:>18.3}", (no_reuse - reuse) / no_reuse);
         }
         println!();
     }
@@ -43,35 +88,20 @@ fn reuse_differentials(capacities: &[usize], seed: u64) {
     println!();
 }
 
-fn permutation_latencies(capacities: &[usize], seed: u64) {
+fn permutation_latencies(results: &SweepResults, capacities: &[usize]) {
     println!("# Fig. 9c/9d — permutation-step latency (cycles) by intermediate-hop strategy");
     println!(
         "{:<12}{:>14}{:>18}{:>22}{:>24}",
         "capacity", "No Hop", "Randomized Hop", "Annealed Random Hop", "Annealed Midpoint Hop"
     );
-    let hop_strategies = [
-        HopStrategy::None,
-        HopStrategy::RandomHop,
-        HopStrategy::AnnealedRandomHop,
-        HopStrategy::AnnealedMidpointHop,
-    ];
     for &capacity in capacities {
-        let config = FactoryConfig::from_total_capacity(capacity, 2).expect("exact power");
         print!("{capacity:<12}");
-        for hop in hop_strategies {
-            let mut factory = Factory::build(&config).expect("factory builds");
-            let mapper = HierarchicalStitchingMapper::with_config(StitchingConfig {
-                seed,
-                hop_strategy: hop,
-                ..StitchingConfig::default()
-            });
-            let layout = mapper
-                .map_factory_optimized(&mut factory)
-                .expect("stitching succeeds");
-            let breakdown =
-                pipeline::per_round_breakdown(&factory, &layout, &harness_eval_config().sim)
-                    .expect("breakdown succeeds");
-            let cycles = pipeline::total_permutation_cycles(&breakdown);
+        for hop in HOP_STRATEGIES {
+            let row = results
+                .find(&format!("hops/{}", hop.name()), "HS", capacity)
+                .expect("hop row present");
+            let breakdown = row.breakdown.as_ref().expect("breakdowns were collected");
+            let cycles = pipeline::total_permutation_cycles(breakdown);
             let width = match hop {
                 HopStrategy::None => 14,
                 HopStrategy::RandomHop => 18,
@@ -86,9 +116,11 @@ fn permutation_latencies(capacities: &[usize], seed: u64) {
 }
 
 fn main() {
-    let mode = Mode::from_args();
+    let args = HarnessArgs::from_env();
     let seed = 42;
-    let capacities = mode.two_level_capacities();
-    reuse_differentials(&capacities, seed);
-    permutation_latencies(&capacities, seed);
+    let spec = build_spec(&args, seed);
+    let results = run_spec(&spec, &args);
+    let capacities = args.mode.two_level_capacities();
+    reuse_differentials(&results, &capacities);
+    permutation_latencies(&results, &capacities);
 }

@@ -4,14 +4,53 @@
 //! partitioning, hierarchical stitching, and the critical-path lower bound —
 //! for single-level and two-level factories across the capacity sweep.
 //!
-//! Usage: `cargo run -p msfu-bench --bin table1 --release [full]`
+//! The whole table is one declarative [`SweepSpec`] executed in parallel by
+//! the sweep engine; this binary only selects and formats rows.
+//!
+//! Usage: `cargo run -p msfu-bench --bin table1 --release [full] [serial] [--json]`
 
-use msfu_bench::{evaluate_best_reuse, evaluate_with_reuse, lineup_for, Mode};
+use msfu_bench::{
+    best_reuse_row, harness_eval_config, lineup_for, reuse_variants, run_spec, HarnessArgs,
+};
 use msfu_core::report::Table;
-use msfu_core::Strategy;
-use msfu_distill::{FactoryConfig, ReusePolicy};
+use msfu_core::{SweepResults, SweepSpec};
+use msfu_distill::ReusePolicy;
 
-fn level_table(levels: usize, capacities: &[usize], seed: u64) -> Table {
+/// Table I rows per level: Random is only reported for single-level
+/// factories, HS only for multi-level ones.
+fn tabled_strategies(levels: usize) -> Vec<&'static str> {
+    if levels == 1 {
+        vec!["Random", "Line", "FD", "GP"]
+    } else {
+        vec!["Line", "FD", "GP", "HS"]
+    }
+}
+
+fn build_spec(args: &HarnessArgs, seed: u64) -> SweepSpec {
+    let mut spec = SweepSpec::new("table1", harness_eval_config());
+    for (label, levels, capacities) in [
+        ("L1", 1, args.mode.single_level_capacities()),
+        ("L2", 2, args.mode.two_level_capacities()),
+    ] {
+        let tabled = tabled_strategies(levels);
+        for &capacity in &capacities {
+            spec = spec.grid(label, &reuse_variants(capacity, levels), |c| {
+                // Random is only evaluated under reuse, as in the paper.
+                let random_here = c.reuse == ReusePolicy::Reuse;
+                lineup_for(c, seed)
+                    .into_iter()
+                    .filter(|s| {
+                        tabled.contains(&s.short_name())
+                            && (s.short_name() != "Random" || random_here)
+                    })
+                    .collect()
+            });
+        }
+    }
+    spec
+}
+
+fn level_table(results: &SweepResults, label: &str, levels: usize, capacities: &[usize]) -> Table {
     let headers: Vec<String> = std::iter::once("Procedure".to_string())
         .chain(capacities.iter().map(|c| format!("K = {c}")))
         .collect();
@@ -20,82 +59,93 @@ fn level_table(levels: usize, capacities: &[usize], seed: u64) -> Table {
         headers,
     );
 
+    // Picks the row evaluated under a specific reuse policy.
+    let with_policy = |strategy: &str, capacity: usize, policy: ReusePolicy| {
+        results
+            .labeled(label)
+            .find(|r| {
+                r.evaluation.strategy == strategy
+                    && r.evaluation.factory.capacity() == capacity
+                    && r.evaluation.factory.reuse == policy
+            })
+            .map(|r| r.evaluation.volume as f64)
+    };
+    // Picks the better of the two reuse policies, as the paper does for the
+    // optimised procedures.
+    let best = |strategy: &str, capacity: usize| {
+        best_reuse_row(results, label, strategy, capacity).map(|r| r.evaluation.volume as f64)
+    };
+
     // Row labels follow the paper: Random, Line(NR), Line(R), FD, GP, HS, Critical.
-    let mut random_row = Vec::new();
-    let mut line_nr_row = Vec::new();
-    let mut line_r_row = Vec::new();
-    let mut fd_row = Vec::new();
-    let mut gp_row = Vec::new();
-    let mut hs_row = Vec::new();
-    let mut critical_row = Vec::new();
-
-    for &capacity in capacities {
-        let config = FactoryConfig::from_total_capacity(capacity, levels).expect("exact power");
-        let lineup = lineup_for(&config, seed);
-
-        // Random: the paper only reports it for single-level factories.
-        if levels == 1 {
-            let eval = evaluate_with_reuse(capacity, levels, &lineup[0], ReusePolicy::Reuse)
-                .expect("random evaluation succeeds");
-            random_row.push(Some(eval.volume as f64));
-        } else {
-            random_row.push(None);
-        }
-
-        // Linear with and without reuse.
-        let line_nr = evaluate_with_reuse(capacity, levels, &Strategy::Linear, ReusePolicy::NoReuse)
-            .expect("Line(NR) evaluation succeeds");
-        let line_r = evaluate_with_reuse(capacity, levels, &Strategy::Linear, ReusePolicy::Reuse)
-            .expect("Line(R) evaluation succeeds");
-        line_nr_row.push(Some(line_nr.volume as f64));
-        line_r_row.push(Some(line_r.volume as f64));
-
-        // FD and GP use their better reuse policy, as in the paper.
-        let (fd, _) = evaluate_best_reuse(capacity, levels, &lineup[2]).expect("FD evaluation");
-        let (gp, _) = evaluate_best_reuse(capacity, levels, &lineup[3]).expect("GP evaluation");
-        fd_row.push(Some(fd.volume as f64));
-        gp_row.push(Some(gp.volume as f64));
-
-        // HS applies to multi-level factories only.
-        if levels >= 2 {
-            let (hs, _) = evaluate_best_reuse(capacity, levels, &lineup[4]).expect("HS evaluation");
-            hs_row.push(Some(hs.volume as f64));
-        } else {
-            hs_row.push(None);
-        }
-
-        critical_row.push(Some(line_r.critical_volume as f64));
-        eprintln!("done level {levels} capacity {capacity}");
-    }
-
-    table.push_row("Random", random_row);
-    table.push_row("Line(NR)", line_nr_row);
-    table.push_row("Line(R)", line_r_row);
-    table.push_row("FD", fd_row);
-    table.push_row("GP", gp_row);
-    table.push_row("HS", hs_row);
-    table.push_row("Critical", critical_row);
+    table.push_row(
+        "Random",
+        capacities
+            .iter()
+            .map(|&c| with_policy("Random", c, ReusePolicy::Reuse))
+            .collect(),
+    );
+    table.push_row(
+        "Line(NR)",
+        capacities
+            .iter()
+            .map(|&c| with_policy("Line", c, ReusePolicy::NoReuse))
+            .collect(),
+    );
+    table.push_row(
+        "Line(R)",
+        capacities
+            .iter()
+            .map(|&c| with_policy("Line", c, ReusePolicy::Reuse))
+            .collect(),
+    );
+    table.push_row("FD", capacities.iter().map(|&c| best("FD", c)).collect());
+    table.push_row("GP", capacities.iter().map(|&c| best("GP", c)).collect());
+    table.push_row("HS", capacities.iter().map(|&c| best("HS", c)).collect());
+    table.push_row(
+        "Critical",
+        capacities
+            .iter()
+            .map(|&c| {
+                results
+                    .labeled(label)
+                    .find(|r| {
+                        r.evaluation.strategy == "Line"
+                            && r.evaluation.factory.capacity() == c
+                            && r.evaluation.factory.reuse == ReusePolicy::Reuse
+                    })
+                    .map(|r| r.evaluation.critical_volume as f64)
+            })
+            .collect(),
+    );
     table
 }
 
 fn main() {
-    let mode = Mode::from_args();
+    let args = HarnessArgs::from_env();
     let seed = 42;
+    let spec = build_spec(&args, seed);
+    let results = run_spec(&spec, &args);
 
-    let level1 = level_table(1, &mode.single_level_capacities(), seed);
+    let level1 = level_table(&results, "L1", 1, &args.mode.single_level_capacities());
     println!("{}", level1.to_text());
 
-    let level2 = level_table(2, &mode.two_level_capacities(), seed);
+    let double_caps = args.mode.two_level_capacities();
+    let level2 = level_table(&results, "L2", 2, &double_caps);
     println!("{}", level2.to_text());
 
     // Headline reduction: Line(NR) -> HS at the largest two-level capacity.
-    let last = level2.headers.len() - 2;
-    let line_nr = level2.rows.iter().find(|(l, _)| l == "Line(NR)").unwrap();
-    let hs = level2.rows.iter().find(|(l, _)| l == "HS").unwrap();
-    if let (Some(Some(nr)), Some(Some(h))) = (line_nr.1.get(last), hs.1.get(last)) {
-        println!(
-            "# headline: Line(NR) -> HS volume reduction at the largest evaluated two-level capacity = {:.2}x (paper: 5.64x at K = 100)",
-            nr / h
-        );
+    if let Some(&capacity) = double_caps.last() {
+        let line_nr = results.labeled("L2").find(|r| {
+            r.evaluation.strategy == "Line"
+                && r.evaluation.factory.capacity() == capacity
+                && r.evaluation.factory.reuse == ReusePolicy::NoReuse
+        });
+        let hs = best_reuse_row(&results, "L2", "HS", capacity);
+        if let (Some(nr), Some(hs)) = (line_nr, hs) {
+            println!(
+                "# headline: Line(NR) -> HS volume reduction at the largest evaluated two-level capacity = {:.2}x (paper: 5.64x at K = 100)",
+                nr.evaluation.volume as f64 / hs.evaluation.volume as f64
+            );
+        }
     }
 }

@@ -1,7 +1,14 @@
 //! # msfu-bench
 //!
 //! Benchmark harness that regenerates every table and figure of the MSFU
-//! paper's evaluation (Section VIII):
+//! paper's evaluation (Section VIII).
+//!
+//! Every binary is a thin *declarative* layer over the parallel sweep engine
+//! of `msfu_core::sweep`: it assembles one [`SweepSpec`] naming all of its
+//! `FactoryConfig × Strategy` points, hands it to [`run_spec`] (which executes
+//! the grid across all cores with each distinct factory built exactly once),
+//! and then only formats rows out of the returned [`SweepResults`]. None of
+//! the binaries contains an evaluation loop of its own.
 //!
 //! | Binary    | Paper artefact | Content |
 //! |-----------|----------------|---------|
@@ -11,17 +18,25 @@
 //! | `fig10`   | Fig. 10a–10f   | latency / area / volume for every strategy, single- and two-level |
 //! | `table1`  | Table I        | quantum volumes for Random, Line(NR), Line(R), FD, GP, HS and the critical bound |
 //!
-//! Every binary accepts an optional `full` argument to sweep the paper's
-//! complete capacity range; without it a reduced sweep is used so the whole
-//! harness completes in minutes on a laptop. Criterion benches
-//! (`cargo bench -p msfu-bench`) measure the runtime scalability of the
-//! mapping algorithms themselves (Section VI-B3) and the ablations called out
-//! in DESIGN.md.
+//! Shared command-line flags (see [`HarnessArgs`]):
+//!
+//! * `full` — sweep the paper's complete capacity range (default: a reduced
+//!   grid that completes in minutes on a laptop);
+//! * `serial` — run the sweep sequentially instead of in parallel (the
+//!   baseline for speedup measurements; results are bit-identical);
+//! * `--json` — additionally serialise the full [`SweepResults`] to
+//!   `BENCH_<name>.json` so perf trajectories can be tracked over time.
+//!
+//! Criterion benches (`cargo bench -p msfu-bench`) measure the runtime
+//! scalability of the mapping algorithms themselves (Section VI-B3) and the
+//! ablations called out in DESIGN.md.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use msfu_core::{evaluate, Evaluation, EvaluationConfig, Strategy};
+use std::time::Instant;
+
+use msfu_core::{EvaluationConfig, Strategy, SweepResults, SweepRow, SweepSpec};
 use msfu_distill::{FactoryConfig, ReusePolicy};
 use msfu_layout::{ForceDirectedConfig, StitchingConfig};
 
@@ -68,6 +83,68 @@ impl Mode {
             Mode::Full => 200,
         }
     }
+}
+
+/// The command-line surface shared by every harness binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// Reduced or full parameter sweep.
+    pub mode: Mode,
+    /// Run the sweep sequentially (speedup baseline) instead of in parallel.
+    pub serial: bool,
+    /// Also write the sweep results to `BENCH_<name>.json`.
+    pub json: bool,
+}
+
+impl HarnessArgs {
+    /// Parses `full`, `serial` and `--json` out of the process arguments.
+    pub fn from_env() -> Self {
+        let mut args = HarnessArgs {
+            mode: Mode::from_args(),
+            serial: false,
+            json: false,
+        };
+        for a in std::env::args() {
+            match a.as_str() {
+                "serial" | "--serial" => args.serial = true,
+                "--json" => args.json = true,
+                _ => {}
+            }
+        }
+        args
+    }
+}
+
+/// Executes a sweep according to the harness arguments: parallel by default,
+/// serial when requested, timing reported on stderr, and the results
+/// serialised to `BENCH_<name>.json` when `--json` was passed.
+///
+/// # Panics
+///
+/// Panics if any sweep point fails to evaluate (the harness sweeps are all
+/// valid configurations) or if the JSON report cannot be written.
+pub fn run_spec(spec: &SweepSpec, args: &HarnessArgs) -> SweepResults {
+    let start = Instant::now();
+    let results = if args.serial {
+        spec.run_serial()
+    } else {
+        spec.run()
+    }
+    .expect("sweep evaluation succeeds");
+    eprintln!(
+        "[sweep {}] {} points in {:.2?} ({})",
+        spec.name,
+        spec.points.len(),
+        start.elapsed(),
+        if args.serial { "serial" } else { "parallel" }
+    );
+    if args.json {
+        let path = format!("BENCH_{}.json", spec.name);
+        let text = serde_json::to_string_pretty(&results).expect("results serialise");
+        std::fs::write(&path, text).expect("JSON report is writable");
+        eprintln!("[sweep {}] wrote {path}", spec.name);
+    }
+    results
 }
 
 /// The evaluation configuration used by every harness binary.
@@ -120,40 +197,35 @@ pub fn lineup_for(config: &FactoryConfig, seed: u64) -> Vec<Strategy> {
     ]
 }
 
-/// Evaluates a strategy under both reuse policies and returns the evaluation
-/// with the smaller quantum volume, together with the policy that won. This is
-/// how the paper selects the configuration for its final plots
-/// (Section VIII-C1).
-pub fn evaluate_best_reuse(
-    capacity: usize,
-    levels: usize,
-    strategy: &Strategy,
-) -> Result<(Evaluation, ReusePolicy), msfu_core::CoreError> {
-    let mut best: Option<(Evaluation, ReusePolicy)> = None;
-    for policy in [ReusePolicy::Reuse, ReusePolicy::NoReuse] {
-        let config = FactoryConfig::from_total_capacity(capacity, levels)
-            .expect("capacity is an exact power")
-            .with_reuse(policy);
-        let eval = evaluate(&config, strategy, &harness_eval_config())?;
-        match &best {
-            Some((b, _)) if b.volume <= eval.volume => {}
-            _ => best = Some((eval, policy)),
-        }
-    }
-    Ok(best.expect("both policies evaluated"))
+/// Both reuse variants of a total-capacity configuration, reuse first.
+///
+/// # Panics
+///
+/// Panics when `capacity` is not an exact `levels`-th power.
+pub fn reuse_variants(capacity: usize, levels: usize) -> [FactoryConfig; 2] {
+    let base =
+        FactoryConfig::from_total_capacity(capacity, levels).expect("capacity is an exact power");
+    [
+        base.with_reuse(ReusePolicy::Reuse),
+        base.with_reuse(ReusePolicy::NoReuse),
+    ]
 }
 
-/// Evaluates a strategy under a specific reuse policy.
-pub fn evaluate_with_reuse(
+/// Of the rows matching `label`, `strategy` and `capacity`, returns the one
+/// with the smallest quantum volume — how the paper picks each strategy's
+/// better reuse policy for its final plots (Section VIII-C1).
+pub fn best_reuse_row<'a>(
+    results: &'a SweepResults,
+    label: &'a str,
+    strategy: &str,
     capacity: usize,
-    levels: usize,
-    strategy: &Strategy,
-    policy: ReusePolicy,
-) -> Result<Evaluation, msfu_core::CoreError> {
-    let config = FactoryConfig::from_total_capacity(capacity, levels)
-        .expect("capacity is an exact power")
-        .with_reuse(policy);
-    evaluate(&config, strategy, &harness_eval_config())
+) -> Option<&'a SweepRow> {
+    results
+        .labeled(label)
+        .filter(|r| {
+            r.evaluation.strategy == strategy && r.evaluation.factory.capacity() == capacity
+        })
+        .min_by_key(|r| r.evaluation.volume)
 }
 
 #[cfg(test)]
@@ -193,8 +265,22 @@ mod tests {
     }
 
     #[test]
-    fn evaluate_with_reuse_runs_end_to_end() {
-        let eval = evaluate_with_reuse(2, 1, &Strategy::Linear, ReusePolicy::Reuse).unwrap();
-        assert!(eval.latency_cycles > 0);
+    fn reuse_variants_cover_both_policies() {
+        let [r, nr] = reuse_variants(16, 2);
+        assert_eq!(r.reuse, ReusePolicy::Reuse);
+        assert_eq!(nr.reuse, ReusePolicy::NoReuse);
+        assert_eq!(r.capacity(), 16);
+        assert_eq!(nr.k, 4);
+    }
+
+    #[test]
+    fn best_reuse_row_picks_the_smaller_volume() {
+        let spec = SweepSpec::new("t", harness_eval_config())
+            .point("x", reuse_variants(4, 2)[0], Strategy::Linear)
+            .point("x", reuse_variants(4, 2)[1], Strategy::Linear);
+        let results = spec.run().unwrap();
+        let best = best_reuse_row(&results, "x", "Line", 4).unwrap();
+        let volumes: Vec<u64> = results.rows.iter().map(|r| r.evaluation.volume).collect();
+        assert_eq!(best.evaluation.volume, *volumes.iter().min().unwrap());
     }
 }

@@ -43,10 +43,15 @@ impl CircuitBuilder {
 
     /// Declares a register of `len` fresh qubits with the given role and
     /// returns their identifiers in declaration order.
-    pub fn register(&mut self, name: impl Into<String>, role: QubitRole, len: usize) -> Vec<QubitId> {
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        role: QubitRole,
+        len: usize,
+    ) -> Vec<QubitId> {
         let start = self.roles.len() as u32;
         let qubits: Vec<QubitId> = (0..len as u32).map(|i| QubitId::new(start + i)).collect();
-        self.roles.extend(std::iter::repeat(role).take(len));
+        self.roles.extend(std::iter::repeat_n(role, len));
         self.registers
             .push(QubitRegister::new(name, role, qubits.clone()));
         qubits

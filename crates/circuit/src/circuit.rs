@@ -220,10 +220,7 @@ impl Circuit {
     /// Total number of braid operations (two-qubit interactions plus one per
     /// `CXX` target) in the circuit.
     pub fn braid_count(&self) -> usize {
-        self.gates
-            .iter()
-            .map(|g| g.interaction_edges().len())
-            .sum()
+        self.gates.iter().map(|g| g.interaction_edges().len()).sum()
     }
 }
 

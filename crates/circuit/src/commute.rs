@@ -322,7 +322,10 @@ mod tests {
         let c = b.build();
         let analysis = analyze(&c, &LatencyModel::default());
         assert_eq!(analysis.commuting_pairs, 0);
-        assert_eq!(analysis.relaxed_critical_path, analysis.strict_critical_path);
+        assert_eq!(
+            analysis.relaxed_critical_path,
+            analysis.strict_critical_path
+        );
         assert_eq!(analysis.false_dependency_fraction(), 0.0);
     }
 

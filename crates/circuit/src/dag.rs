@@ -116,7 +116,11 @@ impl DependencyDag {
 
     /// Depth of the DAG in gate levels (zero for an empty circuit).
     pub fn depth(&self) -> usize {
-        self.asap_levels().iter().copied().max().map_or(0, |d| d + 1)
+        self.asap_levels()
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |d| d + 1)
     }
 
     /// Critical-path length in cycles: the maximum, over all dependency

@@ -70,7 +70,9 @@ mod tests {
         };
         assert!(e.to_string().contains("q2"));
 
-        assert!(CircuitError::EmptyTargets.to_string().contains("no targets"));
+        assert!(CircuitError::EmptyTargets
+            .to_string()
+            .contains("no targets"));
 
         let e = CircuitError::Parse {
             line: 12,

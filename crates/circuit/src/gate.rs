@@ -270,9 +270,7 @@ impl Gate {
             Gate::InjectT { raw, target } | Gate::InjectTdg { raw, target } => {
                 vec![(*raw, *target)]
             }
-            Gate::Cxx { control, targets } => {
-                targets.iter().map(|t| (*control, *t)).collect()
-            }
+            Gate::Cxx { control, targets } => targets.iter().map(|t| (*control, *t)).collect(),
             _ => Vec::new(),
         }
     }
@@ -378,7 +376,9 @@ mod tests {
     fn interaction_edges_of_single_qubit_gates_empty() {
         assert!(Gate::H(q(0)).interaction_edges().is_empty());
         assert!(Gate::MeasX(q(0)).interaction_edges().is_empty());
-        assert!(Gate::Barrier(vec![q(0), q(1)]).interaction_edges().is_empty());
+        assert!(Gate::Barrier(vec![q(0), q(1)])
+            .interaction_edges()
+            .is_empty());
     }
 
     #[test]

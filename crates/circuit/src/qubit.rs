@@ -61,7 +61,9 @@ impl From<QubitId> for u32 {
 /// by the mapping and reuse machinery (e.g. the hierarchical-stitching mapper
 /// needs to know which qubits are round outputs and which are ancillas that
 /// can be reinitialised).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub enum QubitRole {
     /// Raw, low-fidelity injected magic state consumed by a distillation round.
     Raw,
@@ -81,7 +83,10 @@ impl QubitRole {
     /// Returns `true` for roles that are reinitialised between factory rounds
     /// and are therefore candidates for qubit reuse (Section V-B of the paper).
     pub fn is_reusable(self) -> bool {
-        matches!(self, QubitRole::Raw | QubitRole::Ancilla | QubitRole::BarrierControl)
+        matches!(
+            self,
+            QubitRole::Raw | QubitRole::Ancilla | QubitRole::BarrierControl
+        )
     }
 
     /// Short lowercase name used by the textual assembly emitter.

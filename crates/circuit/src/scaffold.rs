@@ -67,12 +67,10 @@ fn parse_role(s: &str) -> Option<QubitRole> {
 
 fn parse_qubit(token: &str, line: usize) -> Result<QubitId> {
     let token = token.trim();
-    let digits = token
-        .strip_prefix('q')
-        .ok_or_else(|| CircuitError::Parse {
-            line,
-            message: format!("expected qubit token, found `{token}`"),
-        })?;
+    let digits = token.strip_prefix('q').ok_or_else(|| CircuitError::Parse {
+        line,
+        message: format!("expected qubit token, found `{token}`"),
+    })?;
     let index: u32 = digits.parse().map_err(|_| CircuitError::Parse {
         line,
         message: format!("invalid qubit index `{digits}`"),

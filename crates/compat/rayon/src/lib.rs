@@ -1,0 +1,200 @@
+//! Offline stand-in for `rayon`.
+//!
+//! crates.io is unreachable in the build environment, so this crate provides
+//! the small parallel-iteration surface the sweep engine uses:
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` plus `with_max_threads`.
+//! Work is distributed over `std::thread::scope` workers through an atomic
+//! cursor (dynamic scheduling, so an expensive point does not stall a whole
+//! chunk), and results land in their input positions — output order is
+//! identical to the sequential order regardless of thread interleaving.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Worker count: `RAYON_NUM_THREADS` when set (matching real rayon), else the
+/// machine's available parallelism.
+fn default_workers() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+}
+
+pub mod prelude {
+    //! Drop-in `use rayon::prelude::*;` surface.
+    pub use crate::ParSliceExt;
+}
+
+/// Extension trait putting `par_iter` on slices (and, by deref, `Vec`).
+pub trait ParSliceExt<T: Sync> {
+    /// A parallel iterator over references to the slice's elements.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParSliceExt<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over a slice (the only shape the workspace needs).
+pub struct ParIter<'a, T: Sync> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element through `f`, in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            max_threads: usize::MAX,
+        }
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<'a, T: Sync, F> {
+    items: &'a [T],
+    f: F,
+    max_threads: usize,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Caps the number of worker threads (1 forces sequential execution).
+    pub fn with_max_threads(mut self, max_threads: usize) -> Self {
+        self.max_threads = max_threads.max(1);
+        self
+    }
+
+    /// Runs the map and collects results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let n = self.items.len();
+        let workers = default_workers().min(self.max_threads).min(n).max(1);
+
+        if workers == 1 {
+            let out: Vec<R> = self.items.iter().map(&self.f).collect();
+            return C::from(out);
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let f = &self.f;
+        let items = self.items;
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                scope.spawn(move || loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    // A send can only fail after the receiver is gone, which
+                    // only happens when another worker panicked; propagate by
+                    // stopping quietly and letting scope re-raise the panic.
+                    if tx.send((idx, f(&items[idx]))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (idx, value) in rx {
+                slots[idx] = Some(value);
+            }
+        });
+
+        let out: Vec<R> = slots
+            .into_iter()
+            .map(|s| s.expect("every index is produced exactly once"))
+            .collect();
+        C::from(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::Mutex;
+
+    /// Serialises this module's tests: one mutates RAYON_NUM_THREADS while the
+    /// others read it via default_workers(), and concurrent getenv/setenv is a
+    /// data race.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    fn env_guard() -> std::sync::MutexGuard<'static, ()> {
+        ENV_LOCK
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let _guard = env_guard();
+        let input: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_sequential_for_uneven_work() {
+        let _guard = env_guard();
+        let input: Vec<u64> = (0..64).collect();
+        let work = |x: &u64| -> u64 {
+            // Uneven per-item cost to exercise the dynamic scheduler.
+            (0..(*x % 7) * 1000).fold(*x, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
+        };
+        let par: Vec<u64> = input.par_iter().map(work).collect();
+        let seq: Vec<u64> = input.iter().map(work).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn single_thread_cap_works() {
+        let _guard = env_guard();
+        let input = [1, 2, 3];
+        let out: Vec<i32> = input
+            .par_iter()
+            .map(|x| x + 1)
+            .with_max_threads(1)
+            .collect();
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn env_var_forces_thread_count() {
+        let _guard = env_guard();
+        // Order preservation must hold under forced oversubscription too.
+        // The variable is restored before the assertion can unwind.
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let input: Vec<usize> = (0..100).collect();
+        let out: Vec<usize> = input.par_iter().map(|x| x * 3).collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let _guard = env_guard();
+        let input: Vec<u8> = Vec::new();
+        let out: Vec<u8> = input.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+}

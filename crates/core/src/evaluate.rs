@@ -1,8 +1,11 @@
 //! End-to-end evaluation: factory → mapping → simulation → volume.
 
+use std::borrow::Cow;
+
 use serde::{Deserialize, Serialize};
 
 use msfu_distill::{Factory, FactoryConfig};
+use msfu_layout::Layout;
 use msfu_sim::{SimConfig, Simulator};
 
 use crate::{Result, Strategy};
@@ -70,28 +73,63 @@ pub fn evaluate(
     strategy: &Strategy,
     config: &EvaluationConfig,
 ) -> Result<Evaluation> {
-    let mut factory = Factory::build(factory_config)?;
-    evaluate_factory(&mut factory, strategy, config)
+    let factory = Factory::build(factory_config)?;
+    evaluate_factory(&factory, strategy, config)
 }
 
-/// Evaluates an already-built factory (which hierarchical stitching may rewire
-/// in place through output-port reassignment).
+/// Evaluates an already-built factory. The factory is never mutated: if the
+/// strategy's layout carries an output-port rebinding (hierarchical
+/// stitching), it is applied to a private copy before simulation, so one
+/// built factory can be shared — including across threads — by any number of
+/// concurrent evaluations.
 ///
 /// # Errors
 ///
 /// Propagates placement and simulation failures.
 pub fn evaluate_factory(
-    factory: &mut Factory,
+    factory: &Factory,
     strategy: &Strategy,
     config: &EvaluationConfig,
 ) -> Result<Evaluation> {
     let layout = strategy.map(factory)?;
+    let effective = effective_factory(factory, &layout)?;
+    evaluate_mapped(&effective, &layout, strategy.short_name(), config)
+}
+
+/// Resolves the factory a layout must be simulated against: the factory
+/// itself, or a rewired private copy when the layout carries a port
+/// assignment.
+///
+/// # Errors
+///
+/// Propagates an invalid port assignment.
+pub fn effective_factory<'a>(factory: &'a Factory, layout: &Layout) -> Result<Cow<'a, Factory>> {
+    if layout.requires_port_rewiring() {
+        Ok(Cow::Owned(factory.apply_port_assignment(&layout.ports)?))
+    } else {
+        Ok(Cow::Borrowed(factory))
+    }
+}
+
+/// Simulates a mapped factory and assembles the [`Evaluation`] record.
+/// `factory` must already be the effective (port-rewired) factory for
+/// `layout` — see [`effective_factory`].
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn evaluate_mapped(
+    factory: &Factory,
+    layout: &Layout,
+    strategy_name: &str,
+    config: &EvaluationConfig,
+) -> Result<Evaluation> {
     let simulator = Simulator::new(config.sim);
-    let result = simulator.run(factory.circuit(), &layout)?;
+    let result = simulator.run(factory.circuit(), layout)?;
     let critical_path_cycles = factory.circuit().critical_path_cycles(&config.sim.latency);
     let logical_qubits = factory.num_qubits();
     Ok(Evaluation {
-        strategy: strategy.short_name().to_string(),
+        strategy: strategy_name.to_string(),
         factory: *factory.config(),
         latency_cycles: result.cycles,
         area: result.area,
@@ -139,7 +177,12 @@ mod tests {
     #[test]
     fn linear_beats_random_on_single_level_volume() {
         let cfg = FactoryConfig::single_level(4);
-        let random = evaluate(&cfg, &Strategy::Random { seed: 1 }, &EvaluationConfig::default()).unwrap();
+        let random = evaluate(
+            &cfg,
+            &Strategy::Random { seed: 1 },
+            &EvaluationConfig::default(),
+        )
+        .unwrap();
         let linear = evaluate(&cfg, &Strategy::Linear, &EvaluationConfig::default()).unwrap();
         assert!(
             linear.volume < random.volume,

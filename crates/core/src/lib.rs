@@ -14,6 +14,10 @@
 //!   critical-path lower bound).
 //! * [`pipeline`] — the per-round breakdown of Fig. 3 / Fig. 9: round
 //!   latencies and inter-round permutation latencies under a given layout.
+//! * [`sweep`] — the parallel sweep engine: declarative
+//!   `FactoryConfig × Strategy` grids executed across all cores with a shared
+//!   immutable factory cache; every figure/table of the paper is a thin
+//!   [`SweepSpec`] over it.
 //! * [`report`] — small helpers for formatting the tables the paper prints.
 //!
 //! # Example
@@ -40,11 +44,15 @@ mod evaluate;
 pub mod pipeline;
 pub mod report;
 mod strategy;
+pub mod sweep;
 pub mod throughput;
 
 pub use error::CoreError;
-pub use evaluate::{evaluate, evaluate_factory, Evaluation, EvaluationConfig};
+pub use evaluate::{
+    effective_factory, evaluate, evaluate_factory, evaluate_mapped, Evaluation, EvaluationConfig,
+};
 pub use strategy::Strategy;
+pub use sweep::{SweepPoint, SweepResults, SweepRow, SweepSpec};
 
 /// Convenience result alias used by fallible APIs in this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -16,6 +16,15 @@ pub enum Strategy {
         /// RNG seed.
         seed: u64,
     },
+    /// Uniformly random placement on an expanded grid (the randomised mapping
+    /// generator of the Fig. 6 correlation study). `expansion` ≥ 1.0 scales
+    /// the grid area, leaving free cells as routing slack.
+    RandomWithSlack {
+        /// RNG seed.
+        seed: u64,
+        /// Grid-area expansion factor (clamped to ≥ 1.0 by the mapper).
+        expansion: f64,
+    },
     /// The Fowler-style hand-tuned linear baseline.
     Linear,
     /// Force-directed annealing (Section VI-B1).
@@ -25,8 +34,9 @@ pub enum Strategy {
         /// RNG seed.
         seed: u64,
     },
-    /// Hierarchical stitching (Section VII). Port reassignment is applied when
-    /// evaluation owns the factory.
+    /// Hierarchical stitching (Section VII). The output-port reassignment it
+    /// wants is carried on the returned [`Layout`] as a
+    /// [`msfu_distill::PortAssignment`] and applied by the evaluation layer.
     HierarchicalStitching(StitchingConfig),
 }
 
@@ -34,7 +44,7 @@ impl Strategy {
     /// Short name matching the paper's Table I row labels.
     pub fn short_name(&self) -> &'static str {
         match self {
-            Strategy::Random { .. } => "Random",
+            Strategy::Random { .. } | Strategy::RandomWithSlack { .. } => "Random",
             Strategy::Linear => "Line",
             Strategy::ForceDirected(_) => "FD",
             Strategy::GraphPartition { .. } => "GP",
@@ -60,22 +70,20 @@ impl Strategy {
         ]
     }
 
-    /// Returns `true` for the hierarchical-stitching strategy, which benefits
-    /// from mutable access to the factory (output-port reassignment).
-    pub fn wants_factory_mutation(&self) -> bool {
-        matches!(self, Strategy::HierarchicalStitching(_))
-    }
-
-    /// Maps a factory using this strategy. When the strategy is hierarchical
-    /// stitching the factory may be rewired in place (port reassignment); all
-    /// other strategies leave it untouched.
+    /// Maps a factory using this strategy. The factory is never mutated:
+    /// strategies that want the factory's output ports rewired (hierarchical
+    /// stitching) record the rebinding on the returned [`Layout`], which the
+    /// evaluation layer applies to a private copy before simulating.
     ///
     /// # Errors
     ///
     /// Propagates mapping failures from the underlying mapper.
-    pub fn map(&self, factory: &mut Factory) -> Result<Layout> {
+    pub fn map(&self, factory: &Factory) -> Result<Layout> {
         let layout = match self {
             Strategy::Random { seed } => RandomMapper::new(*seed).map_factory(factory)?,
+            Strategy::RandomWithSlack { seed, expansion } => RandomMapper::new(*seed)
+                .with_expansion(*expansion)
+                .map_factory(factory)?,
             Strategy::Linear => LinearMapper::new().map_factory(factory)?,
             Strategy::ForceDirected(cfg) => {
                 ForceDirectedMapper::with_config(*cfg).map_factory(factory)?
@@ -84,7 +92,7 @@ impl Strategy {
                 GraphPartitionMapper::new(*seed).map_factory(factory)?
             }
             Strategy::HierarchicalStitching(cfg) => {
-                HierarchicalStitchingMapper::with_config(*cfg).map_factory_optimized(factory)?
+                HierarchicalStitchingMapper::with_config(*cfg).map_factory(factory)?
             }
         };
         Ok(layout)
@@ -105,10 +113,20 @@ mod tests {
     }
 
     #[test]
-    fn only_stitching_wants_mutation() {
+    fn only_stitching_requests_port_rewiring() {
+        let factory = Factory::build(&FactoryConfig::two_level(2)).unwrap();
         for s in Strategy::paper_lineup(1) {
+            let s = match s {
+                Strategy::ForceDirected(mut cfg) => {
+                    cfg.iterations = 3;
+                    cfg.repulsion_sample = 200;
+                    Strategy::ForceDirected(cfg)
+                }
+                other => other,
+            };
+            let layout = s.map(&factory).unwrap();
             assert_eq!(
-                s.wants_factory_mutation(),
+                layout.requires_port_rewiring(),
                 s.short_name() == "HS",
                 "{}",
                 s.short_name()
@@ -128,13 +146,31 @@ mod tests {
                 }
                 other => other,
             };
-            let mut factory = Factory::build(&FactoryConfig::single_level(2)).unwrap();
-            let layout = strategy.map(&mut factory).unwrap();
+            let factory = Factory::build(&FactoryConfig::single_level(2)).unwrap();
+            let layout = strategy.map(&factory).unwrap();
             assert!(
                 layout.mapping.is_complete(),
                 "strategy {} left qubits unplaced",
                 strategy.short_name()
             );
+        }
+    }
+
+    #[test]
+    fn mapping_leaves_the_factory_untouched() {
+        let factory = Factory::build(&FactoryConfig::two_level(2)).unwrap();
+        let before = factory.clone();
+        for s in Strategy::paper_lineup(2) {
+            let s = match s {
+                Strategy::ForceDirected(mut cfg) => {
+                    cfg.iterations = 3;
+                    cfg.repulsion_sample = 200;
+                    Strategy::ForceDirected(cfg)
+                }
+                other => other,
+            };
+            s.map(&factory).unwrap();
+            assert_eq!(factory, before, "{} mutated the factory", s.short_name());
         }
     }
 }

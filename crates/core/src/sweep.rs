@@ -1,0 +1,437 @@
+//! The parallel sweep engine: declarative grids of
+//! `FactoryConfig × Strategy` points evaluated with a shared factory cache.
+//!
+//! The paper's entire evaluation (Figs. 6–10, Table I) is a grid sweep over
+//! factory capacity, level count, reuse policy, mapping strategy and seed.
+//! This module turns such a sweep into data: a [`SweepSpec`] lists the points
+//! once, and [`SweepSpec::run`] executes them in parallel with each distinct
+//! [`FactoryConfig`] built exactly once and shared (immutably, via `Arc`)
+//! across every strategy and seed that maps it. Strategies never mutate the
+//! factory — port-rewiring decisions travel on the layout as a
+//! `PortAssignment` and are applied to a private copy per point — which is
+//! what makes the sharing sound.
+//!
+//! Results are deterministic: [`SweepSpec::run`] and [`SweepSpec::run_serial`]
+//! produce identical [`SweepResults`] regardless of thread count or
+//! interleaving, because every point's evaluation is a pure function of the
+//! point and row order follows point order.
+//!
+//! # Example
+//!
+//! ```
+//! use msfu_core::{EvaluationConfig, Strategy, SweepSpec};
+//! use msfu_distill::FactoryConfig;
+//!
+//! let results = SweepSpec::new("demo", EvaluationConfig::default())
+//!     .point("a", FactoryConfig::single_level(2), Strategy::Linear)
+//!     .point("b", FactoryConfig::single_level(2), Strategy::Random { seed: 1 })
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(results.rows.len(), 2);
+//! // The linear baseline beats random placement on volume.
+//! assert!(results.rows[0].evaluation.volume < results.rows[1].evaluation.volume);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use msfu_distill::{Factory, FactoryConfig};
+use msfu_graph::{metrics::MappingMetrics, InteractionGraph};
+
+use crate::evaluate::{effective_factory, evaluate_mapped};
+use crate::pipeline::{per_round_breakdown, RoundBreakdown};
+use crate::{Evaluation, EvaluationConfig, Result, Strategy};
+
+/// One point of a sweep grid: map `factory` with `strategy` and simulate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Caller-chosen tag used to select rows out of the results (e.g. the
+    /// figure panel the point belongs to).
+    pub label: String,
+    /// The factory configuration to build (deduplicated across points).
+    pub factory: FactoryConfig,
+    /// The mapping strategy to apply.
+    pub strategy: Strategy,
+}
+
+/// A declarative sweep: an evaluation configuration plus the list of points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Sweep name (carried into [`SweepResults`] and JSON reports).
+    pub name: String,
+    /// Simulator configuration shared by every point.
+    pub eval: EvaluationConfig,
+    /// The grid, in result order.
+    pub points: Vec<SweepPoint>,
+    /// Also simulate each round / permutation step in isolation
+    /// ([`SweepRow::breakdown`]).
+    pub collect_breakdowns: bool,
+    /// Also compute the Fig. 6 congestion metrics of each mapping
+    /// ([`SweepRow::metrics`]).
+    pub collect_mapping_metrics: bool,
+}
+
+/// The outcome of one sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// The point's label.
+    pub label: String,
+    /// End-to-end evaluation (latency, area, volume, bounds).
+    pub evaluation: Evaluation,
+    /// Per-round latency breakdown, when requested.
+    pub breakdown: Option<Vec<RoundBreakdown>>,
+    /// Congestion metrics of the mapping, when requested.
+    pub metrics: Option<MappingMetrics>,
+}
+
+/// All rows of an executed sweep, in point order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResults {
+    /// The sweep's name.
+    pub name: String,
+    /// One row per point, in the spec's point order.
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepResults {
+    /// Rows carrying the given label, in order.
+    pub fn labeled<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a SweepRow> {
+        self.rows.iter().filter(move |r| r.label == label)
+    }
+
+    /// The first row matching label, strategy short name and total factory
+    /// capacity — the lookup the figure binaries print tables from.
+    pub fn find(&self, label: &str, strategy: &str, capacity: usize) -> Option<&SweepRow> {
+        self.rows.iter().find(|r| {
+            r.label == label
+                && r.evaluation.strategy == strategy
+                && r.evaluation.factory.capacity() == capacity
+        })
+    }
+}
+
+impl SweepSpec {
+    /// Creates an empty sweep.
+    pub fn new(name: impl Into<String>, eval: EvaluationConfig) -> Self {
+        SweepSpec {
+            name: name.into(),
+            eval,
+            points: Vec::new(),
+            collect_breakdowns: false,
+            collect_mapping_metrics: false,
+        }
+    }
+
+    /// Appends one point (builder style).
+    pub fn point(
+        mut self,
+        label: impl Into<String>,
+        factory: FactoryConfig,
+        strategy: Strategy,
+    ) -> Self {
+        self.points.push(SweepPoint {
+            label: label.into(),
+            factory,
+            strategy,
+        });
+        self
+    }
+
+    /// Appends the full `factories × strategies(factory)` grid under one
+    /// label. The strategy list may depend on the factory (e.g. size-scaled
+    /// force-directed parameters).
+    pub fn grid(
+        mut self,
+        label: impl Into<String>,
+        factories: &[FactoryConfig],
+        strategies: impl Fn(&FactoryConfig) -> Vec<Strategy>,
+    ) -> Self {
+        let label = label.into();
+        for factory in factories {
+            for strategy in strategies(factory) {
+                self.points.push(SweepPoint {
+                    label: label.clone(),
+                    factory: *factory,
+                    strategy,
+                });
+            }
+        }
+        self
+    }
+
+    /// Requests per-round latency breakdowns on every row.
+    pub fn with_breakdowns(mut self) -> Self {
+        self.collect_breakdowns = true;
+        self
+    }
+
+    /// Requests Fig. 6 congestion metrics on every row.
+    pub fn with_mapping_metrics(mut self) -> Self {
+        self.collect_mapping_metrics = true;
+        self
+    }
+
+    /// Executes every point in parallel across the machine's cores.
+    ///
+    /// Each distinct `FactoryConfig` is built once, shared immutably by all
+    /// points that use it. Results are in point order and identical to
+    /// [`SweepSpec::run_serial`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in point order) factory-construction, placement or
+    /// simulation error.
+    pub fn run(&self) -> Result<SweepResults> {
+        // Build each distinct factory once, in parallel.
+        let mut distinct: Vec<FactoryConfig> = Vec::new();
+        for p in &self.points {
+            if !distinct.contains(&p.factory) {
+                distinct.push(p.factory);
+            }
+        }
+        let built: Vec<crate::Result<Arc<FactoryEntry>>> = distinct
+            .par_iter()
+            .map(|config| Ok(Arc::new(FactoryEntry::build(config)?)))
+            .collect();
+        let mut cache: FactoryCache = HashMap::new();
+        for (config, entry) in distinct.iter().zip(built) {
+            cache.insert(*config, entry?);
+        }
+
+        let rows: Vec<crate::Result<SweepRow>> = self
+            .points
+            .par_iter()
+            .map(|point| {
+                let entry = cache
+                    .get(&point.factory)
+                    .expect("every point's config was pre-built")
+                    .clone();
+                self.evaluate_point(point, &entry)
+            })
+            .collect();
+        self.assemble(rows)
+    }
+
+    /// Executes every point sequentially on the calling thread (reference
+    /// implementation for determinism tests, and a baseline for measuring the
+    /// parallel speedup). The factory cache applies here too.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first factory-construction, placement or simulation error.
+    pub fn run_serial(&self) -> Result<SweepResults> {
+        let mut cache: FactoryCache = HashMap::new();
+        let mut rows: Vec<crate::Result<SweepRow>> = Vec::with_capacity(self.points.len());
+        for point in &self.points {
+            let row = self
+                .entry_for(&mut cache, point.factory)
+                .and_then(|entry| self.evaluate_point(point, &entry));
+            rows.push(row);
+        }
+        self.assemble(rows)
+    }
+
+    fn entry_for(
+        &self,
+        cache: &mut FactoryCache,
+        config: FactoryConfig,
+    ) -> Result<Arc<FactoryEntry>> {
+        if let Some(entry) = cache.get(&config) {
+            return Ok(entry.clone());
+        }
+        let entry = Arc::new(FactoryEntry::build(&config)?);
+        cache.insert(config, entry.clone());
+        Ok(entry)
+    }
+
+    /// Evaluates one point against a shared, immutable factory.
+    fn evaluate_point(&self, point: &SweepPoint, entry: &FactoryEntry) -> Result<SweepRow> {
+        let factory = &entry.factory;
+        let layout = point.strategy.map(factory)?;
+        let effective = effective_factory(factory, &layout)?;
+        let evaluation =
+            evaluate_mapped(&effective, &layout, point.strategy.short_name(), &self.eval)?;
+        let breakdown = if self.collect_breakdowns {
+            Some(per_round_breakdown(&effective, &layout, &self.eval.sim)?)
+        } else {
+            None
+        };
+        let metrics = if self.collect_mapping_metrics {
+            // The interaction graph depends only on the circuit, so points
+            // sharing an unrewired factory share one lazily built graph; a
+            // port-rewired circuit differs and gets its own.
+            let computed;
+            let graph = if layout.requires_port_rewiring() {
+                computed = InteractionGraph::from_circuit(effective.circuit());
+                &computed
+            } else {
+                entry
+                    .graph
+                    .get_or_init(|| InteractionGraph::from_circuit(factory.circuit()))
+            };
+            Some(MappingMetrics::compute(graph, &layout.mapping.to_points()))
+        } else {
+            None
+        };
+        Ok(SweepRow {
+            label: point.label.clone(),
+            evaluation,
+            breakdown,
+            metrics,
+        })
+    }
+
+    /// Collapses per-point results, surfacing the first error in point order.
+    fn assemble(&self, rows: Vec<crate::Result<SweepRow>>) -> Result<SweepResults> {
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            out.push(row?);
+        }
+        Ok(SweepResults {
+            name: self.name.clone(),
+            rows: out,
+        })
+    }
+}
+
+/// A cached factory plus lazily derived, factory-invariant artifacts shared
+/// by every point that maps it.
+struct FactoryEntry {
+    factory: Factory,
+    graph: OnceLock<InteractionGraph>,
+}
+
+impl FactoryEntry {
+    fn build(config: &FactoryConfig) -> Result<Self> {
+        Ok(FactoryEntry {
+            factory: Factory::build(config)?,
+            graph: OnceLock::new(),
+        })
+    }
+}
+
+type FactoryCache = HashMap<FactoryConfig, Arc<FactoryEntry>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate;
+    use msfu_distill::ReusePolicy;
+    use msfu_layout::StitchingConfig;
+
+    fn small_spec() -> SweepSpec {
+        let caps = [
+            FactoryConfig::single_level(2),
+            FactoryConfig::single_level(4),
+        ];
+        SweepSpec::new("test", EvaluationConfig::default())
+            .grid("g", &caps, |_| {
+                vec![Strategy::Linear, Strategy::Random { seed: 7 }]
+            })
+            .point(
+                "hs",
+                FactoryConfig::two_level(2),
+                Strategy::HierarchicalStitching(StitchingConfig::default()),
+            )
+    }
+
+    #[test]
+    fn grid_builder_enumerates_every_combination() {
+        let spec = small_spec();
+        assert_eq!(spec.points.len(), 5);
+        assert_eq!(spec.points[0].label, "g");
+        assert_eq!(spec.points[4].label, "hs");
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_are_identical() {
+        let spec = small_spec().with_breakdowns();
+        let parallel = spec.run().unwrap();
+        let serial = spec.run_serial().unwrap();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn cached_factories_match_fresh_builds() {
+        // The same config appears in several points; the engine builds it
+        // once. Results must equal per-point fresh builds via evaluate().
+        let spec = small_spec();
+        let results = spec.run().unwrap();
+        for (point, row) in spec.points.iter().zip(&results.rows) {
+            let fresh = evaluate(&point.factory, &point.strategy, &spec.eval).unwrap();
+            assert_eq!(row.evaluation, fresh, "{}", point.label);
+        }
+    }
+
+    #[test]
+    fn optional_collections_default_off() {
+        let results = SweepSpec::new("t", EvaluationConfig::default())
+            .point("p", FactoryConfig::single_level(2), Strategy::Linear)
+            .run()
+            .unwrap();
+        assert!(results.rows[0].breakdown.is_none());
+        assert!(results.rows[0].metrics.is_none());
+    }
+
+    #[test]
+    fn mapping_metrics_are_collected_on_request() {
+        let results = SweepSpec::new("t", EvaluationConfig::default())
+            .point(
+                "p",
+                FactoryConfig::single_level(4),
+                Strategy::Random { seed: 3 },
+            )
+            .with_mapping_metrics()
+            .run()
+            .unwrap();
+        let metrics = results.rows[0].metrics.unwrap();
+        assert!(metrics.avg_edge_length > 0.0);
+    }
+
+    #[test]
+    fn breakdowns_cover_every_round() {
+        let results = SweepSpec::new("t", EvaluationConfig::default())
+            .point("p", FactoryConfig::two_level(2), Strategy::Linear)
+            .with_breakdowns()
+            .run()
+            .unwrap();
+        let breakdown = results.rows[0].breakdown.as_ref().unwrap();
+        assert_eq!(breakdown.len(), 2);
+        assert!(breakdown[0].permutation_cycles > 0);
+    }
+
+    #[test]
+    fn errors_propagate_in_point_order() {
+        let spec = SweepSpec::new("t", EvaluationConfig::default())
+            .point("ok", FactoryConfig::single_level(2), Strategy::Linear)
+            .point("bad", FactoryConfig::new(0, 1), Strategy::Linear);
+        assert!(spec.run().is_err());
+        assert!(spec.run_serial().is_err());
+    }
+
+    #[test]
+    fn find_selects_by_label_strategy_and_capacity() {
+        let results = small_spec().run().unwrap();
+        let row = results.find("g", "Line", 4).unwrap();
+        assert_eq!(row.evaluation.factory.capacity(), 4);
+        assert!(results.find("g", "HS", 4).is_none());
+        assert_eq!(results.labeled("g").count(), 4);
+    }
+
+    #[test]
+    fn reuse_policies_are_distinct_cache_keys() {
+        let reuse = FactoryConfig::two_level(2).with_reuse(ReusePolicy::Reuse);
+        let no_reuse = FactoryConfig::two_level(2).with_reuse(ReusePolicy::NoReuse);
+        let results = SweepSpec::new("t", EvaluationConfig::default())
+            .point("r", reuse, Strategy::Linear)
+            .point("nr", no_reuse, Strategy::Linear)
+            .run()
+            .unwrap();
+        assert!(
+            results.rows[0].evaluation.logical_qubits < results.rows[1].evaluation.logical_qubits
+        );
+    }
+}

@@ -84,7 +84,9 @@ pub fn provision(
     let factories_needed = if states_per_cycle <= 0.0 {
         usize::MAX
     } else {
-        (demand.t_gates_per_cycle / states_per_cycle).ceil().max(1.0) as usize
+        (demand.t_gates_per_cycle / states_per_cycle)
+            .ceil()
+            .max(1.0) as usize
     };
     let production_rate = states_per_cycle * factories_needed as f64;
     let completion_cycles = if production_rate <= 0.0 {

@@ -46,7 +46,10 @@ impl fmt::Display for DistillError {
                 "configuration requires {qubits} logical qubits which exceeds the limit of {limit}"
             ),
             DistillError::InvalidPortSwap => {
-                write!(f, "port swap must reference two output qubits of the same module")
+                write!(
+                    f,
+                    "port swap must reference two output qubits of the same module"
+                )
             }
             DistillError::Circuit(e) => write!(f, "circuit construction failed: {e}"),
         }

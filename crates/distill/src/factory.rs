@@ -5,7 +5,10 @@ use serde::{Deserialize, Serialize};
 use msfu_circuit::{Circuit, Gate, QubitId, QubitRole};
 
 use crate::bravyi_haah::{emit_module_gates, module_gate_count};
-use crate::{DistillError, FactoryConfig, ModuleInfo, PermutationEdge, Result, ReusePolicy, RoundInfo};
+use crate::{
+    DistillError, FactoryConfig, ModuleInfo, PermutationEdge, PortAssignment, Result, ReusePolicy,
+    RoundInfo,
+};
 
 /// Hard limit on the number of logical qubits a factory may allocate; guards
 /// against accidentally requesting an astronomically large configuration.
@@ -202,7 +205,12 @@ impl Factory {
         }
 
         let mut circuit = Circuit::new(
-            format!("block-code-k{}-l{}-{}", k, config.levels, config.reuse.short_name()),
+            format!(
+                "block-code-k{}-l{}-{}",
+                k,
+                config.levels,
+                config.reuse.short_name()
+            ),
             alloc.roles,
         );
         for g in gates {
@@ -285,7 +293,8 @@ impl Factory {
         );
         for idx in info.gate_range.clone() {
             let gate = self.circuit.gates()[idx].clone();
-            c.push(gate).expect("round gates are valid in the factory qubit space");
+            c.push(gate)
+                .expect("round gates are valid in the factory qubit space");
         }
         c
     }
@@ -311,11 +320,7 @@ impl Factory {
             if gate.is_barrier() {
                 continue;
             }
-            if gate
-                .qubits()
-                .iter()
-                .any(|q| is_output_of_round[q.index()])
-            {
+            if gate.qubits().iter().any(|q| is_output_of_round[q.index()]) {
                 c.push(gate.clone())
                     .expect("permutation gates are valid in the factory qubit space");
             }
@@ -371,7 +376,10 @@ impl Factory {
         };
 
         // Rebuild the circuit with the relabelled later-round gates.
-        let mut new_circuit = Circuit::new(self.circuit.name().to_string(), self.circuit.roles().to_vec());
+        let mut new_circuit = Circuit::new(
+            self.circuit.name().to_string(),
+            self.circuit.roles().to_vec(),
+        );
         for (idx, gate) in self.circuit.gates().iter().enumerate() {
             let gate = if idx >= later_start {
                 remap_gate(gate, &relabel)
@@ -394,6 +402,37 @@ impl Factory {
                     *q = relabel(*q);
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// Applies a mapper-produced [`PortAssignment`] to a *copy* of this
+    /// factory, returning the rewired factory and leaving `self` untouched.
+    /// This is how the evaluation layer realises the port-reassignment
+    /// decisions of the hierarchical-stitching mapper while the built factory
+    /// stays immutable and shareable across threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistillError::InvalidPortSwap`] if any entry does not name
+    /// two distinct output qubits of one module (after earlier swaps applied).
+    pub fn apply_port_assignment(&self, assignment: &PortAssignment) -> Result<Factory> {
+        let mut rewired = self.clone();
+        rewired.apply_port_assignment_in_place(assignment)?;
+        Ok(rewired)
+    }
+
+    /// Applies a [`PortAssignment`] to this factory in place, swap by swap in
+    /// recorded order (identical semantics to the historical mutating
+    /// rewiring).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistillError::InvalidPortSwap`] under the same conditions as
+    /// [`Factory::swap_output_ports`].
+    pub fn apply_port_assignment_in_place(&mut self, assignment: &PortAssignment) -> Result<()> {
+        for &(a, b) in assignment.swaps() {
+            self.swap_output_ports(a, b)?;
         }
         Ok(())
     }
@@ -490,14 +529,19 @@ mod tests {
         }
         for m in f.round_modules(0) {
             for q in &m.outputs {
-                assert_eq!(consumed.get(q), Some(&1), "output {q} must be consumed once");
+                assert_eq!(
+                    consumed.get(q),
+                    Some(&1),
+                    "output {q} must be consumed once"
+                );
             }
         }
     }
 
     #[test]
     fn reuse_reduces_qubit_count() {
-        let reuse = Factory::build(&FactoryConfig::two_level(2).with_reuse(ReusePolicy::Reuse)).unwrap();
+        let reuse =
+            Factory::build(&FactoryConfig::two_level(2).with_reuse(ReusePolicy::Reuse)).unwrap();
         let no_reuse =
             Factory::build(&FactoryConfig::two_level(2).with_reuse(ReusePolicy::NoReuse)).unwrap();
         assert!(reuse.num_qubits() < no_reuse.num_qubits());
@@ -512,7 +556,8 @@ mod tests {
     fn reuse_never_reuses_live_outputs() {
         // Outputs of round 0 feed round 1, so they must not be handed out as
         // fresh ancillas for round 1.
-        let f = Factory::build(&FactoryConfig::two_level(2).with_reuse(ReusePolicy::Reuse)).unwrap();
+        let f =
+            Factory::build(&FactoryConfig::two_level(2).with_reuse(ReusePolicy::Reuse)).unwrap();
         let round0_outputs: HashSet<QubitId> = f
             .round_modules(0)
             .iter()
@@ -544,10 +589,7 @@ mod tests {
         let f = Factory::build(&FactoryConfig::two_level(2)).unwrap();
         let r0 = f.round_circuit(0);
         let r1 = f.round_circuit(1);
-        assert_eq!(
-            r0.num_gates() + r1.num_gates(),
-            f.circuit().num_gates()
-        );
+        assert_eq!(r0.num_gates() + r1.num_gates(), f.circuit().num_gates());
         assert_eq!(r0.num_qubits(), f.circuit().num_qubits());
     }
 
@@ -580,7 +622,10 @@ mod tests {
                 covered[b] += 1;
             }
         }
-        assert!(covered.iter().all(|&c| c == 1), "module/barrier gate ranges must partition the circuit");
+        assert!(
+            covered.iter().all(|&c| c == 1),
+            "module/barrier gate ranges must partition the circuit"
+        );
     }
 
     #[test]
@@ -632,6 +677,46 @@ mod tests {
         );
         assert_eq!(
             f.swap_output_ports(a, a).unwrap_err(),
+            DistillError::InvalidPortSwap
+        );
+    }
+
+    #[test]
+    fn apply_port_assignment_matches_sequential_swaps() {
+        let base = Factory::build(&FactoryConfig::two_level(2)).unwrap();
+        let m0 = base.modules()[0].clone();
+        let m1 = base.modules()[1].clone();
+        let mut pa = PortAssignment::new();
+        pa.push_swap(m0.outputs[0], m0.outputs[1]);
+        pa.push_swap(m1.outputs[0], m1.outputs[1]);
+
+        let rewired = base.apply_port_assignment(&pa).unwrap();
+
+        let mut manual = base.clone();
+        manual
+            .swap_output_ports(m0.outputs[0], m0.outputs[1])
+            .unwrap();
+        manual
+            .swap_output_ports(m1.outputs[0], m1.outputs[1])
+            .unwrap();
+
+        assert_eq!(rewired, manual);
+        // The source factory is untouched.
+        assert_eq!(base, Factory::build(&FactoryConfig::two_level(2)).unwrap());
+        // An empty assignment is the identity.
+        assert_eq!(
+            base.apply_port_assignment(&PortAssignment::new()).unwrap(),
+            base
+        );
+    }
+
+    #[test]
+    fn apply_port_assignment_rejects_invalid_swaps() {
+        let base = Factory::build(&FactoryConfig::two_level(2)).unwrap();
+        let mut pa = PortAssignment::new();
+        pa.push_swap(base.modules()[0].outputs[0], base.modules()[1].outputs[0]);
+        assert_eq!(
+            base.apply_port_assignment(&pa).unwrap_err(),
             DistillError::InvalidPortSwap
         );
     }

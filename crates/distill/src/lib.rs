@@ -43,12 +43,14 @@ mod error;
 pub mod error_model;
 mod factory;
 mod module;
+mod ports;
 pub mod resource;
 
 pub use config::{FactoryConfig, ReusePolicy};
 pub use error::DistillError;
 pub use factory::Factory;
 pub use module::{ModuleInfo, PermutationEdge, RoundInfo};
+pub use ports::PortAssignment;
 
 /// Convenience result alias used by fallible APIs in this crate.
 pub type Result<T> = std::result::Result<T, DistillError>;

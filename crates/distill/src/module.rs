@@ -36,7 +36,13 @@ impl ModuleInfo {
     /// upstream modules and are excluded.
     pub fn local_qubits(&self) -> Vec<QubitId> {
         let mut qs = Vec::with_capacity(
-            self.ancillas.len() + self.outputs.len() + if self.round == 0 { self.raw_inputs.len() } else { 0 },
+            self.ancillas.len()
+                + self.outputs.len()
+                + if self.round == 0 {
+                    self.raw_inputs.len()
+                } else {
+                    0
+                },
         );
         if self.round == 0 {
             qs.extend_from_slice(&self.raw_inputs);
@@ -48,9 +54,8 @@ impl ModuleInfo {
 
     /// Every qubit referenced by the module, including upstream raw inputs.
     pub fn all_qubits(&self) -> Vec<QubitId> {
-        let mut qs = Vec::with_capacity(
-            self.raw_inputs.len() + self.ancillas.len() + self.outputs.len(),
-        );
+        let mut qs =
+            Vec::with_capacity(self.raw_inputs.len() + self.ancillas.len() + self.outputs.len());
         qs.extend_from_slice(&self.raw_inputs);
         qs.extend_from_slice(&self.ancillas);
         qs.extend_from_slice(&self.outputs);
@@ -125,10 +130,7 @@ mod tests {
         assert_eq!(base.all_qubits().len(), 4);
         assert_eq!(base.capacity(), 1);
 
-        let later = ModuleInfo {
-            round: 1,
-            ..base
-        };
+        let later = ModuleInfo { round: 1, ..base };
         assert_eq!(later.local_qubits(), vec![q(2), q(3)]);
         assert_eq!(later.all_qubits().len(), 4);
     }

@@ -7,7 +7,7 @@
 //!   force-directed mapper.
 //! * [`label_propagation`] — a cheaper detector useful for very large graphs.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -66,10 +66,10 @@ pub fn modularity(graph: &InteractionGraph, assignment: &[usize]) -> f64 {
     }
     let mut q = 0.0;
     // Sum over edges of the same community minus the degree product term.
-    let mut community_degree: HashMap<usize, f64> = HashMap::new();
-    let mut community_internal: HashMap<usize, f64> = HashMap::new();
-    for v in 0..graph.num_vertices() {
-        *community_degree.entry(assignment[v]).or_insert(0.0) += graph.weighted_degree(v);
+    let mut community_degree: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut community_internal: BTreeMap<usize, f64> = BTreeMap::new();
+    for (v, a) in assignment.iter().enumerate().take(graph.num_vertices()) {
+        *community_degree.entry(*a).or_insert(0.0) += graph.weighted_degree(v);
     }
     for (u, v, w) in graph.edges() {
         if assignment[*u] == assignment[*v] {
@@ -120,7 +120,7 @@ pub fn louvain<R: Rng>(graph: &InteractionGraph, rng: &mut R) -> Communities {
         // Aggregate: build the community graph, preserving intra-community
         // weight as self-loops so later passes see the true modularity terms.
         let communities = Communities::from_assignment(assignment.clone());
-        let mut edges: HashMap<(usize, usize), f64> = HashMap::new();
+        let mut edges: BTreeMap<(usize, usize), f64> = BTreeMap::new();
         let mut new_self_loops = vec![0.0; communities.count];
         for (u, v, w) in work.edges() {
             // Map work-graph vertices back through membership of any original
@@ -202,8 +202,10 @@ fn local_moving<R: Rng>(
         let mut moved = false;
         for &v in &order {
             let current = community[v];
-            // Weights from v to each neighbouring community.
-            let mut to_community: HashMap<usize, f64> = HashMap::new();
+            // Weights from v to each neighbouring community. Ordered map:
+            // candidate iteration order breaks near-ties, so a HashMap here
+            // would make the whole detector nondeterministic per run.
+            let mut to_community: BTreeMap<usize, f64> = BTreeMap::new();
             for (n, w) in work.neighbors(v) {
                 *to_community.entry(community[*n]).or_insert(0.0) += *w;
             }
@@ -260,7 +262,7 @@ pub fn label_propagation<R: Rng>(
             if graph.degree(v) == 0 {
                 continue;
             }
-            let mut votes: HashMap<usize, f64> = HashMap::new();
+            let mut votes: BTreeMap<usize, f64> = BTreeMap::new();
             for (nb, w) in graph.neighbors(v) {
                 *votes.entry(labels[*nb]).or_insert(0.0) += *w;
             }

@@ -96,7 +96,10 @@ fn on_segment(a: Point, b: Point, p: Point) -> bool {
 pub fn segments_cross(a1: Point, a2: Point, b1: Point, b2: Point) -> bool {
     const EPS: f64 = 1e-9;
     let share_endpoint = |p: Point, q: Point| p.distance(&q) < EPS;
-    if share_endpoint(a1, b1) || share_endpoint(a1, b2) || share_endpoint(a2, b1) || share_endpoint(a2, b2)
+    if share_endpoint(a1, b1)
+        || share_endpoint(a1, b2)
+        || share_endpoint(a2, b1)
+        || share_endpoint(a2, b2)
     {
         return false;
     }

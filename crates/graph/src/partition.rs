@@ -114,7 +114,11 @@ pub fn bisect<R: Rng>(graph: &InteractionGraph, rng: &mut R) -> Bisection {
 /// Recursively bisects a graph into `parts` parts (rounded up to a power of
 /// two internally; surplus parts are left empty). Returns the part index of
 /// each vertex.
-pub fn recursive_bisection<R: Rng>(graph: &InteractionGraph, parts: usize, rng: &mut R) -> Vec<usize> {
+pub fn recursive_bisection<R: Rng>(
+    graph: &InteractionGraph,
+    parts: usize,
+    rng: &mut R,
+) -> Vec<usize> {
     let n = graph.num_vertices();
     let mut assignment = vec![0usize; n];
     if parts <= 1 || n == 0 {
@@ -199,7 +203,11 @@ fn coarsen<R: Rng>(
 
 /// Greedy region-growing initial bisection on the coarsest graph: BFS from a
 /// random seed until half of the total vertex weight is collected.
-fn initial_bisection<R: Rng>(graph: &InteractionGraph, vertex_weight: &[f64], rng: &mut R) -> Vec<usize> {
+fn initial_bisection<R: Rng>(
+    graph: &InteractionGraph,
+    vertex_weight: &[f64],
+    rng: &mut R,
+) -> Vec<usize> {
     let n = graph.num_vertices();
     let total: f64 = vertex_weight.iter().sum();
     let target = total / 2.0;
@@ -357,7 +365,12 @@ mod tests {
         let g = InteractionGraph::from_edges(32, edges);
         let b = bisect(&g, &mut rng());
         let diff = (b.left.len() as i64 - b.right.len() as i64).abs();
-        assert!(diff <= 4, "sides too unbalanced: {} vs {}", b.left.len(), b.right.len());
+        assert!(
+            diff <= 4,
+            "sides too unbalanced: {} vs {}",
+            b.left.len(),
+            b.right.len()
+        );
         assert!(b.cut_weight <= 8.0);
     }
 

@@ -74,12 +74,15 @@ pub fn estimate(graph: &InteractionGraph) -> PlanarityEstimate {
 pub fn is_planar_small(graph: &InteractionGraph, max_vertices: usize) -> Option<bool> {
     // Reduce: repeatedly delete isolated and degree-1 vertices and smooth
     // degree-2 vertices; planarity is invariant under these operations.
-    let mut adj: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); graph.num_vertices()];
+    let mut adj: Vec<std::collections::BTreeSet<usize>> =
+        vec![Default::default(); graph.num_vertices()];
     for (u, v, _) in graph.edges() {
         adj[*u].insert(*v);
         adj[*v].insert(*u);
     }
-    let mut alive: Vec<bool> = (0..graph.num_vertices()).map(|v| !adj[v].is_empty()).collect();
+    let mut alive: Vec<bool> = (0..graph.num_vertices())
+        .map(|v| !adj[v].is_empty())
+        .collect();
     let mut changed = true;
     while changed {
         changed = false;
@@ -145,7 +148,10 @@ pub fn is_planar_small(graph: &InteractionGraph, max_vertices: usize) -> Option<
                         continue;
                     }
                     for l in (k + 1)..r.len() {
-                        if !connected(r[i], r[l]) || !connected(r[j], r[l]) || !connected(r[k], r[l]) {
+                        if !connected(r[i], r[l])
+                            || !connected(r[j], r[l])
+                            || !connected(r[k], r[l])
+                        {
                             continue;
                         }
                         for m in (l + 1)..r.len() {

@@ -16,7 +16,11 @@ use crate::InteractionGraph;
 ///
 /// Returns a vector of length `num_vertices`; for an edgeless or empty graph
 /// the result is all zeros.
-pub fn fiedler_vector<R: Rng>(graph: &InteractionGraph, iterations: usize, rng: &mut R) -> Vec<f64> {
+pub fn fiedler_vector<R: Rng>(
+    graph: &InteractionGraph,
+    iterations: usize,
+    rng: &mut R,
+) -> Vec<f64> {
     let n = graph.num_vertices();
     if n == 0 || graph.num_edges() == 0 {
         return vec![0.0; n];
@@ -110,13 +114,13 @@ mod tests {
         // All vertices of one clique share a sign, opposite to the other.
         let sign = |x: f64| x >= 0.0;
         let s0 = sign(f[1]);
-        for v in 1..6 {
-            assert_eq!(sign(f[v]), s0, "vertex {v}");
+        for (v, x) in f.iter().enumerate().take(6).skip(1) {
+            assert_eq!(sign(*x), s0, "vertex {v}");
         }
         let s1 = sign(f[7]);
         assert_ne!(s0, s1);
-        for v in 7..12 {
-            assert_eq!(sign(f[v]), s1, "vertex {v}");
+        for (v, x) in f.iter().enumerate().take(12).skip(7) {
+            assert_eq!(sign(*x), s1, "vertex {v}");
         }
     }
 

@@ -90,7 +90,7 @@ impl<'g> CostModel<'g> {
 
     /// Change in total cost if `vertex` moves from its current position to
     /// `candidate` (negative is an improvement).
-    pub fn move_delta(&self, vertex: usize, positions: &mut Vec<Point>, candidate: Point) -> f64 {
+    pub fn move_delta(&self, vertex: usize, positions: &mut [Point], candidate: Point) -> f64 {
         let before = self.vertex_contribution(vertex, positions);
         let original = positions[vertex];
         positions[vertex] = candidate;
@@ -121,7 +121,13 @@ mod tests {
     fn total_counts_length_and_crossings() {
         let g = square_graph();
         let pos = square_positions();
-        let model = CostModel::new(&g, CostWeights { edge_length: 1.0, crossing: 100.0 });
+        let model = CostModel::new(
+            &g,
+            CostWeights {
+                edge_length: 1.0,
+                crossing: 100.0,
+            },
+        );
         // Two diagonals of Manhattan length 4 each, one crossing.
         assert_eq!(model.total(&pos), 8.0 + 100.0);
     }

@@ -63,7 +63,10 @@ pub fn pole_coloring(graph: &InteractionGraph) -> Vec<Pole> {
         }
     }
     // Resolve remaining conflicts towards the minority colour of neighbours.
-    let mut result: Vec<Pole> = poles.into_iter().map(|p| p.unwrap_or(Pole::North)).collect();
+    let mut result: Vec<Pole> = poles
+        .into_iter()
+        .map(|p| p.unwrap_or(Pole::North))
+        .collect();
     for v in 0..n {
         let mut north = 0usize;
         let mut south = 0usize;
@@ -194,7 +197,11 @@ mod tests {
     fn isolated_vertices_feel_no_force() {
         let g = InteractionGraph::from_edges(3, [(0, 1, 1.0)]);
         let poles = pole_coloring(&g);
-        let positions = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.5, 0.5)];
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 0.5),
+        ];
         let forces = dipole_forces(&g, &positions, &poles, 1.0, 100.0);
         assert_eq!(forces[2], Point::default());
     }

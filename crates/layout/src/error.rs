@@ -62,7 +62,11 @@ impl fmt::Display for LayoutError {
                 "cell ({}, {}) already holds {occupant}, cannot also place {claimant}",
                 cell.row, cell.col
             ),
-            LayoutError::OutOfBounds { cell, width, height } => write!(
+            LayoutError::OutOfBounds {
+                cell,
+                width,
+                height,
+            } => write!(
                 f,
                 "cell ({}, {}) lies outside the {width}x{height} grid",
                 cell.row, cell.col
@@ -94,10 +98,15 @@ mod tests {
         assert!(e.to_string().contains("q0"));
         assert!(e.to_string().contains("q3"));
 
-        let e = LayoutError::GridTooSmall { qubits: 9, cells: 4 };
+        let e = LayoutError::GridTooSmall {
+            qubits: 9,
+            cells: 4,
+        };
         assert!(e.to_string().contains('9'));
 
-        let e = LayoutError::Unmapped { qubit: QubitId::new(7) };
+        let e = LayoutError::Unmapped {
+            qubit: QubitId::new(7),
+        };
         assert!(e.to_string().contains("q7"));
     }
 

@@ -258,7 +258,7 @@ impl ForceDirectedMapper {
         _graph: &InteractionGraph,
         cost_model: &CostModel<'_>,
         mapping: &mut Mapping,
-        positions: &mut Vec<Point>,
+        positions: &mut [Point],
         v: usize,
         target: Coord,
         temperature: f64,
@@ -285,12 +285,12 @@ impl ForceDirectedMapper {
                 let u = other.index();
                 let pv = positions[v];
                 let pu = positions[u];
-                let before =
-                    cost_model.vertex_contribution(v, positions) + cost_model.vertex_contribution(u, positions);
+                let before = cost_model.vertex_contribution(v, positions)
+                    + cost_model.vertex_contribution(u, positions);
                 positions[v] = pu;
                 positions[u] = pv;
-                let after =
-                    cost_model.vertex_contribution(v, positions) + cost_model.vertex_contribution(u, positions);
+                let after = cost_model.vertex_contribution(v, positions)
+                    + cost_model.vertex_contribution(u, positions);
                 let delta = after - before;
                 if accept(delta, rng) {
                     mapping.swap(qubit, other).expect("both qubits are placed");
@@ -315,7 +315,7 @@ impl ForceDirectedMapper {
         communities: &community::Communities,
         cost_model: &CostModel<'_>,
         mapping: &mut Mapping,
-        positions: &mut Vec<Point>,
+        positions: &mut [Point],
         temperature: f64,
         rng: &mut ChaCha8Rng,
     ) {
@@ -353,7 +353,14 @@ impl ForceDirectedMapper {
                 );
                 if target != current {
                     self.try_move(
-                        graph, cost_model, mapping, positions, vertex, target, temperature, rng,
+                        graph,
+                        cost_model,
+                        mapping,
+                        positions,
+                        vertex,
+                        target,
+                        temperature,
+                        rng,
                     );
                 }
             }
@@ -484,7 +491,9 @@ mod tests {
             dipole: 0.0,
             ..small_config(2)
         };
-        let layout = ForceDirectedMapper::with_config(cfg).map_factory(&f).unwrap();
+        let layout = ForceDirectedMapper::with_config(cfg)
+            .map_factory(&f)
+            .unwrap();
         assert!(layout.mapping.is_complete());
     }
 

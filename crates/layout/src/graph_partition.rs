@@ -68,7 +68,8 @@ pub(crate) fn embed_into_cells(
     // Give each side a share of cells proportional to its vertex count, but
     // never fewer cells than vertices on either side.
     let total = cells.len();
-    let mut left_cells = (total as f64 * left.len() as f64 / vertices.len() as f64).round() as usize;
+    let mut left_cells =
+        (total as f64 * left.len() as f64 / vertices.len() as f64).round() as usize;
     left_cells = left_cells.max(left.len()).min(total - right.len());
     let right_cell_list = cells.split_off(left_cells);
     let left_cell_list = cells;

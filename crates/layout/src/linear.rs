@@ -171,12 +171,16 @@ mod tests {
         let layout = LinearMapper::new().map_factory(&f).unwrap();
         let g = InteractionGraph::from_circuit(f.circuit());
         let avg = metrics::average_edge_length(&g, &layout.mapping.to_points());
-        assert!(avg < 4.0, "average edge length {avg} too long for a hand layout");
+        assert!(
+            avg < 4.0,
+            "average edge length {avg} too long for a hand layout"
+        );
     }
 
     #[test]
     fn two_level_reuse_layout_is_complete() {
-        let f = Factory::build(&FactoryConfig::two_level(2).with_reuse(ReusePolicy::Reuse)).unwrap();
+        let f =
+            Factory::build(&FactoryConfig::two_level(2).with_reuse(ReusePolicy::Reuse)).unwrap();
         let layout = LinearMapper::new().map_factory(&f).unwrap();
         assert!(layout.mapping.is_complete());
     }
@@ -184,11 +188,15 @@ mod tests {
     #[test]
     fn two_level_no_reuse_layout_is_complete_and_larger() {
         let reuse = LinearMapper::new()
-            .map_factory(&Factory::build(&FactoryConfig::two_level(2).with_reuse(ReusePolicy::Reuse)).unwrap())
+            .map_factory(
+                &Factory::build(&FactoryConfig::two_level(2).with_reuse(ReusePolicy::Reuse))
+                    .unwrap(),
+            )
             .unwrap();
         let no_reuse = LinearMapper::new()
             .map_factory(
-                &Factory::build(&FactoryConfig::two_level(2).with_reuse(ReusePolicy::NoReuse)).unwrap(),
+                &Factory::build(&FactoryConfig::two_level(2).with_reuse(ReusePolicy::NoReuse))
+                    .unwrap(),
             )
             .unwrap();
         assert!(no_reuse.mapping.is_complete());

@@ -1,31 +1,57 @@
 //! The mapper abstraction shared by every placement strategy.
 
-use msfu_distill::Factory;
+use msfu_distill::{Factory, PortAssignment};
 
 use crate::{Mapping, Result, RoutingHints};
 
-/// The product of a mapping strategy: a qubit placement plus optional routing
-/// hints for the braid simulator.
+/// The product of a mapping strategy: a qubit placement, optional routing
+/// hints for the braid simulator, and the output-port rebinding the strategy
+/// wants applied to the factory.
+///
+/// Mapping never mutates the factory: strategies that re-bind output ports
+/// (hierarchical stitching) record the decision in [`Layout::ports`], and the
+/// evaluation layer applies it to a private copy via
+/// [`Factory::apply_port_assignment`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Layout {
     /// Placement of every logical qubit of the factory.
     pub mapping: Mapping,
     /// Waypoint hints for selected interactions (may be empty).
     pub hints: RoutingHints,
+    /// Output-port swaps the consumer must apply to the factory before
+    /// simulating under this layout (empty for most strategies).
+    pub ports: PortAssignment,
 }
 
 impl Layout {
-    /// Creates a layout with no routing hints.
+    /// Creates a layout with no routing hints and no port rewiring.
     pub fn new(mapping: Mapping) -> Self {
         Layout {
             mapping,
             hints: RoutingHints::new(),
+            ports: PortAssignment::new(),
         }
     }
 
-    /// Creates a layout with routing hints.
+    /// Creates a layout with routing hints and no port rewiring.
     pub fn with_hints(mapping: Mapping, hints: RoutingHints) -> Self {
-        Layout { mapping, hints }
+        Layout {
+            mapping,
+            hints,
+            ports: PortAssignment::new(),
+        }
+    }
+
+    /// Attaches a port assignment to the layout.
+    pub fn with_ports(mut self, ports: PortAssignment) -> Self {
+        self.ports = ports;
+        self
+    }
+
+    /// Returns `true` when simulating under this layout requires rewiring the
+    /// factory's output ports first.
+    pub fn requires_port_rewiring(&self) -> bool {
+        !self.ports.is_empty()
     }
 }
 

@@ -327,7 +327,10 @@ mod tests {
     fn swap_requires_both_placed() {
         let mut m = Mapping::new(2, 2, 1);
         m.place(q(0), Coord::new(0, 0)).unwrap();
-        assert!(matches!(m.swap(q(0), q(1)), Err(LayoutError::Unmapped { .. })));
+        assert!(matches!(
+            m.swap(q(0), q(1)),
+            Err(LayoutError::Unmapped { .. })
+        ));
     }
 
     #[test]

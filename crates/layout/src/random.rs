@@ -108,7 +108,10 @@ mod tests {
     #[test]
     fn expansion_grows_the_grid() {
         let compact = RandomMapper::new(1).map_qubits(25).unwrap();
-        let sparse = RandomMapper::new(1).with_expansion(2.0).map_qubits(25).unwrap();
+        let sparse = RandomMapper::new(1)
+            .with_expansion(2.0)
+            .map_qubits(25)
+            .unwrap();
         assert!(sparse.grid_area() > compact.grid_area());
         assert_eq!(compact.grid_area(), 25);
     }
@@ -120,7 +123,10 @@ mod tests {
 
     #[test]
     fn expansion_below_one_is_clamped() {
-        let m = RandomMapper::new(1).with_expansion(0.1).map_qubits(9).unwrap();
+        let m = RandomMapper::new(1)
+            .with_expansion(0.1)
+            .map_qubits(9)
+            .unwrap();
         assert_eq!(m.grid_area(), 9);
     }
 }

@@ -13,9 +13,13 @@
 //!    output states they consume (Section VII-B1).
 //! 3. **Port reassignment** — each module's output states are interchangeable,
 //!    so output ports are re-bound to downstream modules to minimise
-//!    permutation distance (Section VII-B2). This rewires the factory circuit
-//!    and therefore requires mutable access to the factory; use
-//!    [`HierarchicalStitchingMapper::map_factory_optimized`] to enable it.
+//!    permutation distance (Section VII-B2). The mapper records the desired
+//!    rebinding as an explicit [`PortAssignment`] on the returned [`Layout`];
+//!    the evaluation layer applies it to a private copy of the factory
+//!    (`Factory::apply_port_assignment`), so mapping never mutates the shared
+//!    factory. The historical mutating flow survives as
+//!    [`HierarchicalStitchingMapper::map_factory_optimized`], kept as the
+//!    reference implementation the artifact path is tested against.
 //! 4. **Intermediate hop routing** — every permutation braid receives a
 //!    Valiant-style intermediate destination, placed at the braid midpoint or
 //!    at random and then annealed to minimise segment crossings and length
@@ -28,7 +32,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use msfu_circuit::{Gate, QubitId};
-use msfu_distill::{Factory, ModuleInfo};
+use msfu_distill::{Factory, ModuleInfo, PortAssignment};
 use msfu_graph::geometry::{segments_cross, Point};
 use msfu_graph::InteractionGraph;
 
@@ -117,8 +121,14 @@ impl HierarchicalStitchingMapper {
         &self.config
     }
 
-    /// Full stitching flow including output-port reassignment, which rewires
-    /// the factory circuit in place (Section VII-B2).
+    /// Legacy stitching flow that rewires the factory circuit *in place*
+    /// (Section VII-B2) instead of recording a [`PortAssignment`].
+    ///
+    /// New code should use [`FactoryMapper::map_factory`], which returns the
+    /// same placement and hints plus the port rebinding as an artifact on the
+    /// layout. This method is kept as the reference implementation of the
+    /// historical behaviour; the equivalence of the two flows is asserted by
+    /// tests.
     ///
     /// # Errors
     ///
@@ -126,7 +136,7 @@ impl HierarchicalStitchingMapper {
     pub fn map_factory_optimized(&self, factory: &mut Factory) -> Result<Layout> {
         let mapping = self.place_all_rounds(factory)?;
         if self.config.reassign_ports {
-            self.reassign_ports(factory, &mapping)?;
+            self.reassign_ports_in_place(factory, &mapping)?;
         }
         let hints = self.compute_hops(factory, &mapping)?;
         Ok(Layout::with_hints(mapping, hints))
@@ -250,7 +260,7 @@ impl HierarchicalStitchingMapper {
             let db = b.to_point().distance(&anchor);
             da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
         });
-        for (q, cell) in qubits.iter().zip(free.into_iter()) {
+        for (q, cell) in qubits.iter().zip(free) {
             mapping.place(*q, cell)?;
         }
         Ok(())
@@ -260,15 +270,9 @@ impl HierarchicalStitchingMapper {
     // Phase 3: output-port reassignment.
     // ------------------------------------------------------------------
 
-    /// For every non-final-round module, re-binds its output ports to the
-    /// downstream modules so that each state travels to the nearest consumer.
-    fn reassign_ports(&self, factory: &mut Factory, mapping: &Mapping) -> Result<()> {
-        let levels = factory.rounds().len();
-        if levels < 2 {
-            return Ok(());
-        }
-        // Anchor of each module: centroid of its local qubit positions.
-        let anchors: HashMap<usize, Point> = factory
+    /// Anchor of each module: centroid of its local qubit positions.
+    fn module_anchors(factory: &Factory, mapping: &Mapping) -> HashMap<usize, Point> {
+        factory
             .modules()
             .iter()
             .map(|m| {
@@ -280,7 +284,124 @@ impl HierarchicalStitchingMapper {
                     .collect();
                 (m.id, msfu_graph::geometry::centroid(&pts))
             })
+            .collect()
+    }
+
+    /// Greedy assignment for one source module: repeatedly binds the closest
+    /// (output position, destination anchor) pair. `dest_of` is the module's
+    /// current output → destination binding.
+    fn desired_binding(
+        mapping: &Mapping,
+        anchors: &HashMap<usize, Point>,
+        outputs: &[QubitId],
+        dest_of: &HashMap<QubitId, usize>,
+    ) -> HashMap<QubitId, usize> {
+        let dests: Vec<usize> = outputs
+            .iter()
+            .filter_map(|q| dest_of.get(q).copied())
             .collect();
+        let mut desired: HashMap<QubitId, usize> = HashMap::new();
+        let mut free_outputs: Vec<QubitId> = outputs.to_vec();
+        let mut free_dests = dests;
+        while !free_outputs.is_empty() && !free_dests.is_empty() {
+            let mut best = (0usize, 0usize, f64::INFINITY);
+            for (i, q) in free_outputs.iter().enumerate() {
+                let qp = match mapping.position(*q) {
+                    Some(p) => p.to_point(),
+                    None => continue,
+                };
+                for (j, d) in free_dests.iter().enumerate() {
+                    let anchor = anchors.get(d).copied().unwrap_or_default();
+                    let dist = qp.distance(&anchor);
+                    if dist < best.2 {
+                        best = (i, j, dist);
+                    }
+                }
+            }
+            if best.2.is_infinite() {
+                break;
+            }
+            let q = free_outputs.remove(best.0);
+            let d = free_dests.remove(best.1);
+            desired.insert(q, d);
+        }
+        desired
+    }
+
+    /// Computes the output-port rebinding for every non-final-round module
+    /// *without touching the factory*: the same greedy nearest-consumer
+    /// binding as the legacy in-place flow, realised as an ordered swap list.
+    /// The effect of every recorded swap on downstream bindings is tracked
+    /// locally so later decisions see earlier ones, exactly as the mutating
+    /// path does.
+    pub fn compute_port_assignment(
+        &self,
+        factory: &Factory,
+        mapping: &Mapping,
+    ) -> Result<PortAssignment> {
+        let mut assignment = PortAssignment::new();
+        let levels = factory.rounds().len();
+        if levels < 2 {
+            return Ok(assignment);
+        }
+        let anchors = Self::module_anchors(factory, mapping);
+
+        for round in 0..levels - 1 {
+            for &source_id in &factory.rounds()[round].modules {
+                let outputs = &factory.modules()[source_id].outputs;
+                // Current binding: output qubit -> destination module
+                // (simulated locally; swaps only ever touch the outputs of
+                // their own module, so per-module state suffices).
+                let mut dest_of: HashMap<QubitId, usize> = HashMap::new();
+                for edge in factory.permutation_edges() {
+                    if edge.source_module == source_id {
+                        dest_of.insert(edge.source_qubit, edge.dest_module);
+                    }
+                }
+                if dest_of.len() < 2 {
+                    continue;
+                }
+                let desired = Self::desired_binding(mapping, &anchors, outputs, &dest_of);
+                // Realise the desired binding through pairwise port swaps.
+                for q in outputs {
+                    let want = match desired.get(q) {
+                        Some(d) => *d,
+                        None => continue,
+                    };
+                    let current = match dest_of.get(q) {
+                        Some(d) => *d,
+                        None => continue,
+                    };
+                    if current == want {
+                        continue;
+                    }
+                    // Find the sibling output currently bound to `want`.
+                    let sibling = outputs
+                        .iter()
+                        .copied()
+                        .find(|other| dest_of.get(other) == Some(&want));
+                    if let Some(other) = sibling {
+                        assignment.push_swap(*q, other);
+                        dest_of.insert(*q, want);
+                        dest_of.insert(other, current);
+                    }
+                }
+            }
+        }
+        Ok(assignment)
+    }
+
+    /// For every non-final-round module, re-binds its output ports to the
+    /// downstream modules so that each state travels to the nearest consumer,
+    /// mutating the factory as it goes. Legacy reference implementation for
+    /// [`HierarchicalStitchingMapper::map_factory_optimized`]; the artifact
+    /// path is [`HierarchicalStitchingMapper::compute_port_assignment`].
+    fn reassign_ports_in_place(&self, factory: &mut Factory, mapping: &Mapping) -> Result<()> {
+        let levels = factory.rounds().len();
+        if levels < 2 {
+            return Ok(());
+        }
+        let anchors = Self::module_anchors(factory, mapping);
 
         for round in 0..levels - 1 {
             let source_ids: Vec<usize> = factory.rounds()[round].modules.clone();
@@ -296,37 +417,7 @@ impl HierarchicalStitchingMapper {
                 if dest_of.len() < 2 {
                     continue;
                 }
-                // Greedy assignment: repeatedly bind the closest
-                // (output position, destination anchor) pair.
-                let dests: Vec<usize> = outputs
-                    .iter()
-                    .filter_map(|q| dest_of.get(q).copied())
-                    .collect();
-                let mut desired: HashMap<QubitId, usize> = HashMap::new();
-                let mut free_outputs: Vec<QubitId> = outputs.clone();
-                let mut free_dests = dests.clone();
-                while !free_outputs.is_empty() && !free_dests.is_empty() {
-                    let mut best = (0usize, 0usize, f64::INFINITY);
-                    for (i, q) in free_outputs.iter().enumerate() {
-                        let qp = match mapping.position(*q) {
-                            Some(p) => p.to_point(),
-                            None => continue,
-                        };
-                        for (j, d) in free_dests.iter().enumerate() {
-                            let anchor = anchors.get(d).copied().unwrap_or_default();
-                            let dist = qp.distance(&anchor);
-                            if dist < best.2 {
-                                best = (i, j, dist);
-                            }
-                        }
-                    }
-                    if best.2.is_infinite() {
-                        break;
-                    }
-                    let q = free_outputs.remove(best.0);
-                    let d = free_dests.remove(best.1);
-                    desired.insert(q, d);
-                }
+                let desired = Self::desired_binding(mapping, &anchors, &outputs, &dest_of);
                 // Realise the desired binding through pairwise port swaps.
                 for q in &outputs {
                     let want = match desired.get(q) {
@@ -347,11 +438,11 @@ impl HierarchicalStitchingMapper {
                         .copied()
                         .find(|other| current_dest(factory, source_id, *other) == Some(want));
                     if let Some(other) = sibling {
-                        factory
-                            .swap_output_ports(*q, other)
-                            .map_err(|e| LayoutError::UnsupportedFactory {
+                        factory.swap_output_ports(*q, other).map_err(|e| {
+                            LayoutError::UnsupportedFactory {
                                 reason: format!("port swap failed: {e}"),
-                            })?;
+                            }
+                        })?;
                     }
                 }
             }
@@ -429,12 +520,18 @@ impl HierarchicalStitchingMapper {
         let objective_for = |idx: usize, hop: Coord, hops: &[Coord]| -> f64 {
             let (_, _, src, dst) = braids[idx];
             let mut cost = (src.manhattan_distance(&hop) + hop.manhattan_distance(&dst)) as f64;
-            let segs = [(src.to_point(), hop.to_point()), (hop.to_point(), dst.to_point())];
+            let segs = [
+                (src.to_point(), hop.to_point()),
+                (hop.to_point(), dst.to_point()),
+            ];
             for (j, (_, _, osrc, odst)) in braids.iter().enumerate() {
                 if j == idx {
                     continue;
                 }
-                let other = [(osrc.to_point(), hops[j].to_point()), (hops[j].to_point(), odst.to_point())];
+                let other = [
+                    (osrc.to_point(), hops[j].to_point()),
+                    (hops[j].to_point(), odst.to_point()),
+                ];
                 for (a1, a2) in &segs {
                     for (b1, b2) in &other {
                         if segments_cross(*a1, *a2, *b1, *b2) {
@@ -453,7 +550,10 @@ impl HierarchicalStitchingMapper {
                 let current_cost = objective_for(idx, current, hops);
                 // Candidate moves: the four neighbours plus one random jump.
                 let mut candidates = current.neighbors(width, height);
-                candidates.push(Coord::new(rng.gen_range(0..height), rng.gen_range(0..width)));
+                candidates.push(Coord::new(
+                    rng.gen_range(0..height),
+                    rng.gen_range(0..width),
+                ));
                 let mut best = current;
                 let mut best_cost = current_cost;
                 for cand in candidates {
@@ -491,11 +591,27 @@ impl FactoryMapper for HierarchicalStitchingMapper {
     }
 
     fn map_factory(&self, factory: &Factory) -> Result<Layout> {
-        // Without mutable access the port-reassignment phase is skipped; the
-        // block placement and hop routing still apply.
         let mapping = self.place_all_rounds(factory)?;
-        let hints = self.compute_hops(factory, &mapping)?;
-        Ok(Layout::with_hints(mapping, hints))
+        let ports = if self.config.reassign_ports {
+            self.compute_port_assignment(factory, &mapping)?
+        } else {
+            PortAssignment::new()
+        };
+        if ports.is_empty() {
+            let hints = self.compute_hops(factory, &mapping)?;
+            return Ok(Layout::with_hints(mapping, hints));
+        }
+        // Hop routing reads the permutation gates, which the port rebinding
+        // relabels; compute hops against a rewired private copy so they match
+        // the circuit the simulator will eventually run.
+        let rewired =
+            factory
+                .apply_port_assignment(&ports)
+                .map_err(|e| LayoutError::UnsupportedFactory {
+                    reason: format!("port assignment failed: {e}"),
+                })?;
+        let hints = self.compute_hops(&rewired, &mapping)?;
+        Ok(Layout::with_hints(mapping, hints).with_ports(ports))
     }
 }
 
@@ -570,8 +686,53 @@ mod tests {
         let mut per_dest: std::collections::HashMap<usize, std::collections::HashSet<usize>> =
             Default::default();
         for e in f.permutation_edges() {
-            assert!(per_dest.entry(e.dest_module).or_default().insert(e.source_module));
+            assert!(per_dest
+                .entry(e.dest_module)
+                .or_default()
+                .insert(e.source_module));
         }
+    }
+
+    #[test]
+    fn artifact_flow_matches_legacy_in_place_flow() {
+        // The immutable map_factory + PortAssignment path must reproduce the
+        // historical mutating map_factory_optimized flow exactly: same
+        // placement, same hop hints, and the same rewired factory.
+        for config in [
+            FactoryConfig::two_level(2),
+            FactoryConfig::two_level(2).with_reuse(ReusePolicy::NoReuse),
+            FactoryConfig::two_level(3),
+        ] {
+            for seed in [1u64, 42] {
+                let base = Factory::build(&config).unwrap();
+                let mapper = HierarchicalStitchingMapper::new(seed);
+
+                let layout = mapper.map_factory(&base).unwrap();
+                let rewired = base.apply_port_assignment(&layout.ports).unwrap();
+
+                let mut legacy_factory = base.clone();
+                let legacy_layout = mapper.map_factory_optimized(&mut legacy_factory).unwrap();
+
+                assert_eq!(
+                    layout.mapping, legacy_layout.mapping,
+                    "{config:?} seed {seed}"
+                );
+                assert_eq!(layout.hints, legacy_layout.hints, "{config:?} seed {seed}");
+                assert_eq!(rewired, legacy_factory, "{config:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_factory_never_mutates_the_input() {
+        let base = Factory::build(&FactoryConfig::two_level(2)).unwrap();
+        let before = base.clone();
+        let layout = HierarchicalStitchingMapper::new(5)
+            .map_factory(&base)
+            .unwrap();
+        assert_eq!(base, before);
+        // The rebinding lives on the layout instead.
+        assert!(layout.requires_port_rewiring());
     }
 
     #[test]

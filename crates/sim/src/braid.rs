@@ -1,6 +1,5 @@
 //! Braid path construction on the mesh.
 
-
 use msfu_layout::Coord;
 
 /// A braid: the ordered list of mesh cells a two-qubit interaction reserves
@@ -118,7 +117,11 @@ pub fn adaptive_path(
             if n != to && n != from && busy(n) {
                 continue;
             }
-            let step_cost = if n == to || n == from { 1 } else { 1 + penalty(n) };
+            let step_cost = if n == to || n == from {
+                1
+            } else {
+                1 + penalty(n)
+            };
             let nd = d + step_cost;
             let ni = idx(n);
             if nd < dist[ni] {
@@ -160,7 +163,8 @@ mod tests {
 
     #[test]
     fn adaptive_path_matches_manhattan_when_clear() {
-        let p = adaptive_path(Coord::new(0, 0), Coord::new(2, 3), 5, 5, &|_| false, &|_| 0).unwrap();
+        let p =
+            adaptive_path(Coord::new(0, 0), Coord::new(2, 3), 5, 5, &|_| false, &|_| 0).unwrap();
         assert_eq!(p.len(), 6);
         assert_eq!(p.cells().first(), Some(&Coord::new(0, 0)));
         assert_eq!(p.cells().last(), Some(&Coord::new(2, 3)));
@@ -182,16 +186,18 @@ mod tests {
         // A direct path over two occupied cells vs a detour through a free
         // row: with a stiff penalty the detour wins.
         let occupied = |c: Coord| c.row == 0 && (c.col == 1 || c.col == 2);
-        let p = adaptive_path(
-            Coord::new(0, 0),
-            Coord::new(0, 3),
-            4,
-            2,
-            &|_| false,
-            &|c| if occupied(c) { 10 } else { 0 },
-        )
+        let p = adaptive_path(Coord::new(0, 0), Coord::new(0, 3), 4, 2, &|_| false, &|c| {
+            if occupied(c) {
+                10
+            } else {
+                0
+            }
+        })
         .unwrap();
-        assert!(p.cells().iter().any(|c| c.row == 1), "path should detour through row 1");
+        assert!(
+            p.cells().iter().any(|c| c.row == 1),
+            "path should detour through row 1"
+        );
         assert!(!p.cells().iter().any(|c| occupied(*c)));
     }
 

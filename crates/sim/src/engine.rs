@@ -66,7 +66,9 @@ impl Simulator {
         }
 
         let dag = circuit.dependency_dag();
-        let mut pending: Vec<usize> = (0..n).map(|g| dag.predecessors(GateId::new(g as u32)).len()).collect();
+        let mut pending: Vec<usize> = (0..n)
+            .map(|g| dag.predecessors(GateId::new(g as u32)).len())
+            .collect();
         let mut ready: BTreeSet<usize> = (0..n).filter(|g| pending[*g] == 0).collect();
         let mut ready_time: Vec<u64> = vec![0; n];
         let mut timings: Vec<Option<GateTiming>> = vec![None; n];
@@ -99,7 +101,14 @@ impl Simulator {
                 let candidates: Vec<usize> = ready.iter().copied().collect();
                 for g in candidates {
                     let gate = &circuit.gates()[g];
-                    let cells = match self.acquire_cells(gate, mapping, &layout.hints, &busy, width, height) {
+                    let cells = match self.acquire_cells(
+                        gate,
+                        mapping,
+                        &layout.hints,
+                        &busy,
+                        width,
+                        height,
+                    ) {
                         Some(cells) => cells,
                         None => {
                             routing_conflicts += 1;
@@ -179,7 +188,10 @@ impl Simulator {
             }
         }
 
-        let timings: Vec<GateTiming> = timings.into_iter().map(|t| t.expect("all gates timed")).collect();
+        let timings: Vec<GateTiming> = timings
+            .into_iter()
+            .map(|t| t.expect("all gates timed"))
+            .collect();
         let stall_cycles: u64 = timings.iter().map(GateTiming::stall).sum();
         let stalled_gates = timings.iter().filter(|t| t.stall() > 0).count();
         Ok(SimResult {
@@ -226,8 +238,8 @@ impl Simulator {
                     Some(vec![c])
                 }
             }
-            Gate::Cnot { control, target } => {
-                self.route_pair(
+            Gate::Cnot { control, target } => self
+                .route_pair(
                     pos(*control),
                     pos(*target),
                     hints.waypoint(*control, *target),
@@ -236,10 +248,9 @@ impl Simulator {
                     width,
                     height,
                 )
-                .map(|b| b.cells().to_vec())
-            }
-            Gate::InjectT { raw, target } | Gate::InjectTdg { raw, target } => {
-                self.route_pair(
+                .map(|b| b.cells().to_vec()),
+            Gate::InjectT { raw, target } | Gate::InjectTdg { raw, target } => self
+                .route_pair(
                     pos(*raw),
                     pos(*target),
                     hints.waypoint(*raw, *target),
@@ -248,8 +259,7 @@ impl Simulator {
                     width,
                     height,
                 )
-                .map(|b| b.cells().to_vec())
-            }
+                .map(|b| b.cells().to_vec()),
             Gate::Cxx { control, targets } => {
                 let c = pos(*control);
                 let mut merged = BraidPath::new(vec![c]);
@@ -352,7 +362,9 @@ mod tests {
         b.meas_x(q[2]).unwrap();
         let c = b.build();
         let layout = simple_layout(place_line(3));
-        let result = Simulator::new(SimConfig::default()).run(&c, &layout).unwrap();
+        let result = Simulator::new(SimConfig::default())
+            .run(&c, &layout)
+            .unwrap();
         let model = LatencyModel::default();
         assert_eq!(result.cycles, c.critical_path_cycles(&model));
         assert_eq!(result.stall_cycles, 0);
@@ -367,7 +379,9 @@ mod tests {
         b.cnot(q[2], q[3]).unwrap();
         let c = b.build();
         let layout = simple_layout(place_line(4));
-        let result = Simulator::new(SimConfig::default()).run(&c, &layout).unwrap();
+        let result = Simulator::new(SimConfig::default())
+            .run(&c, &layout)
+            .unwrap();
         let model = LatencyModel::default();
         // Both CNOTs are adjacent pairs on disjoint cells: they overlap fully.
         assert_eq!(result.cycles, model.cnot);
@@ -383,7 +397,9 @@ mod tests {
         b.cnot(q[1], q[2]).unwrap();
         let c = b.build();
         let layout = simple_layout(place_line(4));
-        let result = Simulator::new(SimConfig::dimension_ordered()).run(&c, &layout).unwrap();
+        let result = Simulator::new(SimConfig::dimension_ordered())
+            .run(&c, &layout)
+            .unwrap();
         let model = LatencyModel::default();
         assert_eq!(result.cycles, 2 * model.cnot);
         assert_eq!(result.stalled_gates, 1);
@@ -406,7 +422,10 @@ mod tests {
             .run(&c, &simple_layout(m))
             .unwrap();
         let model = LatencyModel::default();
-        assert_eq!(result.cycles, model.cnot, "adaptive routing should detour through row 1");
+        assert_eq!(
+            result.cycles, model.cnot,
+            "adaptive routing should detour through row 1"
+        );
         assert_eq!(result.stalled_gates, 0);
     }
 
@@ -419,7 +438,9 @@ mod tests {
         b.h(q[1]).unwrap();
         let c = b.build();
         let layout = simple_layout(place_line(2));
-        let result = Simulator::new(SimConfig::default()).run(&c, &layout).unwrap();
+        let result = Simulator::new(SimConfig::default())
+            .run(&c, &layout)
+            .unwrap();
         let model = LatencyModel::default();
         // The two H gates serialise through the barrier.
         assert_eq!(result.cycles, 2 * model.single_qubit);
@@ -442,7 +463,9 @@ mod tests {
         // The braid must pass through the waypoint; with a single gate the
         // latency is unchanged but the reservation is longer, which we can
         // only observe indirectly: the run still succeeds.
-        let result = Simulator::new(SimConfig::default()).run(&c, &layout).unwrap();
+        let result = Simulator::new(SimConfig::default())
+            .run(&c, &layout)
+            .unwrap();
         assert_eq!(result.cycles, LatencyModel::default().cnot);
     }
 
@@ -463,7 +486,9 @@ mod tests {
     fn empty_circuit_takes_zero_cycles() {
         let c = CircuitBuilder::new("empty").build();
         let layout = simple_layout(Mapping::new(0, 1, 1));
-        let result = Simulator::new(SimConfig::default()).run(&c, &layout).unwrap();
+        let result = Simulator::new(SimConfig::default())
+            .run(&c, &layout)
+            .unwrap();
         assert_eq!(result.cycles, 0);
         assert_eq!(result.volume(), 0);
     }
@@ -475,7 +500,9 @@ mod tests {
         b.cxx(q[0], vec![q[1], q[2], q[3]]).unwrap();
         let c = b.build();
         let layout = simple_layout(place_line(4));
-        let result = Simulator::new(SimConfig::default()).run(&c, &layout).unwrap();
+        let result = Simulator::new(SimConfig::default())
+            .run(&c, &layout)
+            .unwrap();
         let model = LatencyModel::default();
         assert_eq!(result.cycles, 3 * model.cxx_per_target);
     }

@@ -50,7 +50,9 @@ mod tests {
         }
         .to_string()
         .contains("q4"));
-        assert!(SimError::CycleLimitExceeded { limit: 10 }.to_string().contains("10"));
+        assert!(SimError::CycleLimitExceeded { limit: 10 }
+            .to_string()
+            .contains("10"));
         assert!(!SimError::EmptyGrid.to_string().is_empty());
     }
 

@@ -6,7 +6,7 @@
 
 use msfu::core::pipeline;
 use msfu::distill::{Factory, FactoryConfig};
-use msfu::layout::{HierarchicalStitchingMapper, HopStrategy, StitchingConfig};
+use msfu::layout::{FactoryMapper, HierarchicalStitchingMapper, HopStrategy, StitchingConfig};
 use msfu::sim::SimConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -17,24 +17,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Factory::build(&config)?.permutation_edges().len()
     );
 
-    println!("\n{:<26}{:>20}{:>20}", "hop strategy", "permutation cycles", "total cycles");
+    println!(
+        "\n{:<26}{:>20}{:>20}",
+        "hop strategy", "permutation cycles", "total cycles"
+    );
+    let factory = Factory::build(&config)?;
     for hop in [
         HopStrategy::None,
         HopStrategy::RandomHop,
         HopStrategy::AnnealedRandomHop,
         HopStrategy::AnnealedMidpointHop,
     ] {
-        let mut factory = Factory::build(&config)?;
         let mapper = HierarchicalStitchingMapper::with_config(StitchingConfig {
             seed: 11,
             hop_strategy: hop,
             ..StitchingConfig::default()
         });
-        let layout = mapper.map_factory_optimized(&mut factory)?;
+        let layout = mapper.map_factory(&factory)?;
+        let rewired = factory.apply_port_assignment(&layout.ports)?;
         // Fixed-path routing with stall-on-intersection, as in the paper's
         // simulator; intermediate hops exist to spread these fixed paths out.
         let sim = SimConfig::dimension_ordered();
-        let breakdown = pipeline::per_round_breakdown(&factory, &layout, &sim)?;
+        let breakdown = pipeline::per_round_breakdown(&rewired, &layout, &sim)?;
         let permutation = pipeline::total_permutation_cycles(&breakdown);
         let total: u64 = breakdown
             .iter()

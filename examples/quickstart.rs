@@ -33,9 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let estimate = resource::estimate(&config, 1e-3, 1e-4);
     println!(
         "output error rate: {:.2e}, code distance d = {}, physical qubits ≈ {}",
-        estimate.output_error,
-        estimate.rounds[0].code_distance,
-        estimate.peak_physical_qubits
+        estimate.output_error, estimate.rounds[0].code_distance, estimate.peak_physical_qubits
     );
     Ok(())
 }

@@ -19,7 +19,9 @@ fn main() {
     let physical_error = 1e-4;
 
     println!("workload: {t_count:.1e} T gates, target error per magic state {target_error:.2e}");
-    println!("injected-state error {injection_error:.0e}, physical error rate {physical_error:.0e}\n");
+    println!(
+        "injected-state error {injection_error:.0e}, physical error rate {physical_error:.0e}\n"
+    );
 
     println!(
         "{:<6}{:>10}{:>16}{:>14}{:>18}{:>20}",
@@ -40,7 +42,12 @@ fn main() {
             .iter()
             .map(|r| r.code_distance.to_string())
             .collect();
-        let logical: usize = est.rounds.iter().map(|r| r.logical_qubits).max().unwrap_or(0);
+        let logical: usize = est
+            .rounds
+            .iter()
+            .map(|r| r.logical_qubits)
+            .max()
+            .unwrap_or(0);
         println!(
             "{k:<6}{levels:>10}{:>16.2e}{:>14}{:>18}{:>20}",
             est.output_error,

@@ -7,7 +7,9 @@
 
 use msfu::core::{evaluate_factory, pipeline, EvaluationConfig, Strategy};
 use msfu::distill::{Factory, FactoryConfig, ReusePolicy};
-use msfu::layout::{ForceDirectedConfig, HierarchicalStitchingMapper, StitchingConfig};
+use msfu::layout::{
+    FactoryMapper, ForceDirectedConfig, HierarchicalStitchingMapper, StitchingConfig,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = FactoryConfig::two_level(4).with_reuse(ReusePolicy::Reuse);
@@ -36,10 +38,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }),
     ];
 
-    println!("\n{:<8}{:>12}{:>10}{:>14}{:>16}", "mapper", "latency", "area", "volume", "vs critical");
+    // One shared immutable factory serves every strategy (mapping never
+    // mutates it; port rewiring is applied per evaluation to a private copy).
+    let factory = Factory::build(&config)?;
+    println!(
+        "\n{:<8}{:>12}{:>10}{:>14}{:>16}",
+        "mapper", "latency", "area", "volume", "vs critical"
+    );
     for strategy in strategies {
-        let mut factory = Factory::build(&config)?;
-        let eval = evaluate_factory(&mut factory, &strategy, &eval_config)?;
+        let eval = evaluate_factory(&factory, &strategy, &eval_config)?;
         println!(
             "{:<8}{:>12}{:>10}{:>14}{:>15.2}x",
             eval.strategy,
@@ -51,9 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Per-round breakdown under the stitched layout.
-    let mut factory = Factory::build(&config)?;
-    let layout = HierarchicalStitchingMapper::new(7).map_factory_optimized(&mut factory)?;
-    let breakdown = pipeline::per_round_breakdown(&factory, &layout, &eval_config.sim)?;
+    let layout = HierarchicalStitchingMapper::new(7).map_factory(&factory)?;
+    let stitched = factory.apply_port_assignment(&layout.ports)?;
+    let breakdown = pipeline::per_round_breakdown(&stitched, &layout, &eval_config.sim)?;
     println!("\nper-round breakdown (hierarchical stitching):");
     for b in &breakdown {
         println!(

@@ -108,7 +108,8 @@ fn round_interaction_graphs_are_planar_but_the_two_level_graph_is_denser() {
 
 #[test]
 fn qubit_reuse_shrinks_area_but_adds_dependencies() {
-    let reuse = Factory::build(&FactoryConfig::two_level(2).with_reuse(ReusePolicy::Reuse)).unwrap();
+    let reuse =
+        Factory::build(&FactoryConfig::two_level(2).with_reuse(ReusePolicy::Reuse)).unwrap();
     let no_reuse =
         Factory::build(&FactoryConfig::two_level(2).with_reuse(ReusePolicy::NoReuse)).unwrap();
     assert!(reuse.num_qubits() < no_reuse.num_qubits());
@@ -122,15 +123,22 @@ fn qubit_reuse_shrinks_area_but_adds_dependencies() {
 
 #[test]
 fn stitching_hops_do_not_break_simulation() {
-    let mut factory = Factory::build(&FactoryConfig::two_level(2)).unwrap();
+    let factory = Factory::build(&FactoryConfig::two_level(2)).unwrap();
     let layout = HierarchicalStitchingMapper::new(9)
-        .map_factory_optimized(&mut factory)
+        .map_factory(&factory)
         .unwrap();
     assert!(!layout.hints.is_empty());
+    // The layout's port rebinding must be applied before simulating.
+    let effective = factory.apply_port_assignment(&layout.ports).unwrap();
     let result = Simulator::new(SimConfig::default())
-        .run(factory.circuit(), &layout)
+        .run(effective.circuit(), &layout)
         .unwrap();
-    assert!(result.cycles >= factory.circuit().critical_path_cycles(&SimConfig::default().latency));
+    assert!(
+        result.cycles
+            >= effective
+                .circuit()
+                .critical_path_cycles(&SimConfig::default().latency)
+    );
 }
 
 #[test]
@@ -149,11 +157,11 @@ fn adaptive_routing_is_no_worse_than_dimension_ordered() {
 
 #[test]
 fn per_round_breakdown_is_consistent_with_end_to_end_latency() {
-    let mut factory = Factory::build(&FactoryConfig::two_level(2)).unwrap();
+    let factory = Factory::build(&FactoryConfig::two_level(2)).unwrap();
     let strategy = Strategy::GraphPartition { seed: 3 };
     let eval_cfg = EvaluationConfig::default();
-    let eval = evaluate_factory(&mut factory, &strategy, &eval_cfg).unwrap();
-    let layout = strategy.map(&mut factory).unwrap();
+    let eval = evaluate_factory(&factory, &strategy, &eval_cfg).unwrap();
+    let layout = strategy.map(&factory).unwrap();
     let breakdown = pipeline::per_round_breakdown(&factory, &layout, &eval_cfg.sim).unwrap();
     let summed: u64 = breakdown.iter().map(|b| b.round_cycles).sum();
     // Rounds simulated in isolation can only be faster than the full circuit.
@@ -170,7 +178,9 @@ fn better_metrics_translate_into_lower_latency_end_to_end() {
     let sim = Simulator::new(SimConfig::default());
 
     let linear = LinearMapper::new().map_factory(&factory).unwrap();
-    let random = msfu::layout::RandomMapper::new(17).map_factory(&factory).unwrap();
+    let random = msfu::layout::RandomMapper::new(17)
+        .map_factory(&factory)
+        .unwrap();
 
     let linear_cross = metrics::edge_crossings(&graph, &linear.mapping.to_points());
     let random_cross = metrics::edge_crossings(&graph, &random.mapping.to_points());

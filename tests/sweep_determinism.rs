@@ -1,0 +1,108 @@
+//! Determinism guarantees of the parallel sweep engine: a parallel run must
+//! produce byte-identical results to the same grid run serially (same seeds →
+//! same volumes and latencies), and the shared factory cache must not change
+//! any result relative to building every factory fresh.
+
+use std::sync::Mutex;
+
+use msfu::core::{evaluate, EvaluationConfig, Strategy, SweepSpec};
+use msfu::distill::{FactoryConfig, ReusePolicy};
+use msfu::layout::{ForceDirectedConfig, StitchingConfig};
+
+/// Serialises the tests in this binary: one of them mutates the process
+/// environment (RAYON_NUM_THREADS) while the others read it through the sweep
+/// engine, and concurrent getenv/setenv is a data race.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn env_guard() -> std::sync::MutexGuard<'static, ()> {
+    ENV_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A reduced fig10-style grid: both levels, both reuse policies, all five
+/// strategy families (FD kept cheap).
+fn fig10_style_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new("determinism", EvaluationConfig::default()).with_breakdowns();
+    let single: Vec<FactoryConfig> = [2usize, 4]
+        .iter()
+        .flat_map(|&k| {
+            [ReusePolicy::Reuse, ReusePolicy::NoReuse]
+                .map(|p| FactoryConfig::single_level(k).with_reuse(p))
+        })
+        .collect();
+    let double: Vec<FactoryConfig> = [ReusePolicy::Reuse, ReusePolicy::NoReuse]
+        .map(|p| FactoryConfig::two_level(2).with_reuse(p))
+        .to_vec();
+
+    let strategies = |c: &FactoryConfig| {
+        let mut out = vec![
+            Strategy::Random { seed: 11 },
+            Strategy::Linear,
+            Strategy::ForceDirected(ForceDirectedConfig {
+                seed: 11,
+                iterations: 4,
+                repulsion_sample: 400,
+                ..ForceDirectedConfig::default()
+            }),
+            Strategy::GraphPartition { seed: 11 },
+        ];
+        if c.levels > 1 {
+            out.push(Strategy::HierarchicalStitching(StitchingConfig {
+                seed: 11,
+                ..StitchingConfig::default()
+            }));
+        }
+        out
+    };
+    spec = spec.grid("single", &single, strategies);
+    spec.grid("double", &double, strategies)
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let _guard = env_guard();
+    // Force real multi-threading even on single-core CI machines so the
+    // parallel code path is genuinely exercised. The variable is restored
+    // before any assertion can unwind.
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let spec = fig10_style_spec();
+    let parallel = spec.run().unwrap();
+    let serial = spec.run_serial().unwrap();
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    assert_eq!(parallel, serial);
+    // Byte-identical serialised reports, not just structural equality.
+    let parallel_json = serde_json::to_string(&parallel).unwrap();
+    let serial_json = serde_json::to_string(&serial).unwrap();
+    assert_eq!(parallel_json, serial_json);
+    assert_eq!(parallel.rows.len(), spec.points.len());
+}
+
+#[test]
+fn factory_cache_matches_fresh_builds() {
+    let _guard = env_guard();
+    // Every distinct FactoryConfig is built once and shared across points;
+    // each row must equal an evaluation against a freshly built factory.
+    let spec = fig10_style_spec();
+    let results = spec.run().unwrap();
+    for (point, row) in spec.points.iter().zip(&results.rows) {
+        let fresh = evaluate(&point.factory, &point.strategy, &spec.eval).unwrap();
+        assert_eq!(
+            row.evaluation,
+            fresh,
+            "cached factory diverged from fresh build for {:?} / {}",
+            point.factory,
+            point.strategy.short_name()
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_stable() {
+    let _guard = env_guard();
+    let spec = fig10_style_spec();
+    let a = spec.run().unwrap();
+    let b = spec.run().unwrap();
+    assert_eq!(a, b);
+}
