@@ -1,0 +1,371 @@
+//! Compares two sets of `BENCH_<name>.json` reports and fails on
+//! regressions — the gate behind the `bench-regression` CI job.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench-diff <BASELINE> <CURRENT> [--tolerance F] [--wall-tolerance F]
+//! ```
+//!
+//! `BASELINE` and `CURRENT` are report files or directories containing
+//! `BENCH_*.json` files (matched by file name). Two checks run per report:
+//!
+//! * **Latency/volume** (deterministic): every row's simulated
+//!   `latency_cycles` and `volume` must not exceed the baseline by more than
+//!   `--tolerance` (default 0.10). The sweeps are bit-reproducible, so any
+//!   drift is a real behaviour change; the tolerance only leaves room for
+//!   intentional small refinements.
+//! * **Wall time** (machine-dependent): only when `--wall-tolerance` is
+//!   given, the report's `perf.wall_seconds` must not exceed the baseline by
+//!   more than that fraction. Use a generous value when baseline and current
+//!   come from different machines.
+//!
+//! Exit status: 0 when clean, 1 on any regression, 2 on usage/IO errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+/// One metric excursion beyond tolerance.
+#[derive(Debug)]
+struct Regression {
+    report: String,
+    what: String,
+    baseline: f64,
+    current: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {}: {} -> {} (+{:.1}%)",
+            self.report,
+            self.what,
+            self.baseline,
+            self.current,
+            (self.current / self.baseline - 1.0) * 100.0
+        )
+    }
+}
+
+struct Args {
+    baseline: PathBuf,
+    current: PathBuf,
+    tolerance: f64,
+    wall_tolerance: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut tolerance = 0.10;
+    let mut wall_tolerance = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let v = argv.next().ok_or("--tolerance needs a value")?;
+                tolerance = v.parse().map_err(|_| format!("bad tolerance `{v}`"))?;
+            }
+            "--wall-tolerance" => {
+                let v = argv.next().ok_or("--wall-tolerance needs a value")?;
+                wall_tolerance = Some(v.parse().map_err(|_| format!("bad wall tolerance `{v}`"))?);
+            }
+            _ if arg.starts_with("--") => return Err(format!("unknown flag `{arg}`")),
+            _ => positional.push(arg),
+        }
+    }
+    if positional.len() != 2 {
+        return Err(
+            "usage: bench-diff <BASELINE> <CURRENT> [--tolerance F] [--wall-tolerance F]"
+                .to_string(),
+        );
+    }
+    Ok(Args {
+        baseline: PathBuf::from(&positional[0]),
+        current: PathBuf::from(&positional[1]),
+        tolerance,
+        wall_tolerance,
+    })
+}
+
+/// Lists the `BENCH_*.json` reports under `path` (or `path` itself when it is
+/// a file), as `(file name, parsed report)` pairs sorted by name.
+fn load_reports(path: &Path) -> Result<Vec<(String, Value)>, String> {
+    let mut files: Vec<PathBuf> = if path.is_dir() {
+        std::fs::read_dir(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect()
+    } else if path.is_file() {
+        vec![path.to_path_buf()]
+    } else {
+        return Err(format!("{} does not exist", path.display()));
+    };
+    files.sort();
+    let mut out = Vec::with_capacity(files.len());
+    for file in files {
+        let name = file
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let text = std::fs::read_to_string(&file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let value = serde_json::from_str(&text).map_err(|e| format!("{}: {e}", file.display()))?;
+        out.push((name, value));
+    }
+    Ok(out)
+}
+
+/// The sweep rows of a report — `results.rows` for [`msfu_bench::BenchReport`]
+/// documents, `rows` for legacy bare `SweepResults` documents.
+fn rows(report: &Value) -> Option<&Vec<Value>> {
+    report
+        .get("results")
+        .unwrap_or(report)
+        .get("rows")
+        .and_then(Value::as_array)
+}
+
+/// Compares one report pair, appending regressions.
+fn compare_report(
+    name: &str,
+    baseline: &Value,
+    current: &Value,
+    args: &Args,
+    regressions: &mut Vec<Regression>,
+) -> Result<(), String> {
+    let base_rows = rows(baseline).ok_or_else(|| format!("{name}: baseline has no rows"))?;
+    let cur_rows = rows(current).ok_or_else(|| format!("{name}: current has no rows"))?;
+    if base_rows.len() != cur_rows.len() {
+        return Err(format!(
+            "{name}: row count changed ({} -> {}); refresh the baselines if intentional",
+            base_rows.len(),
+            cur_rows.len()
+        ));
+    }
+    for (i, (b, c)) in base_rows.iter().zip(cur_rows).enumerate() {
+        let b_eval = b
+            .get("evaluation")
+            .ok_or_else(|| format!("{name} row {i}: no evaluation"))?;
+        let c_eval = c
+            .get("evaluation")
+            .ok_or_else(|| format!("{name} row {i}: no evaluation"))?;
+        let key = |v: &Value, e: &Value| {
+            format!(
+                "{}/{}",
+                v.get("label").and_then(Value::as_str).unwrap_or("?"),
+                e.get("strategy").and_then(Value::as_str).unwrap_or("?"),
+            )
+        };
+        let (b_key, c_key) = (key(b, b_eval), key(c, c_eval));
+        if b_key != c_key {
+            return Err(format!(
+                "{name} row {i}: points diverged ({b_key} vs {c_key}); refresh the baselines if intentional"
+            ));
+        }
+        for metric in ["latency_cycles", "volume"] {
+            let read = |e: &Value| e.get(metric).and_then(Value::as_f64);
+            let (Some(base), Some(cur)) = (read(b_eval), read(c_eval)) else {
+                return Err(format!("{name} row {i}: missing {metric}"));
+            };
+            if base > 0.0 && cur > base * (1.0 + args.tolerance) {
+                regressions.push(Regression {
+                    report: name.to_string(),
+                    what: format!("row {i} ({b_key}) {metric}"),
+                    baseline: base,
+                    current: cur,
+                });
+            }
+        }
+    }
+    if let Some(wall_tol) = args.wall_tolerance {
+        let wall = |v: &Value| {
+            v.get("perf")
+                .and_then(|p| p.get("wall_seconds"))
+                .and_then(Value::as_f64)
+        };
+        if let (Some(base), Some(cur)) = (wall(baseline), wall(current)) {
+            if base > 0.0 && cur > base * (1.0 + wall_tol) {
+                regressions.push(Regression {
+                    report: name.to_string(),
+                    what: "perf.wall_seconds".to_string(),
+                    baseline: base,
+                    current: cur,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let baselines = load_reports(&args.baseline)?;
+    let currents = load_reports(&args.current)?;
+    if baselines.is_empty() {
+        return Err(format!("no BENCH_*.json under {}", args.baseline.display()));
+    }
+    let mut regressions = Vec::new();
+    for (name, baseline) in &baselines {
+        let Some((_, current)) = currents.iter().find(|(n, _)| n == name) else {
+            return Err(format!(
+                "{name}: present in baseline but missing from {}",
+                args.current.display()
+            ));
+        };
+        compare_report(name, baseline, current, &args, &mut regressions)?;
+        println!(
+            "[bench-diff] {name}: {} rows compared",
+            rows(baseline).map(Vec::len).unwrap_or(0)
+        );
+    }
+    // A current report with no baseline is not gated at all — say so loudly
+    // rather than letting a newly added benchmark go silently unchecked.
+    for (name, _) in &currents {
+        if !baselines.iter().any(|(n, _)| n == name) {
+            eprintln!(
+                "[bench-diff] WARNING: {name} has no baseline under {} and was not compared; \
+                 check one in to gate it",
+                args.baseline.display()
+            );
+        }
+    }
+    if regressions.is_empty() {
+        println!(
+            "[bench-diff] OK — {} report(s) within {:.0}% tolerance{}",
+            baselines.len(),
+            args.tolerance * 100.0,
+            args.wall_tolerance
+                .map(|w| format!(" (wall {:.0}%)", w * 100.0))
+                .unwrap_or_else(|| ", wall time not gated".to_string()),
+        );
+        Ok(true)
+    } else {
+        eprintln!("[bench-diff] {} regression(s):", regressions.len());
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("bench-diff: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(latencies: &[u64], wall: f64) -> Value {
+        let rows: Vec<Value> = latencies
+            .iter()
+            .enumerate()
+            .map(|(i, &lat)| {
+                Value::Object(vec![
+                    ("label".into(), Value::Str(format!("l{i}"))),
+                    (
+                        "evaluation".into(),
+                        Value::Object(vec![
+                            ("strategy".into(), Value::Str("Line".into())),
+                            ("latency_cycles".into(), Value::UInt(lat)),
+                            ("volume".into(), Value::UInt(lat * 10)),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("name".into(), Value::Str("t".into())),
+            (
+                "perf".into(),
+                Value::Object(vec![("wall_seconds".into(), Value::Float(wall))]),
+            ),
+            (
+                "results".into(),
+                Value::Object(vec![("rows".into(), Value::Array(rows))]),
+            ),
+        ])
+    }
+
+    fn args(tolerance: f64, wall_tolerance: Option<f64>) -> Args {
+        Args {
+            baseline: PathBuf::new(),
+            current: PathBuf::new(),
+            tolerance,
+            wall_tolerance,
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(&[100, 200], 1.0);
+        let mut regs = Vec::new();
+        compare_report("t", &r, &r, &args(0.10, Some(0.10)), &mut regs).unwrap();
+        assert!(regs.is_empty());
+    }
+
+    #[test]
+    fn injected_twenty_percent_latency_slowdown_fails_at_ten_percent() {
+        let base = report(&[100, 200], 1.0);
+        let slow = report(&[100, 240], 1.0); // +20% on row 1
+        let mut regs = Vec::new();
+        compare_report("t", &base, &slow, &args(0.10, None), &mut regs).unwrap();
+        // latency_cycles and volume both regress on row 1.
+        assert_eq!(regs.len(), 2);
+        assert!(regs[0].what.contains("row 1"));
+    }
+
+    #[test]
+    fn slowdown_within_tolerance_passes() {
+        let base = report(&[100], 1.0);
+        let ok = report(&[105], 1.0); // +5%
+        let mut regs = Vec::new();
+        compare_report("t", &base, &ok, &args(0.10, None), &mut regs).unwrap();
+        assert!(regs.is_empty());
+    }
+
+    #[test]
+    fn improvements_always_pass() {
+        let base = report(&[100], 1.0);
+        let fast = report(&[40], 0.2);
+        let mut regs = Vec::new();
+        compare_report("t", &base, &fast, &args(0.10, Some(0.10)), &mut regs).unwrap();
+        assert!(regs.is_empty());
+    }
+
+    #[test]
+    fn wall_time_gated_only_when_requested() {
+        let base = report(&[100], 1.0);
+        let slow_wall = report(&[100], 3.0);
+        let mut regs = Vec::new();
+        compare_report("t", &base, &slow_wall, &args(0.10, None), &mut regs).unwrap();
+        assert!(regs.is_empty(), "wall ungated by default");
+        compare_report("t", &base, &slow_wall, &args(0.10, Some(0.5)), &mut regs).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].what, "perf.wall_seconds");
+    }
+
+    #[test]
+    fn structural_drift_is_an_error_not_a_pass() {
+        let base = report(&[100, 200], 1.0);
+        let fewer = report(&[100], 1.0);
+        let mut regs = Vec::new();
+        assert!(compare_report("t", &base, &fewer, &args(0.10, None), &mut regs).is_err());
+    }
+}

@@ -13,7 +13,7 @@
 use msfu_bench::{
     best_reuse_row, harness_eval_config, lineup_for, reuse_variants, run_spec, HarnessArgs,
 };
-use msfu_core::{Evaluation, SweepResults, SweepSpec};
+use msfu_core::{Evaluation, SweepIndex, SweepSpec};
 
 /// Strategies plotted per level: Fig. 10 omits Random entirely and HS on
 /// single-level factories.
@@ -46,7 +46,7 @@ fn build_spec(args: &HarnessArgs, seed: u64) -> SweepSpec {
 
 fn print_metric(
     title: &str,
-    results: &SweepResults,
+    index: &SweepIndex<'_>,
     label: &str,
     capacities: &[usize],
     strategies: &[&str],
@@ -61,7 +61,7 @@ fn print_metric(
     for &capacity in capacities {
         print!("{capacity:<12}");
         for name in strategies {
-            match best_reuse_row(results, label, name, capacity) {
+            match best_reuse_row(index, label, name, capacity) {
                 Some(row) => print!("{:>16.0}", metric(&row.evaluation)),
                 None => print!("{:>16}", "-"),
             }
@@ -76,6 +76,8 @@ fn main() {
     let seed = 42;
     let spec = build_spec(&args, seed);
     let results = run_spec(&spec, &args);
+    // One pass over the rows; every per-cell lookup below is O(1).
+    let index = results.index();
 
     let single_caps = args.mode.single_level_capacities();
     let double_caps = args.mode.two_level_capacities();
@@ -84,7 +86,7 @@ fn main() {
 
     print_metric(
         "Fig. 10a — single-level latency (cycles)",
-        &results,
+        &index,
         "single",
         &single_caps,
         &single,
@@ -92,7 +94,7 @@ fn main() {
     );
     print_metric(
         "Fig. 10b — single-level area (qubits)",
-        &results,
+        &index,
         "single",
         &single_caps,
         &single,
@@ -100,7 +102,7 @@ fn main() {
     );
     print_metric(
         "Fig. 10e — single-level quantum volume (qubits x cycles)",
-        &results,
+        &index,
         "single",
         &single_caps,
         &single,
@@ -108,7 +110,7 @@ fn main() {
     );
     print_metric(
         "Fig. 10c — two-level latency (cycles)",
-        &results,
+        &index,
         "double",
         &double_caps,
         &double,
@@ -116,7 +118,7 @@ fn main() {
     );
     print_metric(
         "Fig. 10d — two-level area (qubits)",
-        &results,
+        &index,
         "double",
         &double_caps,
         &double,
@@ -124,7 +126,7 @@ fn main() {
     );
     print_metric(
         "Fig. 10f — two-level quantum volume (qubits x cycles)",
-        &results,
+        &index,
         "double",
         &double_caps,
         &double,
@@ -134,8 +136,8 @@ fn main() {
     // Headline number: volume reduction from Line to HS at the largest
     // two-level capacity evaluated (5.64x in the paper at capacity 100).
     if let Some(&capacity) = double_caps.last() {
-        let line = best_reuse_row(&results, "double", "Line", capacity);
-        let hs = best_reuse_row(&results, "double", "HS", capacity);
+        let line = best_reuse_row(&index, "double", "Line", capacity);
+        let hs = best_reuse_row(&index, "double", "HS", capacity);
         if let (Some(line), Some(hs)) = (line, hs) {
             println!(
                 "# headline: capacity {} two-level volume reduction Line -> HS = {:.2}x (paper: 5.64x at capacity 100, Line(NR) -> HS)",

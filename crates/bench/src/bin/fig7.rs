@@ -9,7 +9,7 @@
 //! Usage: `cargo run -p msfu-bench --bin fig7 --release [full] [serial] [--json]`
 
 use msfu_bench::{harness_eval_config, run_spec, scaled_fd_config, HarnessArgs};
-use msfu_core::{report::Series, Strategy, SweepResults, SweepSpec};
+use msfu_core::{report::Series, Strategy, SweepIndex, SweepSpec};
 use msfu_distill::{FactoryConfig, ReusePolicy};
 
 fn build_spec(args: &HarnessArgs, seed: u64) -> SweepSpec {
@@ -34,13 +34,13 @@ fn build_spec(args: &HarnessArgs, seed: u64) -> SweepSpec {
     spec
 }
 
-fn series(results: &SweepResults, label: &str, capacities: &[usize]) -> Vec<Series> {
+fn series(index: &SweepIndex<'_>, label: &str, capacities: &[usize]) -> Vec<Series> {
     let mut fd = Series::new("Force Directed");
     let mut gp = Series::new("Graph Partitioning");
     let mut lower = Series::new("Theoretical Lower Bound");
     for &capacity in capacities {
-        let fd_row = results.find(label, "FD", capacity).expect("FD row present");
-        let gp_row = results.find(label, "GP", capacity).expect("GP row present");
+        let fd_row = index.find(label, "FD", capacity).expect("FD row present");
+        let gp_row = index.find(label, "GP", capacity).expect("GP row present");
         fd.push(capacity as f64, fd_row.evaluation.latency_cycles as f64);
         gp.push(capacity as f64, gp_row.evaluation.latency_cycles as f64);
         lower.push(
@@ -75,13 +75,15 @@ fn main() {
     let seed = 42;
     let spec = build_spec(&args, seed);
     let results = run_spec(&spec, &args);
+    // One pass over the rows; every per-cell lookup below is O(1).
+    let index = results.index();
 
     print_series(
         "Fig. 7a — single-level factory latency (cycles) vs capacity",
-        &series(&results, "single", &args.mode.single_level_capacities()),
+        &series(&index, "single", &args.mode.single_level_capacities()),
     );
     print_series(
         "Fig. 7b — two-level factory latency (cycles) vs capacity",
-        &series(&results, "double", &args.mode.two_level_capacities()),
+        &series(&index, "double", &args.mode.two_level_capacities()),
     );
 }

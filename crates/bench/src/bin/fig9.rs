@@ -13,7 +13,7 @@
 //! Usage: `cargo run -p msfu-bench --bin fig9 --release [full] [serial] [--json]`
 
 use msfu_bench::{harness_eval_config, run_spec, scaled_fd_config, HarnessArgs};
-use msfu_core::{pipeline, Strategy, SweepResults, SweepSpec};
+use msfu_core::{pipeline, Strategy, SweepIndex, SweepSpec};
 use msfu_distill::{FactoryConfig, ReusePolicy};
 use msfu_layout::{HopStrategy, StitchingConfig};
 
@@ -57,7 +57,7 @@ fn build_spec(args: &HarnessArgs, seed: u64) -> SweepSpec {
     spec
 }
 
-fn reuse_differentials(results: &SweepResults, capacities: &[usize]) {
+fn reuse_differentials(index: &SweepIndex<'_>, capacities: &[usize]) {
     println!("# Fig. 9a/9b — volume differential (NR - R)/NR per strategy, two-level factories");
     println!(
         "{:<12}{:>18}{:>18}{:>18}",
@@ -67,13 +67,9 @@ fn reuse_differentials(results: &SweepResults, capacities: &[usize]) {
         print!("{capacity:<12}");
         for strategy in ["Line", "FD", "GP"] {
             let volume_under = |policy: ReusePolicy| {
-                results
-                    .labeled("reuse")
-                    .find(|r| {
-                        r.evaluation.strategy == strategy
-                            && r.evaluation.factory.capacity() == capacity
-                            && r.evaluation.factory.reuse == policy
-                    })
+                index
+                    .rows("reuse", strategy, capacity)
+                    .find(|r| r.evaluation.factory.reuse == policy)
                     .expect("reuse grid row present")
                     .evaluation
                     .volume as f64
@@ -88,7 +84,7 @@ fn reuse_differentials(results: &SweepResults, capacities: &[usize]) {
     println!();
 }
 
-fn permutation_latencies(results: &SweepResults, capacities: &[usize]) {
+fn permutation_latencies(index: &SweepIndex<'_>, capacities: &[usize]) {
     println!("# Fig. 9c/9d — permutation-step latency (cycles) by intermediate-hop strategy");
     println!(
         "{:<12}{:>14}{:>18}{:>22}{:>24}",
@@ -97,7 +93,7 @@ fn permutation_latencies(results: &SweepResults, capacities: &[usize]) {
     for &capacity in capacities {
         print!("{capacity:<12}");
         for hop in HOP_STRATEGIES {
-            let row = results
+            let row = index
                 .find(&format!("hops/{}", hop.name()), "HS", capacity)
                 .expect("hop row present");
             let breakdown = row.breakdown.as_ref().expect("breakdowns were collected");
@@ -120,7 +116,9 @@ fn main() {
     let seed = 42;
     let spec = build_spec(&args, seed);
     let results = run_spec(&spec, &args);
+    // One pass over the rows; every per-cell lookup below is O(1).
+    let index = results.index();
     let capacities = args.mode.two_level_capacities();
-    reuse_differentials(&results, &capacities);
-    permutation_latencies(&results, &capacities);
+    reuse_differentials(&index, &capacities);
+    permutation_latencies(&index, &capacities);
 }

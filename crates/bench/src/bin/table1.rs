@@ -13,7 +13,7 @@ use msfu_bench::{
     best_reuse_row, harness_eval_config, lineup_for, reuse_variants, run_spec, HarnessArgs,
 };
 use msfu_core::report::Table;
-use msfu_core::{SweepResults, SweepSpec};
+use msfu_core::{SweepIndex, SweepSpec};
 use msfu_distill::ReusePolicy;
 
 /// Table I rows per level: Random is only reported for single-level
@@ -50,7 +50,7 @@ fn build_spec(args: &HarnessArgs, seed: u64) -> SweepSpec {
     spec
 }
 
-fn level_table(results: &SweepResults, label: &str, levels: usize, capacities: &[usize]) -> Table {
+fn level_table(index: &SweepIndex<'_>, label: &str, levels: usize, capacities: &[usize]) -> Table {
     let headers: Vec<String> = std::iter::once("Procedure".to_string())
         .chain(capacities.iter().map(|c| format!("K = {c}")))
         .collect();
@@ -59,21 +59,18 @@ fn level_table(results: &SweepResults, label: &str, levels: usize, capacities: &
         headers,
     );
 
-    // Picks the row evaluated under a specific reuse policy.
+    // Picks the row evaluated under a specific reuse policy: an O(1) index
+    // bucket, then a two-element filter over the reuse variants.
     let with_policy = |strategy: &str, capacity: usize, policy: ReusePolicy| {
-        results
-            .labeled(label)
-            .find(|r| {
-                r.evaluation.strategy == strategy
-                    && r.evaluation.factory.capacity() == capacity
-                    && r.evaluation.factory.reuse == policy
-            })
+        index
+            .rows(label, strategy, capacity)
+            .find(|r| r.evaluation.factory.reuse == policy)
             .map(|r| r.evaluation.volume as f64)
     };
     // Picks the better of the two reuse policies, as the paper does for the
     // optimised procedures.
     let best = |strategy: &str, capacity: usize| {
-        best_reuse_row(results, label, strategy, capacity).map(|r| r.evaluation.volume as f64)
+        best_reuse_row(index, label, strategy, capacity).map(|r| r.evaluation.volume as f64)
     };
 
     // Row labels follow the paper: Random, Line(NR), Line(R), FD, GP, HS, Critical.
@@ -106,13 +103,9 @@ fn level_table(results: &SweepResults, label: &str, levels: usize, capacities: &
         capacities
             .iter()
             .map(|&c| {
-                results
-                    .labeled(label)
-                    .find(|r| {
-                        r.evaluation.strategy == "Line"
-                            && r.evaluation.factory.capacity() == c
-                            && r.evaluation.factory.reuse == ReusePolicy::Reuse
-                    })
+                index
+                    .rows(label, "Line", c)
+                    .find(|r| r.evaluation.factory.reuse == ReusePolicy::Reuse)
                     .map(|r| r.evaluation.critical_volume as f64)
             })
             .collect(),
@@ -125,22 +118,22 @@ fn main() {
     let seed = 42;
     let spec = build_spec(&args, seed);
     let results = run_spec(&spec, &args);
+    // One pass over the rows; every per-cell lookup below is O(1).
+    let index = results.index();
 
-    let level1 = level_table(&results, "L1", 1, &args.mode.single_level_capacities());
+    let level1 = level_table(&index, "L1", 1, &args.mode.single_level_capacities());
     println!("{}", level1.to_text());
 
     let double_caps = args.mode.two_level_capacities();
-    let level2 = level_table(&results, "L2", 2, &double_caps);
+    let level2 = level_table(&index, "L2", 2, &double_caps);
     println!("{}", level2.to_text());
 
     // Headline reduction: Line(NR) -> HS at the largest two-level capacity.
     if let Some(&capacity) = double_caps.last() {
-        let line_nr = results.labeled("L2").find(|r| {
-            r.evaluation.strategy == "Line"
-                && r.evaluation.factory.capacity() == capacity
-                && r.evaluation.factory.reuse == ReusePolicy::NoReuse
-        });
-        let hs = best_reuse_row(&results, "L2", "HS", capacity);
+        let line_nr = index
+            .rows("L2", "Line", capacity)
+            .find(|r| r.evaluation.factory.reuse == ReusePolicy::NoReuse);
+        let hs = best_reuse_row(&index, "L2", "HS", capacity);
         if let (Some(nr), Some(hs)) = (line_nr, hs) {
             println!(
                 "# headline: Line(NR) -> HS volume reduction at the largest evaluated two-level capacity = {:.2}x (paper: 5.64x at K = 100)",

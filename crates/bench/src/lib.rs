@@ -34,11 +34,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod perf;
+
 use std::time::Instant;
 
-use msfu_core::{EvaluationConfig, Strategy, SweepResults, SweepRow, SweepSpec};
+use serde::Serialize;
+
+use msfu_core::{EvaluationConfig, Strategy, SweepIndex, SweepResults, SweepRow, SweepSpec};
 use msfu_distill::{FactoryConfig, ReusePolicy};
 use msfu_layout::{ForceDirectedConfig, StitchingConfig};
+
+use crate::perf::PerfStamp;
 
 /// Execution mode of a figure/table binary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,9 +121,22 @@ impl HarnessArgs {
     }
 }
 
+/// A `BENCH_<name>.json` report: the sweep results plus the perf stamp the
+/// regression gate (`bench-diff`) compares run over run.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// The sweep's name.
+    pub name: String,
+    /// Wall-time/throughput stamp for this run.
+    pub perf: PerfStamp,
+    /// The sweep results (deterministic across machines and thread counts).
+    pub results: SweepResults,
+}
+
 /// Executes a sweep according to the harness arguments: parallel by default,
-/// serial when requested, timing reported on stderr, and the results
-/// serialised to `BENCH_<name>.json` when `--json` was passed.
+/// serial when requested, timing reported on stderr, and a [`BenchReport`]
+/// (results + perf stamp) serialised to `BENCH_<name>.json` when `--json`
+/// was passed.
 ///
 /// # Panics
 ///
@@ -131,16 +150,38 @@ pub fn run_spec(spec: &SweepSpec, args: &HarnessArgs) -> SweepResults {
         spec.run()
     }
     .expect("sweep evaluation succeeds");
+    let wall = start.elapsed();
     eprintln!(
         "[sweep {}] {} points in {:.2?} ({})",
         spec.name,
         spec.points.len(),
-        start.elapsed(),
+        wall,
         if args.serial { "serial" } else { "parallel" }
     );
     if args.json {
+        let stamp = perf::stamp(spec, &results, wall, !args.serial);
+        eprintln!(
+            "[sweep {}] {:.0} cycles/s{}",
+            spec.name,
+            stamp.cycles_per_second,
+            stamp
+                .dense
+                .as_ref()
+                .map(|d| {
+                    format!(
+                        "; dense point {}/{}/{}: event-driven {:.1}x vs reference",
+                        d.label, d.strategy, d.capacity, d.speedup
+                    )
+                })
+                .unwrap_or_default()
+        );
+        let report = BenchReport {
+            name: spec.name.clone(),
+            perf: stamp,
+            results: results.clone(),
+        };
         let path = format!("BENCH_{}.json", spec.name);
-        let text = serde_json::to_string_pretty(&results).expect("results serialise");
+        let text = serde_json::to_string_pretty(&report).expect("results serialise");
         std::fs::write(&path, text).expect("JSON report is writable");
         eprintln!("[sweep {}] wrote {path}", spec.name);
     }
@@ -214,18 +255,17 @@ pub fn reuse_variants(capacity: usize, levels: usize) -> [FactoryConfig; 2] {
 /// Of the rows matching `label`, `strategy` and `capacity`, returns the one
 /// with the smallest quantum volume — how the paper picks each strategy's
 /// better reuse policy for its final plots (Section VIII-C1).
+///
+/// Takes the results' [`SweepIndex`] (build it once per table with
+/// [`SweepResults::index`]) so per-cell lookups are O(1) instead of a scan
+/// over every row.
 pub fn best_reuse_row<'a>(
-    results: &'a SweepResults,
-    label: &'a str,
+    index: &SweepIndex<'a>,
+    label: &str,
     strategy: &str,
     capacity: usize,
 ) -> Option<&'a SweepRow> {
-    results
-        .labeled(label)
-        .filter(|r| {
-            r.evaluation.strategy == strategy && r.evaluation.factory.capacity() == capacity
-        })
-        .min_by_key(|r| r.evaluation.volume)
+    index.best_reuse(label, strategy, capacity)
 }
 
 #[cfg(test)]
@@ -279,7 +319,7 @@ mod tests {
             .point("x", reuse_variants(4, 2)[0], Strategy::Linear)
             .point("x", reuse_variants(4, 2)[1], Strategy::Linear);
         let results = spec.run().unwrap();
-        let best = best_reuse_row(&results, "x", "Line", 4).unwrap();
+        let best = best_reuse_row(&results.index(), "x", "Line", 4).unwrap();
         let volumes: Vec<u64> = results.rows.iter().map(|r| r.evaluation.volume).collect();
         assert_eq!(best.evaluation.volume, *volumes.iter().min().unwrap());
     }

@@ -1,0 +1,180 @@
+//! Performance stamping for the `BENCH_<name>.json` reports.
+//!
+//! Every `--json` run records, next to the sweep results themselves, how fast
+//! they were produced: total wall time, simulated cycles per second, and a
+//! dense-contention microbenchmark that times the event-driven [`SimEngine`]
+//! against the allocating [`msfu_sim::reference`] engine on the sweep's most
+//! congested point. The stamp is what `bench-diff` gates wall-time
+//! regressions on, and the recorded `speedup` documents the event-driven
+//! engine's advantage on exactly the configs where simulation dominates.
+
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use msfu_core::{effective_factory, SweepResults, SweepSpec};
+use msfu_distill::Factory;
+use msfu_sim::SimEngine;
+
+/// How often the dense-contention point is re-simulated per engine. The
+/// simulators are deterministic, so repeats only smooth wall-clock noise.
+const DENSE_REPEATS: u32 = 5;
+
+/// Wall-time and throughput metadata stamped into a JSON report.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfStamp {
+    /// End-to-end sweep wall time in seconds (mapping + simulation).
+    pub wall_seconds: f64,
+    /// Whether the sweep ran on all cores or serially.
+    pub parallel: bool,
+    /// Number of sweep points evaluated.
+    pub points: usize,
+    /// Total simulated cycles across all rows (sum of realised latencies).
+    pub cycles_simulated: u64,
+    /// `cycles_simulated / wall_seconds`.
+    pub cycles_per_second: f64,
+    /// Event-driven vs reference engine timing on the most congested point.
+    pub dense: Option<DenseContentionPerf>,
+}
+
+/// Timing of the sweep's dense-contention point under both simulator
+/// implementations ([`SimEngine`] vs [`msfu_sim::reference`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct DenseContentionPerf {
+    /// Row label of the measured point.
+    pub label: String,
+    /// Strategy short name of the measured point.
+    pub strategy: String,
+    /// Total factory capacity of the measured point.
+    pub capacity: usize,
+    /// Routing conflicts of the point (the congestion that selected it).
+    pub routing_conflicts: u64,
+    /// Simulation repetitions per engine.
+    pub repeats: u32,
+    /// Total event-driven engine wall time across the repeats, seconds.
+    pub event_driven_seconds: f64,
+    /// Total reference engine wall time across the repeats, seconds.
+    pub reference_seconds: f64,
+    /// `reference_seconds / event_driven_seconds`.
+    pub speedup: f64,
+}
+
+/// Assembles the perf stamp for an executed sweep, including the
+/// dense-contention engine comparison.
+pub fn stamp(
+    spec: &SweepSpec,
+    results: &SweepResults,
+    wall: Duration,
+    parallel: bool,
+) -> PerfStamp {
+    let wall_seconds = wall.as_secs_f64();
+    let cycles_simulated: u64 = results
+        .rows
+        .iter()
+        .map(|r| r.evaluation.latency_cycles)
+        .sum();
+    PerfStamp {
+        wall_seconds,
+        parallel,
+        points: results.rows.len(),
+        cycles_simulated,
+        cycles_per_second: if wall_seconds > 0.0 {
+            cycles_simulated as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        dense: dense_contention(spec, results),
+    }
+}
+
+/// Re-simulates the sweep's most braid-congested point `DENSE_REPEATS` times
+/// under each engine. Rows and spec points correspond one to one, so the
+/// point's factory and layout are rebuilt exactly as the sweep built them.
+fn dense_contention(spec: &SweepSpec, results: &SweepResults) -> Option<DenseContentionPerf> {
+    let (i, row) = results
+        .rows
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, r)| r.evaluation.routing_conflicts)?;
+    let point = spec.points.get(i)?;
+    let factory = Factory::build(&point.factory).ok()?;
+    let layout = point.strategy.map(&factory).ok()?;
+    let effective = effective_factory(&factory, &layout).ok()?;
+    let circuit = effective.circuit();
+
+    let mut engine = SimEngine::new(spec.eval.sim);
+    let t0 = Instant::now();
+    for _ in 0..DENSE_REPEATS {
+        engine
+            .run(circuit, &layout)
+            .expect("the sweep already simulated this point");
+    }
+    let event_driven_seconds = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    for _ in 0..DENSE_REPEATS {
+        msfu_sim::reference::run(&spec.eval.sim, circuit, &layout)
+            .expect("the sweep already simulated this point");
+    }
+    let reference_seconds = t1.elapsed().as_secs_f64();
+
+    Some(DenseContentionPerf {
+        label: row.label.clone(),
+        strategy: row.evaluation.strategy.clone(),
+        capacity: row.evaluation.factory.capacity(),
+        routing_conflicts: row.evaluation.routing_conflicts,
+        repeats: DENSE_REPEATS,
+        event_driven_seconds,
+        reference_seconds,
+        speedup: if event_driven_seconds > 0.0 {
+            reference_seconds / event_driven_seconds
+        } else {
+            0.0
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness_eval_config;
+    use msfu_core::Strategy;
+    use msfu_distill::FactoryConfig;
+
+    #[test]
+    fn stamp_records_throughput_and_dense_point() {
+        let spec = SweepSpec::new("t", harness_eval_config())
+            .point("a", FactoryConfig::single_level(2), Strategy::Linear)
+            .point(
+                "b",
+                FactoryConfig::single_level(4),
+                Strategy::Random { seed: 1 },
+            );
+        let results = spec.run().unwrap();
+        let stamp = stamp(&spec, &results, Duration::from_millis(500), true);
+        assert_eq!(stamp.points, 2);
+        assert!(stamp.cycles_simulated > 0);
+        assert!(stamp.cycles_per_second > 0.0);
+        let dense = stamp.dense.expect("dense point measured");
+        assert_eq!(dense.repeats, DENSE_REPEATS);
+        assert!(dense.event_driven_seconds > 0.0);
+        assert!(dense.reference_seconds > 0.0);
+        // The selected point is the most congested row of the sweep.
+        let max_conflicts = results
+            .rows
+            .iter()
+            .map(|r| r.evaluation.routing_conflicts)
+            .max()
+            .unwrap();
+        assert_eq!(dense.routing_conflicts, max_conflicts);
+    }
+
+    #[test]
+    fn empty_sweep_has_no_dense_point() {
+        let spec = SweepSpec::new("empty", harness_eval_config());
+        let results = spec.run().unwrap();
+        let stamp = stamp(&spec, &results, Duration::from_millis(1), false);
+        assert_eq!(stamp.points, 0);
+        assert!(stamp.dense.is_none());
+    }
+}

@@ -51,7 +51,7 @@ impl CircuitBuilder {
     ) -> Vec<QubitId> {
         let start = self.roles.len() as u32;
         let qubits: Vec<QubitId> = (0..len as u32).map(|i| QubitId::new(start + i)).collect();
-        self.roles.extend(std::iter::repeat_n(role, len));
+        self.roles.extend(std::iter::repeat(role).take(len));
         self.registers
             .push(QubitRegister::new(name, role, qubits.clone()));
         qubits

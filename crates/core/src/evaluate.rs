@@ -1,12 +1,13 @@
 //! End-to-end evaluation: factory → mapping → simulation → volume.
 
 use std::borrow::Cow;
+use std::cell::RefCell;
 
 use serde::{Deserialize, Serialize};
 
 use msfu_distill::{Factory, FactoryConfig};
 use msfu_layout::Layout;
-use msfu_sim::{SimConfig, Simulator};
+use msfu_sim::{SimConfig, SimEngine};
 
 use crate::{Result, Strategy};
 
@@ -91,9 +92,26 @@ pub fn evaluate_factory(
     strategy: &Strategy,
     config: &EvaluationConfig,
 ) -> Result<Evaluation> {
+    with_thread_engine(config.sim, |engine| {
+        evaluate_factory_with(engine, factory, strategy, config)
+    })
+}
+
+/// [`evaluate_factory`] against a caller-held [`SimEngine`], so a loop of
+/// evaluations reuses one set of simulator arenas.
+///
+/// # Errors
+///
+/// Propagates placement and simulation failures.
+pub fn evaluate_factory_with(
+    engine: &mut SimEngine,
+    factory: &Factory,
+    strategy: &Strategy,
+    config: &EvaluationConfig,
+) -> Result<Evaluation> {
     let layout = strategy.map(factory)?;
     let effective = effective_factory(factory, &layout)?;
-    evaluate_mapped(&effective, &layout, strategy.short_name(), config)
+    evaluate_mapped_with(engine, &effective, &layout, strategy.short_name(), config)
 }
 
 /// Resolves the factory a layout must be simulated against: the factory
@@ -124,8 +142,25 @@ pub fn evaluate_mapped(
     strategy_name: &str,
     config: &EvaluationConfig,
 ) -> Result<Evaluation> {
-    let simulator = Simulator::new(config.sim);
-    let result = simulator.run(factory.circuit(), layout)?;
+    with_thread_engine(config.sim, |engine| {
+        evaluate_mapped_with(engine, factory, layout, strategy_name, config)
+    })
+}
+
+/// [`evaluate_mapped`] against a caller-held [`SimEngine`].
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn evaluate_mapped_with(
+    engine: &mut SimEngine,
+    factory: &Factory,
+    layout: &Layout,
+    strategy_name: &str,
+    config: &EvaluationConfig,
+) -> Result<Evaluation> {
+    engine.set_config(config.sim);
+    let result = engine.run(factory.circuit(), layout)?;
     let critical_path_cycles = factory.circuit().critical_path_cycles(&config.sim.latency);
     let logical_qubits = factory.num_qubits();
     Ok(Evaluation {
@@ -139,6 +174,24 @@ pub fn evaluate_mapped(
         critical_path_cycles,
         critical_volume: critical_path_cycles * logical_qubits as u64,
         logical_qubits,
+    })
+}
+
+thread_local! {
+    /// One simulator engine per thread: entry points that don't take an
+    /// explicit [`SimEngine`] still amortise arenas across calls (and across
+    /// the sweep engine's worker threads).
+    static THREAD_ENGINE: RefCell<SimEngine> = RefCell::new(SimEngine::default());
+}
+
+/// Runs `f` against this thread's reusable [`SimEngine`], configured with
+/// `sim`. Used by every evaluation entry point that does not thread an
+/// explicit engine handle.
+pub(crate) fn with_thread_engine<T>(sim: SimConfig, f: impl FnOnce(&mut SimEngine) -> T) -> T {
+    THREAD_ENGINE.with(|cell| {
+        let mut engine = cell.borrow_mut();
+        engine.set_config(sim);
+        f(&mut engine)
     })
 }
 

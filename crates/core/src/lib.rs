@@ -49,10 +49,11 @@ pub mod throughput;
 
 pub use error::CoreError;
 pub use evaluate::{
-    effective_factory, evaluate, evaluate_factory, evaluate_mapped, Evaluation, EvaluationConfig,
+    effective_factory, evaluate, evaluate_factory, evaluate_factory_with, evaluate_mapped,
+    evaluate_mapped_with, Evaluation, EvaluationConfig,
 };
 pub use strategy::Strategy;
-pub use sweep::{SweepPoint, SweepResults, SweepRow, SweepSpec};
+pub use sweep::{SweepIndex, SweepPoint, SweepResults, SweepRow, SweepSpec};
 
 /// Convenience result alias used by fallible APIs in this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -10,8 +10,9 @@ use serde::{Deserialize, Serialize};
 
 use msfu_distill::Factory;
 use msfu_layout::Layout;
-use msfu_sim::{SimConfig, Simulator};
+use msfu_sim::{SimConfig, SimEngine};
 
+use crate::evaluate::with_thread_engine;
 use crate::Result;
 
 /// Latency breakdown of one round of a mapped factory.
@@ -42,14 +43,31 @@ pub fn per_round_breakdown(
     layout: &Layout,
     sim: &SimConfig,
 ) -> Result<Vec<RoundBreakdown>> {
-    let simulator = Simulator::new(*sim);
+    with_thread_engine(*sim, |engine| {
+        per_round_breakdown_with(engine, factory, layout, sim)
+    })
+}
+
+/// [`per_round_breakdown`] against a caller-held [`SimEngine`]: the round and
+/// permutation circuits all run through one set of arenas.
+///
+/// # Errors
+///
+/// Propagates simulation failures (e.g. unplaced qubits).
+pub fn per_round_breakdown_with(
+    engine: &mut SimEngine,
+    factory: &Factory,
+    layout: &Layout,
+    sim: &SimConfig,
+) -> Result<Vec<RoundBreakdown>> {
+    engine.set_config(*sim);
     let mut out = Vec::with_capacity(factory.rounds().len());
     for round in 0..factory.rounds().len() {
         let round_circuit = factory.round_circuit(round);
-        let round_cycles = simulator.run(&round_circuit, layout)?.cycles;
+        let round_cycles = engine.run(&round_circuit, layout)?.cycles;
         let permutation_cycles = if round + 1 < factory.rounds().len() {
             let perm = factory.permutation_circuit(round);
-            simulator.run(&perm, layout)?.cycles
+            engine.run(&perm, layout)?.cycles
         } else {
             0
         };

@@ -40,9 +40,10 @@ use serde::{Deserialize, Serialize};
 
 use msfu_distill::{Factory, FactoryConfig};
 use msfu_graph::{metrics::MappingMetrics, InteractionGraph};
+use msfu_sim::SimEngine;
 
-use crate::evaluate::{effective_factory, evaluate_mapped};
-use crate::pipeline::{per_round_breakdown, RoundBreakdown};
+use crate::evaluate::{effective_factory, evaluate_mapped_with, with_thread_engine};
+use crate::pipeline::{per_round_breakdown_with, RoundBreakdown};
 use crate::{Evaluation, EvaluationConfig, Result, Strategy};
 
 /// One point of a sweep grid: map `factory` with `strategy` and simulate.
@@ -103,13 +104,81 @@ impl SweepResults {
     }
 
     /// The first row matching label, strategy short name and total factory
-    /// capacity — the lookup the figure binaries print tables from.
+    /// capacity.
+    ///
+    /// This is a linear scan; callers looping over table cells should build a
+    /// [`SweepIndex`] once via [`SweepResults::index`] instead.
     pub fn find(&self, label: &str, strategy: &str, capacity: usize) -> Option<&SweepRow> {
         self.rows.iter().find(|r| {
             r.label == label
                 && r.evaluation.strategy == strategy
                 && r.evaluation.factory.capacity() == capacity
         })
+    }
+
+    /// Builds the `(label, strategy, capacity)` row index in one pass over
+    /// the results, making every subsequent per-cell lookup O(1). The figure
+    /// and table binaries print grids of `labels × strategies × capacities`,
+    /// which a [`SweepResults::find`] per cell turns quadratic.
+    pub fn index(&self) -> SweepIndex<'_> {
+        let mut by_key: IndexMap<'_> = HashMap::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            by_key
+                .entry(row.label.as_str())
+                .or_default()
+                .entry(row.evaluation.strategy.as_str())
+                .or_default()
+                .entry(row.evaluation.factory.capacity())
+                .or_default()
+                .push(i);
+        }
+        SweepIndex {
+            results: self,
+            by_key,
+        }
+    }
+}
+
+/// Nested borrowed-key maps so lookups with short-lived `&str`s allocate
+/// nothing: `label -> strategy -> capacity -> row indices`.
+type IndexMap<'a> = HashMap<&'a str, HashMap<&'a str, HashMap<usize, Vec<usize>>>>;
+
+/// A one-pass index over [`SweepResults`] rows keyed by
+/// `(label, strategy short name, total factory capacity)`.
+#[derive(Debug)]
+pub struct SweepIndex<'a> {
+    results: &'a SweepResults,
+    by_key: IndexMap<'a>,
+}
+
+impl<'a> SweepIndex<'a> {
+    /// All rows under the key, in point order.
+    pub fn rows(
+        &self,
+        label: &str,
+        strategy: &str,
+        capacity: usize,
+    ) -> impl Iterator<Item = &'a SweepRow> + '_ {
+        self.by_key
+            .get(label)
+            .and_then(|by_strategy| by_strategy.get(strategy))
+            .and_then(|by_capacity| by_capacity.get(&capacity))
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.results.rows[i])
+    }
+
+    /// The first row under the key ([`SweepResults::find`], indexed).
+    pub fn find(&self, label: &str, strategy: &str, capacity: usize) -> Option<&'a SweepRow> {
+        self.rows(label, strategy, capacity).next()
+    }
+
+    /// Of the rows under the key, the one with the smallest quantum volume —
+    /// how the paper picks each strategy's better reuse policy for its final
+    /// plots (Section VIII-C1).
+    pub fn best_reuse(&self, label: &str, strategy: &str, capacity: usize) -> Option<&'a SweepRow> {
+        self.rows(label, strategy, capacity)
+            .min_by_key(|r| r.evaluation.volume)
     }
 }
 
@@ -209,7 +278,11 @@ impl SweepSpec {
                     .get(&point.factory)
                     .expect("every point's config was pre-built")
                     .clone();
-                self.evaluate_point(point, &entry)
+                // Each worker thread reuses one simulator engine across every
+                // point it evaluates (arena reuse; results are unaffected).
+                with_thread_engine(self.eval.sim, |engine| {
+                    self.evaluate_point(point, &entry, engine)
+                })
             })
             .collect();
         self.assemble(rows)
@@ -224,11 +297,12 @@ impl SweepSpec {
     /// Returns the first factory-construction, placement or simulation error.
     pub fn run_serial(&self) -> Result<SweepResults> {
         let mut cache: FactoryCache = HashMap::new();
+        let mut engine = SimEngine::new(self.eval.sim);
         let mut rows: Vec<crate::Result<SweepRow>> = Vec::with_capacity(self.points.len());
         for point in &self.points {
             let row = self
                 .entry_for(&mut cache, point.factory)
-                .and_then(|entry| self.evaluate_point(point, &entry));
+                .and_then(|entry| self.evaluate_point(point, &entry, &mut engine));
             rows.push(row);
         }
         self.assemble(rows)
@@ -247,15 +321,31 @@ impl SweepSpec {
         Ok(entry)
     }
 
-    /// Evaluates one point against a shared, immutable factory.
-    fn evaluate_point(&self, point: &SweepPoint, entry: &FactoryEntry) -> Result<SweepRow> {
+    /// Evaluates one point against a shared, immutable factory, simulating
+    /// through the caller's reusable engine.
+    fn evaluate_point(
+        &self,
+        point: &SweepPoint,
+        entry: &FactoryEntry,
+        engine: &mut SimEngine,
+    ) -> Result<SweepRow> {
         let factory = &entry.factory;
         let layout = point.strategy.map(factory)?;
         let effective = effective_factory(factory, &layout)?;
-        let evaluation =
-            evaluate_mapped(&effective, &layout, point.strategy.short_name(), &self.eval)?;
+        let evaluation = evaluate_mapped_with(
+            engine,
+            &effective,
+            &layout,
+            point.strategy.short_name(),
+            &self.eval,
+        )?;
         let breakdown = if self.collect_breakdowns {
-            Some(per_round_breakdown(&effective, &layout, &self.eval.sim)?)
+            Some(per_round_breakdown_with(
+                engine,
+                &effective,
+                &layout,
+                &self.eval.sim,
+            )?)
         } else {
             None
         };
@@ -419,6 +509,40 @@ mod tests {
         assert_eq!(row.evaluation.factory.capacity(), 4);
         assert!(results.find("g", "HS", 4).is_none());
         assert_eq!(results.labeled("g").count(), 4);
+    }
+
+    #[test]
+    fn index_agrees_with_linear_find() {
+        let results = small_spec().run().unwrap();
+        let index = results.index();
+        for row in &results.rows {
+            let key = (
+                row.label.as_str(),
+                row.evaluation.strategy.as_str(),
+                row.evaluation.factory.capacity(),
+            );
+            assert_eq!(
+                index.find(key.0, key.1, key.2).map(|r| r as *const _),
+                results.find(key.0, key.1, key.2).map(|r| r as *const _),
+            );
+        }
+        assert!(index.find("g", "HS", 4).is_none());
+        assert_eq!(index.rows("g", "Line", 4).count(), 1);
+    }
+
+    #[test]
+    fn index_best_reuse_picks_the_smaller_volume() {
+        use msfu_distill::ReusePolicy;
+        let base = FactoryConfig::two_level(2);
+        let results = SweepSpec::new("t", EvaluationConfig::default())
+            .point("x", base.with_reuse(ReusePolicy::Reuse), Strategy::Linear)
+            .point("x", base.with_reuse(ReusePolicy::NoReuse), Strategy::Linear)
+            .run()
+            .unwrap();
+        let index = results.index();
+        let best = index.best_reuse("x", "Line", 4).unwrap();
+        let min = results.rows.iter().map(|r| r.evaluation.volume).min();
+        assert_eq!(Some(best.evaluation.volume), min);
     }
 
     #[test]

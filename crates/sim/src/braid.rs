@@ -134,6 +134,119 @@ pub fn adaptive_path(
     None
 }
 
+/// Reusable workspace for [`adaptive_path_into`].
+///
+/// [`adaptive_path`] allocates `dist`/`prev` grids and a heap on every call,
+/// which dominates routing cost when the simulator retries blocked braids.
+/// The scratch holds those buffers across calls (and across simulation runs);
+/// cheap epoch stamping replaces the per-call grid reset.
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    dist: Vec<u64>,
+    prev: Vec<Coord>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize, Coord)>>,
+}
+
+impl DijkstraScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes the grids for an `area`-cell mesh and opens a fresh epoch.
+    fn begin(&mut self, area: usize) {
+        if self.stamp.len() < area {
+            self.dist.resize(area, 0);
+            self.prev.resize(area, Coord::new(0, 0));
+            self.stamp.resize(area, 0);
+        }
+        if self.epoch == u32::MAX {
+            // Full clear, not just `..area`: stamps beyond the current mesh
+            // would otherwise survive the wrap and collide with reused epoch
+            // values if a later run grows the mesh again.
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.heap.clear();
+    }
+
+    fn dist(&self, i: usize) -> u64 {
+        if self.stamp[i] == self.epoch {
+            self.dist[i]
+        } else {
+            u64::MAX
+        }
+    }
+
+    fn set_dist(&mut self, i: usize, d: u64) {
+        self.stamp[i] = self.epoch;
+        self.dist[i] = d;
+    }
+}
+
+/// Allocation-free variant of [`adaptive_path`]: identical path (same cost
+/// function, same tie-breaking), with the Dijkstra state drawn from `scratch`
+/// and the resulting cells appended to `out`. Returns `false` — leaving `out`
+/// untouched — when no path avoiding busy cells exists.
+#[allow(clippy::too_many_arguments)]
+pub fn adaptive_path_into(
+    from: Coord,
+    to: Coord,
+    width: usize,
+    height: usize,
+    busy: &dyn Fn(Coord) -> bool,
+    penalty: &dyn Fn(Coord) -> u64,
+    scratch: &mut DijkstraScratch,
+    out: &mut Vec<Coord>,
+) -> bool {
+    if from == to {
+        out.push(from);
+        return true;
+    }
+    let idx = |c: Coord| c.row * width + c.col;
+    scratch.begin(width * height);
+    scratch.set_dist(idx(from), 0);
+    scratch.heap.push(std::cmp::Reverse((0, idx(from), from)));
+    while let Some(std::cmp::Reverse((d, i, cell))) = scratch.heap.pop() {
+        if d > scratch.dist(i) {
+            continue;
+        }
+        if cell == to {
+            let start = out.len();
+            out.push(to);
+            let mut cur = to;
+            while cur != from {
+                let p = scratch.prev[idx(cur)];
+                out.push(p);
+                cur = p;
+            }
+            out[start..].reverse();
+            return true;
+        }
+        for n in cell.neighbors(width, height) {
+            if n != to && n != from && busy(n) {
+                continue;
+            }
+            let step_cost = if n == to || n == from {
+                1
+            } else {
+                1 + penalty(n)
+            };
+            let nd = d + step_cost;
+            let ni = idx(n);
+            if nd < scratch.dist(ni) {
+                scratch.set_dist(ni, nd);
+                scratch.prev[ni] = cell;
+                scratch.heap.push(std::cmp::Reverse((nd, ni, n)));
+            }
+        }
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,188 @@
+//! Bucketed event queue keyed by completion cycle.
+//!
+//! The simulator schedules every event at `now + duration` where `duration`
+//! is bounded by the latency model, so pending completion times always fall
+//! inside a small window above the current cycle. [`EventWheel`] exploits
+//! that: a ring of buckets (one per cycle in the window) gives O(1) schedule
+//! and pop, and finding the next event is a short forward scan bounded by the
+//! window size. Events beyond the window — possible only with exotic latency
+//! models — spill into a binary-heap overflow so correctness never depends on
+//! the sizing heuristic.
+//!
+//! The wheel is an arena: [`EventWheel::reset`] reuses the bucket allocations
+//! across simulation runs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Ring size past which a duration is considered out-of-window and heaped.
+/// Covers every stock latency model with plenty of slack; only a per-gate
+/// duration above this pays the heap.
+const MAX_HORIZON: u64 = 1 << 12;
+
+/// A calendar-queue/binary-heap hybrid holding `(completion cycle, gate)`
+/// events for the simulator.
+#[derive(Debug, Default)]
+pub(crate) struct EventWheel {
+    /// Ring of buckets; the bucket for time `t` is `slots[t % horizon]`.
+    slots: Vec<Vec<u32>>,
+    /// Ring size in cycles.
+    horizon: u64,
+    /// Current time: every queued event is strictly later than this.
+    now: u64,
+    /// Number of events in the ring (excluding the overflow heap).
+    in_ring: usize,
+    /// Events scheduled more than `horizon - 1` cycles ahead.
+    overflow: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl EventWheel {
+    /// Clears the wheel and sizes the ring for durations up to
+    /// `max_duration`, retaining bucket allocations where possible.
+    pub(crate) fn reset(&mut self, max_duration: u64) {
+        let horizon = (max_duration + 1).next_power_of_two().min(MAX_HORIZON);
+        for slot in &mut self.slots {
+            slot.clear();
+        }
+        self.slots.resize_with(horizon as usize, Vec::new);
+        self.horizon = horizon;
+        self.now = 0;
+        self.in_ring = 0;
+        self.overflow.clear();
+    }
+
+    /// True when no event is pending.
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.in_ring == 0 && self.overflow.is_empty()
+    }
+
+    /// Queues `gate` to complete at cycle `finish`. `finish` must be strictly
+    /// after the last [`EventWheel::advance_to`] time (zero-duration gates
+    /// complete inline in the engine and never enter the wheel).
+    pub(crate) fn schedule(&mut self, finish: u64, gate: u32) {
+        debug_assert!(finish > self.now, "events must be scheduled in the future");
+        if finish - self.now < self.horizon {
+            self.slots[(finish % self.horizon) as usize].push(gate);
+            self.in_ring += 1;
+        } else {
+            self.overflow.push(Reverse((finish, gate)));
+        }
+    }
+
+    /// The earliest pending completion time, or `None` when empty.
+    pub(crate) fn next_time(&self) -> Option<u64> {
+        let heap_next = self.overflow.peek().map(|Reverse((t, _))| *t);
+        if self.in_ring > 0 {
+            // Ring events all lie in (now, now + horizon); scan forward.
+            for t in self.now + 1..=self.now + self.horizon {
+                if !self.slots[(t % self.horizon) as usize].is_empty() {
+                    return Some(heap_next.map_or(t, |h| h.min(t)));
+                }
+            }
+            debug_assert!(false, "in_ring > 0 but no occupied slot found");
+        }
+        heap_next
+    }
+
+    /// Moves time to `t`, appending every gate completing at `t` to `out`.
+    /// Ring events beyond `t` are untouched; overflow events that have come
+    /// inside the window migrate lazily on their own pop.
+    pub(crate) fn advance_to(&mut self, t: u64, out: &mut Vec<u32>) {
+        debug_assert!(t > self.now);
+        self.now = t;
+        let slot = &mut self.slots[(t % self.horizon) as usize];
+        self.in_ring -= slot.len();
+        out.append(slot);
+        while let Some(Reverse((finish, gate))) = self.overflow.peek().copied() {
+            if finish != t {
+                break;
+            }
+            self.overflow.pop();
+            out.push(gate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all(wheel: &mut EventWheel) -> Vec<(u64, Vec<u32>)> {
+        let mut out = Vec::new();
+        while let Some(t) = wheel.next_time() {
+            let mut gates = Vec::new();
+            wheel.advance_to(t, &mut gates);
+            gates.sort_unstable();
+            out.push((t, gates));
+        }
+        out
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut wheel = EventWheel::default();
+        wheel.reset(10);
+        wheel.schedule(5, 1);
+        wheel.schedule(2, 2);
+        wheel.schedule(5, 3);
+        wheel.schedule(9, 4);
+        assert!(!wheel.is_empty());
+        assert_eq!(
+            drain_all(&mut wheel),
+            vec![(2, vec![2]), (5, vec![1, 3]), (9, vec![4])]
+        );
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn scheduling_continues_as_time_advances() {
+        let mut wheel = EventWheel::default();
+        wheel.reset(3);
+        wheel.schedule(2, 0);
+        let mut out = Vec::new();
+        wheel.advance_to(2, &mut out);
+        assert_eq!(out, vec![0]);
+        // The ring wraps: times 3..=5 share slots with 0..=2.
+        wheel.schedule(5, 1);
+        wheel.schedule(3, 2);
+        assert_eq!(wheel.next_time(), Some(3));
+        assert_eq!(drain_all(&mut wheel), vec![(3, vec![2]), (5, vec![1])]);
+    }
+
+    #[test]
+    fn far_events_overflow_to_the_heap() {
+        let mut wheel = EventWheel::default();
+        wheel.reset(1); // horizon 2: anything ≥ 2 cycles out overflows
+        wheel.schedule(1, 0);
+        wheel.schedule(100, 1);
+        wheel.schedule(50, 2);
+        assert_eq!(
+            drain_all(&mut wheel),
+            vec![(1, vec![0]), (50, vec![2]), (100, vec![1])]
+        );
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn reset_reuses_the_wheel() {
+        let mut wheel = EventWheel::default();
+        wheel.reset(4);
+        wheel.schedule(3, 7);
+        wheel.reset(4);
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.next_time(), None);
+        wheel.schedule(1, 8);
+        assert_eq!(drain_all(&mut wheel), vec![(1, vec![8])]);
+    }
+
+    #[test]
+    fn mixed_ring_and_overflow_next_time_is_global_min() {
+        let mut wheel = EventWheel::default();
+        wheel.reset(1);
+        wheel.schedule(10, 1); // overflow
+        assert_eq!(wheel.next_time(), Some(10));
+        wheel.schedule(1, 2); // ring
+        assert_eq!(wheel.next_time(), Some(1));
+    }
+}

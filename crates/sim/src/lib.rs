@@ -49,11 +49,15 @@ mod braid;
 mod config;
 mod engine;
 mod error;
+mod events;
+pub mod reference;
 mod stats;
 
-pub use braid::{adaptive_path, dimension_ordered_path, BraidPath};
+pub use braid::{
+    adaptive_path, adaptive_path_into, dimension_ordered_path, BraidPath, DijkstraScratch,
+};
 pub use config::{RoutingPolicy, SimConfig};
-pub use engine::Simulator;
+pub use engine::{SimEngine, Simulator};
 pub use error::SimError;
 pub use stats::{GateTiming, SimResult};
 

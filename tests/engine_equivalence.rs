@@ -1,0 +1,82 @@
+//! Differential test: the event-driven [`SimEngine`] must produce
+//! byte-identical [`msfu::sim::SimResult`]s to the preserved reference engine
+//! (`msfu::sim::reference`) — same cycles, same per-gate timings, same stall
+//! statistics, same routing-conflict counts — across a seeded sweep of
+//! factory configurations, mapping strategies and routing policies.
+//!
+//! One engine instance is reused for every run, so the suite also proves the
+//! arenas carry no state from one simulation into the next.
+
+use msfu::core::Strategy;
+use msfu::distill::{Factory, FactoryConfig, ReusePolicy};
+use msfu::layout::{ForceDirectedConfig, StitchingConfig};
+use msfu::sim::{reference, SimConfig, SimEngine};
+
+/// A cheap force-directed configuration so the sweep stays fast.
+fn cheap_fd(seed: u64) -> Strategy {
+    Strategy::ForceDirected(ForceDirectedConfig {
+        seed,
+        iterations: 4,
+        repulsion_sample: 500,
+        ..ForceDirectedConfig::default()
+    })
+}
+
+/// The seeded configuration grid: every combination of factory shape, reuse
+/// policy and strategy family, with the seed perturbing the stochastic
+/// mappers. 2 shapes × 2 policies × 5 strategies × 3 seeds = 60 configs.
+fn seeded_configs() -> Vec<(FactoryConfig, Strategy)> {
+    let mut out = Vec::new();
+    for seed in 1..=3u64 {
+        for base in [FactoryConfig::single_level(4), FactoryConfig::two_level(2)] {
+            for policy in [ReusePolicy::Reuse, ReusePolicy::NoReuse] {
+                let config = base.with_reuse(policy);
+                for strategy in [
+                    Strategy::Random { seed },
+                    Strategy::Linear,
+                    cheap_fd(seed),
+                    Strategy::GraphPartition { seed },
+                    Strategy::HierarchicalStitching(StitchingConfig {
+                        seed,
+                        ..StitchingConfig::default()
+                    }),
+                ] {
+                    out.push((config, strategy));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn assert_equivalent(sim: SimConfig) {
+    let configs = seeded_configs();
+    assert!(configs.len() >= 50, "the grid covers at least 50 configs");
+    // ONE engine for the whole sweep: arena reuse must not leak state.
+    let mut engine = SimEngine::new(sim);
+    for (i, (config, strategy)) in configs.iter().enumerate() {
+        let factory = Factory::build(config).unwrap();
+        let layout = strategy.map(&factory).unwrap();
+        let effective = msfu::core::effective_factory(&factory, &layout).unwrap();
+        let fast = engine.run(effective.circuit(), &layout).unwrap();
+        let slow = reference::run(&sim, effective.circuit(), &layout).unwrap();
+        assert_eq!(
+            fast,
+            slow,
+            "config {i}: {:?} under {} diverged ({:?} routing)",
+            config,
+            strategy.short_name(),
+            sim.routing,
+        );
+    }
+}
+
+#[test]
+fn event_driven_engine_matches_reference_dimension_ordered() {
+    assert_equivalent(SimConfig::dimension_ordered());
+}
+
+#[test]
+fn event_driven_engine_matches_reference_adaptive() {
+    assert_equivalent(SimConfig::default());
+}

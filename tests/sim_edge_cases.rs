@@ -1,0 +1,139 @@
+//! Simulator edge cases: degenerate circuits and meshes, and a fully
+//! contended braid network, exercised through both the event-driven engine
+//! and the reference implementation.
+
+use msfu::circuit::{CircuitBuilder, LatencyModel, QubitId, QubitRole};
+use msfu::distill::{Factory, FactoryConfig};
+use msfu::layout::{Coord, FactoryMapper, Layout, LinearMapper, Mapping};
+use msfu::sim::{reference, SimConfig, SimEngine, SimError};
+
+/// A zero-qubit (hence zero-gate) circuit simulates in zero cycles on any
+/// non-empty mesh, under both engines.
+#[test]
+fn zero_qubit_circuit_is_trivial() {
+    let circuit = CircuitBuilder::new("nothing").build();
+    assert_eq!(circuit.num_qubits(), 0);
+    let layout = Layout::new(Mapping::new(0, 3, 3));
+    let config = SimConfig::default();
+    let fast = SimEngine::new(config).run(&circuit, &layout).unwrap();
+    let slow = reference::run(&config, &circuit, &layout).unwrap();
+    assert_eq!(fast, slow);
+    assert_eq!(fast.cycles, 0);
+    assert_eq!(fast.volume(), 0);
+    assert!(fast.timings.is_empty());
+}
+
+/// A zero-area mesh is an error even for an empty circuit.
+#[test]
+fn empty_grid_is_an_error_for_both_engines() {
+    let circuit = CircuitBuilder::new("nothing").build();
+    let layout = Layout::new(Mapping::new(0, 0, 0));
+    let config = SimConfig::default();
+    assert!(matches!(
+        SimEngine::new(config).run(&circuit, &layout),
+        Err(SimError::EmptyGrid)
+    ));
+    assert!(matches!(
+        reference::run(&config, &circuit, &layout),
+        Err(SimError::EmptyGrid)
+    ));
+}
+
+/// The smallest possible factory — a single module — builds, maps and
+/// simulates, and both engines agree on the result.
+#[test]
+fn single_module_factory_simulates() {
+    let factory = Factory::build(&FactoryConfig::single_level(1)).unwrap();
+    let layout = LinearMapper::new().map_factory(&factory).unwrap();
+    let config = SimConfig::default();
+    let fast = SimEngine::new(config)
+        .run(factory.circuit(), &layout)
+        .unwrap();
+    let slow = reference::run(&config, factory.circuit(), &layout).unwrap();
+    assert_eq!(fast, slow);
+    assert!(fast.cycles >= factory.circuit().critical_path_cycles(&config.latency));
+    assert!(fast.cycles > 0);
+}
+
+/// Fully contended braid network: qubits on one row, every CNOT's L-path
+/// crosses the shared corridor, so the braids serialise completely under
+/// dimension-ordered routing. The realised latency must be the full serial
+/// sum, every gate but the first must stall, and both engines must agree.
+#[test]
+fn fully_contended_network_serialises_completely() {
+    let n = 8u32;
+    let mut b = CircuitBuilder::new("contended");
+    let q = b.register("q", QubitRole::Data, n as usize);
+    // Nested spans sharing the central cells: (0,7), (1,6), (2,5), (3,4).
+    for i in 0..n / 2 {
+        b.cnot(q[i as usize], q[(n - 1 - i) as usize]).unwrap();
+    }
+    let circuit = b.build();
+    let mut m = Mapping::new(n as usize, n as usize, 1);
+    for i in 0..n {
+        m.place(QubitId::new(i), Coord::new(0, i as usize)).unwrap();
+    }
+    let layout = Layout::new(m);
+    let config = SimConfig::dimension_ordered();
+    let fast = SimEngine::new(config).run(&circuit, &layout).unwrap();
+    let slow = reference::run(&config, &circuit, &layout).unwrap();
+    assert_eq!(fast, slow);
+    let model = LatencyModel::default();
+    let gates = (n / 2) as u64;
+    assert_eq!(fast.cycles, gates * model.cnot, "complete serialisation");
+    assert_eq!(fast.stalled_gates as u64, gates - 1);
+    // Every stalled gate retried (and failed) at least once per stall window.
+    assert!(fast.routing_conflicts >= gates - 1);
+    assert_eq!(
+        fast.stall_cycles,
+        (1..gates).map(|k| k * model.cnot).sum::<u64>()
+    );
+}
+
+/// On a single-cell mesh every gate contends for the same tile: a chain of
+/// single-qubit gates on one qubit runs back to back without conflicts.
+#[test]
+fn single_cell_mesh_runs_a_serial_chain() {
+    let mut b = CircuitBuilder::new("one-cell");
+    let q = b.register("q", QubitRole::Data, 1);
+    for _ in 0..5 {
+        b.h(q[0]).unwrap();
+    }
+    let circuit = b.build();
+    let mut m = Mapping::new(1, 1, 1);
+    m.place(QubitId::new(0), Coord::new(0, 0)).unwrap();
+    let layout = Layout::new(m);
+    let config = SimConfig::default();
+    let fast = SimEngine::new(config).run(&circuit, &layout).unwrap();
+    let slow = reference::run(&config, &circuit, &layout).unwrap();
+    assert_eq!(fast, slow);
+    assert_eq!(fast.cycles, 5 * LatencyModel::default().single_qubit);
+    assert_eq!(fast.routing_conflicts, 0);
+}
+
+/// A tight cycle limit aborts both engines identically.
+#[test]
+fn cycle_limit_aborts_both_engines() {
+    let mut b = CircuitBuilder::new("long");
+    let q = b.register("q", QubitRole::Data, 2);
+    for _ in 0..10 {
+        b.cnot(q[0], q[1]).unwrap();
+    }
+    let circuit = b.build();
+    let mut m = Mapping::new(2, 2, 1);
+    m.place(QubitId::new(0), Coord::new(0, 0)).unwrap();
+    m.place(QubitId::new(1), Coord::new(0, 1)).unwrap();
+    let layout = Layout::new(m);
+    let config = SimConfig {
+        cycle_limit: 3,
+        ..SimConfig::default()
+    };
+    assert!(matches!(
+        SimEngine::new(config).run(&circuit, &layout),
+        Err(SimError::CycleLimitExceeded { limit: 3 })
+    ));
+    assert!(matches!(
+        reference::run(&config, &circuit, &layout),
+        Err(SimError::CycleLimitExceeded { limit: 3 })
+    ));
+}
