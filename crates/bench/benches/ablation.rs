@@ -44,27 +44,20 @@ fn bench_ablations(c: &mut Criterion) {
     print_volume(
         "barriers-on/GP",
         &two_level,
-        &Strategy::GraphPartition { seed: 1 },
+        &Strategy::graph_partition(1),
         &eval_cfg,
     );
     print_volume(
         "barriers-off/GP",
         &no_barriers,
-        &Strategy::GraphPartition { seed: 1 },
+        &Strategy::graph_partition(1),
         &eval_cfg,
     );
     group.bench_function("barriers-on/GP", |b| {
-        b.iter(|| evaluate(&two_level, &Strategy::GraphPartition { seed: 1 }, &eval_cfg).unwrap())
+        b.iter(|| evaluate(&two_level, &Strategy::graph_partition(1), &eval_cfg).unwrap())
     });
     group.bench_function("barriers-off/GP", |b| {
-        b.iter(|| {
-            evaluate(
-                &no_barriers,
-                &Strategy::GraphPartition { seed: 1 },
-                &eval_cfg,
-            )
-            .unwrap()
-        })
+        b.iter(|| evaluate(&no_barriers, &Strategy::graph_partition(1), &eval_cfg).unwrap())
     });
 
     // Routing policy ablation (linear mapper, single-level factory).
@@ -72,30 +65,30 @@ fn bench_ablations(c: &mut Criterion) {
     print_volume(
         "adaptive-routing/Line",
         &single,
-        &Strategy::Linear,
+        &Strategy::linear(),
         &eval_cfg,
     );
     print_volume(
         "dimension-ordered/Line",
         &single,
-        &Strategy::Linear,
+        &Strategy::linear(),
         &dimension_ordered,
     );
     group.bench_function("adaptive-routing/Line", |b| {
-        b.iter(|| evaluate(&single, &Strategy::Linear, &eval_cfg).unwrap())
+        b.iter(|| evaluate(&single, &Strategy::linear(), &eval_cfg).unwrap())
     });
     group.bench_function("dimension-ordered/Line", |b| {
-        b.iter(|| evaluate(&single, &Strategy::Linear, &dimension_ordered).unwrap())
+        b.iter(|| evaluate(&single, &Strategy::linear(), &dimension_ordered).unwrap())
     });
 
     // Dipole-heuristic ablation (FD mapper, single-level factory).
-    let fd_with = Strategy::ForceDirected(ForceDirectedConfig {
+    let fd_with = Strategy::force_directed(ForceDirectedConfig {
         seed: 1,
         iterations: 8,
         repulsion_sample: 1_000,
         ..ForceDirectedConfig::default()
     });
-    let fd_without = Strategy::ForceDirected(ForceDirectedConfig {
+    let fd_without = Strategy::force_directed(ForceDirectedConfig {
         seed: 1,
         iterations: 8,
         repulsion_sample: 1_000,
@@ -112,11 +105,11 @@ fn bench_ablations(c: &mut Criterion) {
     });
 
     // Intermediate-hop ablation (HS mapper, two-level factory).
-    let hs_hops = Strategy::HierarchicalStitching(StitchingConfig {
+    let hs_hops = Strategy::hierarchical_stitching(StitchingConfig {
         seed: 1,
         ..StitchingConfig::default()
     });
-    let hs_no_hops = Strategy::HierarchicalStitching(StitchingConfig {
+    let hs_no_hops = Strategy::hierarchical_stitching(StitchingConfig {
         seed: 1,
         hop_strategy: HopStrategy::None,
         ..StitchingConfig::default()

@@ -134,6 +134,97 @@ fn rows(report: &Value) -> Option<&Vec<Value>> {
         .and_then(Value::as_array)
 }
 
+/// The `label/strategy` key of one sweep row.
+fn row_key(row: &Value) -> String {
+    format!(
+        "{}/{}",
+        row.get("label").and_then(Value::as_str).unwrap_or("?"),
+        row.get("evaluation")
+            .and_then(|e| e.get("strategy"))
+            .and_then(Value::as_str)
+            .unwrap_or("?"),
+    )
+}
+
+/// Verifies that baseline and current cover the same row keys in the same
+/// order. Disjoint config sets are reported explicitly — which keys only the
+/// baseline has and which only the current run has — instead of a bare count
+/// mismatch, so a renamed strategy or dropped capacity is obvious at a
+/// glance.
+fn check_same_configs(name: &str, base_rows: &[Value], cur_rows: &[Value]) -> Result<(), String> {
+    let base_keys: Vec<String> = base_rows.iter().map(row_key).collect();
+    let cur_keys: Vec<String> = cur_rows.iter().map(row_key).collect();
+    if base_keys == cur_keys {
+        return Ok(());
+    }
+    // Multiset difference: keys may legitimately repeat (reuse variants,
+    // seed batches), so count occurrences instead of set-subtracting.
+    let count = |keys: &[String]| {
+        let mut by_key: std::collections::BTreeMap<String, i64> = Default::default();
+        for key in keys {
+            *by_key.entry(key.clone()).or_default() += 1;
+        }
+        by_key
+    };
+    let (base_count, cur_count) = (count(&base_keys), count(&cur_keys));
+    let only_in = |a: &std::collections::BTreeMap<String, i64>,
+                   b: &std::collections::BTreeMap<String, i64>| {
+        a.iter()
+            .filter(|(k, n)| b.get(*k).copied().unwrap_or(0) < **n)
+            .map(|(k, _)| k.clone())
+            .collect::<Vec<_>>()
+    };
+    let baseline_only = only_in(&base_count, &cur_count);
+    let current_only = only_in(&cur_count, &base_count);
+    if baseline_only.is_empty() && current_only.is_empty() {
+        return Err(format!(
+            "{name}: same configs in a different row order; refresh the baselines if intentional"
+        ));
+    }
+    Err(format!(
+        "{name}: config sets are disjoint — baseline-only: [{}], current-only: [{}]; \
+         refresh the baselines if intentional",
+        baseline_only.join(", "),
+        current_only.join(", "),
+    ))
+}
+
+/// Gates one metric cell. Non-finite values and zero baselines (against
+/// which a relative tolerance is undefined) are explicit errors, never a
+/// silent pass.
+fn gate_cell(
+    name: &str,
+    what: &str,
+    base: f64,
+    cur: f64,
+    tolerance: f64,
+    regressions: &mut Vec<Regression>,
+) -> Result<(), String> {
+    if !base.is_finite() || !cur.is_finite() {
+        return Err(format!(
+            "{name}: {what} is not a finite number ({base} -> {cur}); the report is corrupt"
+        ));
+    }
+    if base == 0.0 {
+        if cur == 0.0 {
+            return Ok(());
+        }
+        return Err(format!(
+            "{name}: {what} baseline is zero so a relative tolerance is undefined \
+             (current {cur}); refresh the baselines"
+        ));
+    }
+    if cur > base * (1.0 + tolerance) {
+        regressions.push(Regression {
+            report: name.to_string(),
+            what: what.to_string(),
+            baseline: base,
+            current: cur,
+        });
+    }
+    Ok(())
+}
+
 /// Compares one report pair, appending regressions.
 fn compare_report(
     name: &str,
@@ -144,13 +235,7 @@ fn compare_report(
 ) -> Result<(), String> {
     let base_rows = rows(baseline).ok_or_else(|| format!("{name}: baseline has no rows"))?;
     let cur_rows = rows(current).ok_or_else(|| format!("{name}: current has no rows"))?;
-    if base_rows.len() != cur_rows.len() {
-        return Err(format!(
-            "{name}: row count changed ({} -> {}); refresh the baselines if intentional",
-            base_rows.len(),
-            cur_rows.len()
-        ));
-    }
+    check_same_configs(name, base_rows, cur_rows)?;
     for (i, (b, c)) in base_rows.iter().zip(cur_rows).enumerate() {
         let b_eval = b
             .get("evaluation")
@@ -158,32 +243,20 @@ fn compare_report(
         let c_eval = c
             .get("evaluation")
             .ok_or_else(|| format!("{name} row {i}: no evaluation"))?;
-        let key = |v: &Value, e: &Value| {
-            format!(
-                "{}/{}",
-                v.get("label").and_then(Value::as_str).unwrap_or("?"),
-                e.get("strategy").and_then(Value::as_str).unwrap_or("?"),
-            )
-        };
-        let (b_key, c_key) = (key(b, b_eval), key(c, c_eval));
-        if b_key != c_key {
-            return Err(format!(
-                "{name} row {i}: points diverged ({b_key} vs {c_key}); refresh the baselines if intentional"
-            ));
-        }
+        let key = row_key(b);
         for metric in ["latency_cycles", "volume"] {
             let read = |e: &Value| e.get(metric).and_then(Value::as_f64);
             let (Some(base), Some(cur)) = (read(b_eval), read(c_eval)) else {
                 return Err(format!("{name} row {i}: missing {metric}"));
             };
-            if base > 0.0 && cur > base * (1.0 + args.tolerance) {
-                regressions.push(Regression {
-                    report: name.to_string(),
-                    what: format!("row {i} ({b_key}) {metric}"),
-                    baseline: base,
-                    current: cur,
-                });
-            }
+            gate_cell(
+                name,
+                &format!("row {i} ({key}) {metric}"),
+                base,
+                cur,
+                args.tolerance,
+                regressions,
+            )?;
         }
     }
     if let Some(wall_tol) = args.wall_tolerance {
@@ -193,18 +266,27 @@ fn compare_report(
                 .and_then(Value::as_f64)
         };
         if let (Some(base), Some(cur)) = (wall(baseline), wall(current)) {
-            if base > 0.0 && cur > base * (1.0 + wall_tol) {
-                regressions.push(Regression {
-                    report: name.to_string(),
-                    what: "perf.wall_seconds".to_string(),
-                    baseline: base,
-                    current: cur,
-                });
+            if base < MIN_GATED_WALL_SECONDS {
+                // A sub-noise-floor baseline (e.g. the millisecond search
+                // smoke) cannot be ratio-gated: scheduler jitter alone
+                // exceeds any reasonable tolerance. Say so instead of
+                // flaking or silently skipping.
+                eprintln!(
+                    "[bench-diff] NOTE: {name}: baseline wall {base:.4}s is below the \
+                     {MIN_GATED_WALL_SECONDS}s gating floor; wall time not gated"
+                );
+            } else {
+                gate_cell(name, "perf.wall_seconds", base, cur, wall_tol, regressions)?;
             }
         }
     }
     Ok(())
 }
+
+/// Baseline wall times below this are not ratio-gated: at millisecond scale,
+/// scheduler jitter on a shared CI runner dwarfs any multiplicative
+/// tolerance, so gating would only produce flakes.
+const MIN_GATED_WALL_SECONDS: f64 = 0.1;
 
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
@@ -362,10 +444,112 @@ mod tests {
     }
 
     #[test]
+    fn sub_floor_wall_baselines_are_not_gated() {
+        // A millisecond-scale baseline (the search smoke) cannot be
+        // ratio-gated — runner jitter exceeds any tolerance — so even a
+        // 1000x "slowdown" must not regress.
+        let tiny = report(&[100], 0.0005);
+        let jittery = report(&[100], 0.5);
+        let mut regs = Vec::new();
+        compare_report("t", &tiny, &jittery, &args(0.10, Some(2.0)), &mut regs).unwrap();
+        assert!(regs.is_empty(), "sub-floor wall must not be gated");
+        // At or above the floor, gating applies as usual.
+        let base = report(&[100], MIN_GATED_WALL_SECONDS);
+        let slow = report(&[100], MIN_GATED_WALL_SECONDS * 10.0);
+        compare_report("t", &base, &slow, &args(0.10, Some(2.0)), &mut regs).unwrap();
+        assert_eq!(regs.len(), 1);
+    }
+
+    #[test]
     fn structural_drift_is_an_error_not_a_pass() {
         let base = report(&[100, 200], 1.0);
         let fewer = report(&[100], 1.0);
         let mut regs = Vec::new();
         assert!(compare_report("t", &base, &fewer, &args(0.10, None), &mut regs).is_err());
+    }
+
+    #[test]
+    fn disjoint_config_sets_error_names_the_keys() {
+        // Same row count, different keys: the error must spell out which
+        // keys each side has exclusively, not just fail on a count.
+        let base = report(&[100, 200], 1.0);
+        let mut renamed = report(&[100, 200], 1.0);
+        if let Value::Object(entries) = &mut renamed {
+            let results = entries
+                .iter_mut()
+                .find(|(k, _)| k == "results")
+                .map(|(_, v)| v)
+                .unwrap();
+            if let Value::Object(r) = results {
+                if let Some((_, Value::Array(rows))) = r.iter_mut().find(|(k, _)| k == "rows") {
+                    if let Value::Object(row) = &mut rows[1] {
+                        row[0].1 = Value::Str("l9".into()); // label l1 -> l9
+                    }
+                }
+            }
+        }
+        let mut regs = Vec::new();
+        let err = compare_report("t", &base, &renamed, &args(0.10, None), &mut regs)
+            .expect_err("disjoint sets must error");
+        assert!(err.contains("baseline-only: [l1/Line]"), "{err}");
+        assert!(err.contains("current-only: [l9/Line]"), "{err}");
+        assert!(regs.is_empty(), "no cell may be gated after a key error");
+    }
+
+    /// Builds a report whose row-0 latency cell is the given float.
+    fn report_with_latency_cell(cell: Value) -> Value {
+        let mut r = report(&[100], 1.0);
+        if let Value::Object(entries) = &mut r {
+            let results = entries
+                .iter_mut()
+                .find(|(k, _)| k == "results")
+                .map(|(_, v)| v)
+                .unwrap();
+            if let Value::Object(res) = results {
+                if let Some((_, Value::Array(rows))) = res.iter_mut().find(|(k, _)| k == "rows") {
+                    if let Value::Object(row) = &mut rows[0] {
+                        if let Some((_, Value::Object(eval))) =
+                            row.iter_mut().find(|(k, _)| k == "evaluation")
+                        {
+                            if let Some(entry) =
+                                eval.iter_mut().find(|(k, _)| k == "latency_cycles")
+                            {
+                                entry.1 = cell;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn nan_cells_are_an_explicit_error() {
+        let base = report(&[100], 1.0);
+        let poisoned = report_with_latency_cell(Value::Float(f64::NAN));
+        let mut regs = Vec::new();
+        let err = compare_report("t", &base, &poisoned, &args(0.10, None), &mut regs)
+            .expect_err("NaN must error, not silently pass");
+        assert!(err.contains("not a finite number"), "{err}");
+        // NaN in the baseline position must error too.
+        let err = compare_report("t", &poisoned, &base, &args(0.10, None), &mut regs)
+            .expect_err("NaN baseline must error");
+        assert!(err.contains("not a finite number"), "{err}");
+    }
+
+    #[test]
+    fn zero_baseline_cells_are_an_explicit_error() {
+        let zero_base = report_with_latency_cell(Value::UInt(0));
+        let current = report(&[100], 1.0);
+        let mut regs = Vec::new();
+        let err = compare_report("t", &zero_base, &current, &args(0.10, None), &mut regs)
+            .expect_err("zero baseline with nonzero current must error");
+        assert!(err.contains("baseline is zero"), "{err}");
+        assert!(regs.is_empty());
+        // Zero against zero is an unchanged cell, not an error.
+        let mut regs = Vec::new();
+        compare_report("t", &zero_base, &zero_base, &args(0.10, None), &mut regs).unwrap();
+        assert!(regs.is_empty());
     }
 }

@@ -26,10 +26,7 @@ fn main() {
         spec = spec.point(
             "random",
             factory_config,
-            Strategy::RandomWithSlack {
-                seed,
-                expansion: 1.5,
-            },
+            Strategy::random_with_slack(seed, 1.5),
         );
     }
     let results = run_spec(&spec, &args);

@@ -3,36 +3,16 @@
 //! ("theoretical lower bound") latency, for single-level (7a) and two-level
 //! (7b) factories of increasing capacity.
 //!
-//! One declarative [`SweepSpec`] (both levels × all capacities × {FD, GP})
-//! executed in parallel by the sweep engine; this binary only formats rows.
+//! One declarative [`msfu_bench::fig7_spec`] sweep (both levels × all
+//! capacities × {FD, GP}) executed in parallel by the sweep engine; this
+//! binary only formats rows. The same grid is also checked in as pure JSON
+//! data (`benches/specs/fig7_quick.json`) and asserted byte-identical by
+//! `tests/registry_sweep.rs`.
 //!
 //! Usage: `cargo run -p msfu-bench --bin fig7 --release [full] [serial] [--json]`
 
-use msfu_bench::{harness_eval_config, run_spec, scaled_fd_config, HarnessArgs};
-use msfu_core::{report::Series, Strategy, SweepIndex, SweepSpec};
-use msfu_distill::{FactoryConfig, ReusePolicy};
-
-fn build_spec(args: &HarnessArgs, seed: u64) -> SweepSpec {
-    let mut spec = SweepSpec::new("fig7", harness_eval_config());
-    for (label, levels, capacities) in [
-        ("single", 1, args.mode.single_level_capacities()),
-        ("double", 2, args.mode.two_level_capacities()),
-    ] {
-        for &capacity in &capacities {
-            let config = FactoryConfig::from_total_capacity(capacity, levels)
-                .expect("capacity is an exact power")
-                .with_reuse(ReusePolicy::Reuse);
-            spec = spec.grid(label, &[config], |c| {
-                let qubits = c.total_modules() * c.qubits_per_module();
-                vec![
-                    Strategy::ForceDirected(scaled_fd_config(seed, qubits)),
-                    Strategy::GraphPartition { seed },
-                ]
-            });
-        }
-    }
-    spec
-}
+use msfu_bench::{fig7_spec, run_spec, HarnessArgs};
+use msfu_core::{report::Series, SweepIndex};
 
 fn series(index: &SweepIndex<'_>, label: &str, capacities: &[usize]) -> Vec<Series> {
     let mut fd = Series::new("Force Directed");
@@ -73,7 +53,7 @@ fn print_series(title: &str, series: &[Series]) {
 fn main() {
     let args = HarnessArgs::from_env();
     let seed = 42;
-    let spec = build_spec(&args, seed);
+    let spec = fig7_spec(args.mode, seed);
     let results = run_spec(&spec, &args);
     // One pass over the rows; every per-cell lookup below is O(1).
     let index = results.index();

@@ -34,9 +34,9 @@ fn build_spec(args: &HarnessArgs, seed: u64) -> SweepSpec {
             spec = spec.grid("reuse", &[base.with_reuse(policy)], |c| {
                 let qubits = c.total_modules() * c.qubits_per_module();
                 vec![
-                    Strategy::Linear,
-                    Strategy::ForceDirected(scaled_fd_config(seed, qubits)),
-                    Strategy::GraphPartition { seed },
+                    Strategy::linear(),
+                    Strategy::force_directed(scaled_fd_config(seed, qubits)),
+                    Strategy::graph_partition(seed),
                 ]
             });
         }
@@ -46,7 +46,7 @@ fn build_spec(args: &HarnessArgs, seed: u64) -> SweepSpec {
             spec = spec.point(
                 format!("hops/{}", hop.name()),
                 base,
-                Strategy::HierarchicalStitching(StitchingConfig {
+                Strategy::hierarchical_stitching(StitchingConfig {
                     seed,
                     hop_strategy: hop,
                     ..StitchingConfig::default()

@@ -1,0 +1,178 @@
+//! Runs a portfolio search declared as a JSON spec file and reports the
+//! best-so-far incumbent — the "open line-up" counterpart of the fixed
+//! figure/table sweeps.
+//!
+//! Usage: `cargo run -p msfu-bench --bin search --release -- <SPEC.json> [serial] [--json]`
+//!
+//! * `<SPEC.json>` — a [`SearchSpec`] document (see
+//!   `msfu_core::search::SearchSpec::from_json` and the README's
+//!   "Portfolio search" section; `benches/specs/search_smoke.json` is a
+//!   worked example).
+//! * `serial` — run candidate batches sequentially (results are identical).
+//! * `--json` — additionally write `BENCH_<name>.json` with one
+//!   `portfolio/<strategy>` row per portfolio entry plus the `incumbent`
+//!   row, in the same shape the figure binaries emit so `bench-diff` gates
+//!   search results too.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use msfu_core::{SearchReport, SearchSpec, SweepResults};
+
+/// Wall-time stamp of a search run (the search analogue of
+/// `msfu_bench::perf::PerfStamp`; `bench-diff` reads `wall_seconds`).
+#[derive(Debug, Clone, Serialize)]
+struct SearchPerf {
+    /// End-to-end search wall time in seconds.
+    wall_seconds: f64,
+    /// Whether batches ran on all cores or serially.
+    parallel: bool,
+    /// Candidates evaluated.
+    evaluations: usize,
+    /// `evaluations / wall_seconds`.
+    evaluations_per_second: f64,
+}
+
+/// The `BENCH_<name>.json` document for a search run.
+#[derive(Debug, Clone, Serialize)]
+struct SearchBenchReport {
+    name: String,
+    perf: SearchPerf,
+    results: SweepResults,
+    search: SearchReport,
+}
+
+fn print_report(report: &SearchReport) {
+    println!(
+        "# search {} — objective {}, factory k={} levels={} ({:?})",
+        report.name,
+        report.objective.name(),
+        report.factory.k,
+        report.factory.levels,
+        report.stop,
+    );
+    println!(
+        "# {} candidates in {} batch(es)",
+        report.evaluations, report.batches
+    );
+    println!();
+    println!("# incumbent trajectory (candidate -> objective)");
+    for point in &report.trajectory {
+        println!("{:>6} {:>14}", point.evaluation, point.value);
+    }
+    println!();
+    println!("# best candidate per portfolio entry");
+    println!(
+        "{:<12}{:>10}{:>14}{:>14}{:>10}",
+        "strategy", "candidate", "latency", "volume", "area"
+    );
+    for best in &report.entry_bests {
+        println!(
+            "{:<12}{:>10}{:>14}{:>14}{:>10}",
+            best.evaluation.strategy,
+            best.candidate,
+            best.evaluation.latency_cycles,
+            best.evaluation.volume,
+            best.evaluation.area,
+        );
+    }
+    println!();
+    if let Some(incumbent) = &report.incumbent {
+        println!(
+            "# incumbent: {} (candidate {}) -> {} = {} (volume {}, latency {}, area {})",
+            incumbent.evaluation.strategy,
+            incumbent.candidate,
+            report.objective.name(),
+            incumbent.value,
+            incumbent.evaluation.volume,
+            incumbent.evaluation.latency_cycles,
+            incumbent.evaluation.area,
+        );
+        println!("# incumbent params: {}", describe(incumbent));
+    }
+}
+
+fn describe(incumbent: &msfu_core::search::Incumbent) -> String {
+    let params: Vec<String> = incumbent
+        .strategy
+        .params()
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    format!("{}({})", incumbent.strategy.key(), params.join(", "))
+}
+
+fn run() -> Result<(), String> {
+    let mut spec_path: Option<String> = None;
+    let mut serial = false;
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "serial" | "--serial" => serial = true,
+            "--json" => json = true,
+            _ if arg.starts_with("--") => return Err(format!("unknown flag `{arg}`")),
+            _ => {
+                if spec_path.replace(arg).is_some() {
+                    return Err("exactly one spec file is expected".to_string());
+                }
+            }
+        }
+    }
+    let spec_path = spec_path.ok_or("usage: search <SPEC.json> [serial] [--json]".to_string())?;
+    let text =
+        std::fs::read_to_string(&spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let spec = SearchSpec::from_json(&text).map_err(|e| e.to_string())?;
+
+    let start = Instant::now();
+    let report = if serial {
+        spec.run_serial()
+    } else {
+        spec.run()
+    }
+    .map_err(|e| e.to_string())?;
+    let wall = start.elapsed();
+    eprintln!(
+        "[search {}] {} candidates in {:.2?} ({})",
+        report.name,
+        report.evaluations,
+        wall,
+        if serial { "serial" } else { "parallel" }
+    );
+    print_report(&report);
+
+    if json {
+        let wall_seconds = wall.as_secs_f64();
+        let bench = SearchBenchReport {
+            name: report.name.clone(),
+            perf: SearchPerf {
+                wall_seconds,
+                parallel: !serial,
+                evaluations: report.evaluations,
+                evaluations_per_second: if wall_seconds > 0.0 {
+                    report.evaluations as f64 / wall_seconds
+                } else {
+                    0.0
+                },
+            },
+            results: report.to_sweep_results(),
+            search: report,
+        };
+        let path = format!("BENCH_{}.json", bench.name);
+        let text = serde_json::to_string_pretty(&bench).map_err(|e| e.to_string())?;
+        std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("[search {}] wrote {path}", bench.name);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("search: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

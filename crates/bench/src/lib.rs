@@ -227,15 +227,42 @@ pub fn scaled_fd_config(seed: u64, num_qubits: usize) -> ForceDirectedConfig {
 pub fn lineup_for(config: &FactoryConfig, seed: u64) -> Vec<Strategy> {
     let qubits = config.total_modules() * config.qubits_per_module();
     vec![
-        Strategy::Random { seed },
-        Strategy::Linear,
-        Strategy::ForceDirected(scaled_fd_config(seed, qubits)),
-        Strategy::GraphPartition { seed },
-        Strategy::HierarchicalStitching(StitchingConfig {
+        Strategy::random(seed),
+        Strategy::linear(),
+        Strategy::force_directed(scaled_fd_config(seed, qubits)),
+        Strategy::graph_partition(seed),
+        Strategy::hierarchical_stitching(StitchingConfig {
             seed,
             ..StitchingConfig::default()
         }),
     ]
+}
+
+/// The Fig. 7 sweep: single- and two-level factories across the mode's
+/// capacity range, mapped by {FD, GP} under qubit reuse. Shared by the
+/// `fig7` binary and by the JSON sweep-spec round-trip test
+/// (`tests/registry_sweep.rs`), which asserts that the same grid declared as
+/// pure JSON data reproduces these results byte-identically.
+pub fn fig7_spec(mode: Mode, seed: u64) -> SweepSpec {
+    let mut spec = SweepSpec::new("fig7", harness_eval_config());
+    for (label, levels, capacities) in [
+        ("single", 1, mode.single_level_capacities()),
+        ("double", 2, mode.two_level_capacities()),
+    ] {
+        for &capacity in &capacities {
+            let config = FactoryConfig::from_total_capacity(capacity, levels)
+                .expect("capacity is an exact power")
+                .with_reuse(ReusePolicy::Reuse);
+            spec = spec.grid(label, &[config], |c| {
+                let qubits = c.total_modules() * c.qubits_per_module();
+                vec![
+                    Strategy::force_directed(scaled_fd_config(seed, qubits)),
+                    Strategy::graph_partition(seed),
+                ]
+            });
+        }
+    }
+    spec
 }
 
 /// Both reuse variants of a total-capacity configuration, reuse first.
@@ -316,8 +343,8 @@ mod tests {
     #[test]
     fn best_reuse_row_picks_the_smaller_volume() {
         let spec = SweepSpec::new("t", harness_eval_config())
-            .point("x", reuse_variants(4, 2)[0], Strategy::Linear)
-            .point("x", reuse_variants(4, 2)[1], Strategy::Linear);
+            .point("x", reuse_variants(4, 2)[0], Strategy::linear())
+            .point("x", reuse_variants(4, 2)[1], Strategy::linear());
         let results = spec.run().unwrap();
         let best = best_reuse_row(&results.index(), "x", "Line", 4).unwrap();
         let volumes: Vec<u64> = results.rows.iter().map(|r| r.evaluation.volume).collect();

@@ -144,12 +144,8 @@ mod tests {
     #[test]
     fn stamp_records_throughput_and_dense_point() {
         let spec = SweepSpec::new("t", harness_eval_config())
-            .point("a", FactoryConfig::single_level(2), Strategy::Linear)
-            .point(
-                "b",
-                FactoryConfig::single_level(4),
-                Strategy::Random { seed: 1 },
-            );
+            .point("a", FactoryConfig::single_level(2), Strategy::linear())
+            .point("b", FactoryConfig::single_level(4), Strategy::random(1));
         let results = spec.run().unwrap();
         let stamp = stamp(&spec, &results, Duration::from_millis(500), true);
         assert_eq!(stamp.points, 2);

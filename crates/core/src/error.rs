@@ -13,6 +13,11 @@ pub enum CoreError {
     Layout(msfu_layout::LayoutError),
     /// Braid simulation failed.
     Sim(msfu_sim::SimError),
+    /// A data-declared sweep or search specification could not be decoded.
+    Spec {
+        /// Explanation of the problem (field path and what was expected).
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -21,6 +26,7 @@ impl fmt::Display for CoreError {
             CoreError::Distill(e) => write!(f, "factory construction failed: {e}"),
             CoreError::Layout(e) => write!(f, "qubit placement failed: {e}"),
             CoreError::Sim(e) => write!(f, "braid simulation failed: {e}"),
+            CoreError::Spec { reason } => write!(f, "invalid specification: {reason}"),
         }
     }
 }
@@ -31,6 +37,7 @@ impl std::error::Error for CoreError {
             CoreError::Distill(e) => Some(e),
             CoreError::Layout(e) => Some(e),
             CoreError::Sim(e) => Some(e),
+            CoreError::Spec { .. } => None,
         }
     }
 }

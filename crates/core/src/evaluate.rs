@@ -22,7 +22,8 @@ pub struct EvaluationConfig {
 /// the quantities plotted in Fig. 10 and tabulated in Table I of the paper.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Evaluation {
-    /// Strategy short name ("Random", "Line", "FD", "GP", "HS").
+    /// Strategy report label ("Random", "Random+S", "Line", "FD", "GP",
+    /// "HS" for the built-in line-up; custom strategies carry their own).
     pub strategy: String,
     /// The factory configuration that was evaluated.
     pub factory: FactoryConfig,
@@ -202,7 +203,7 @@ mod tests {
     use msfu_layout::ForceDirectedConfig;
 
     fn cheap_fd(seed: u64) -> Strategy {
-        Strategy::ForceDirected(ForceDirectedConfig {
+        Strategy::force_directed(ForceDirectedConfig {
             seed,
             iterations: 3,
             repulsion_sample: 200,
@@ -214,7 +215,7 @@ mod tests {
     fn linear_single_level_evaluation_is_consistent() {
         let eval = evaluate(
             &FactoryConfig::single_level(2),
-            &Strategy::Linear,
+            &Strategy::linear(),
             &EvaluationConfig::default(),
         )
         .unwrap();
@@ -230,13 +231,8 @@ mod tests {
     #[test]
     fn linear_beats_random_on_single_level_volume() {
         let cfg = FactoryConfig::single_level(4);
-        let random = evaluate(
-            &cfg,
-            &Strategy::Random { seed: 1 },
-            &EvaluationConfig::default(),
-        )
-        .unwrap();
-        let linear = evaluate(&cfg, &Strategy::Linear, &EvaluationConfig::default()).unwrap();
+        let random = evaluate(&cfg, &Strategy::random(1), &EvaluationConfig::default()).unwrap();
+        let linear = evaluate(&cfg, &Strategy::linear(), &EvaluationConfig::default()).unwrap();
         assert!(
             linear.volume < random.volume,
             "linear ({}) should beat random ({})",
@@ -249,11 +245,11 @@ mod tests {
     fn all_strategies_evaluate_a_two_level_factory() {
         let cfg = FactoryConfig::two_level(2).with_reuse(ReusePolicy::Reuse);
         for strategy in [
-            Strategy::Random { seed: 2 },
-            Strategy::Linear,
+            Strategy::random(2),
+            Strategy::linear(),
             cheap_fd(2),
-            Strategy::GraphPartition { seed: 2 },
-            Strategy::HierarchicalStitching(Default::default()),
+            Strategy::graph_partition(2),
+            Strategy::hierarchical_stitching(Default::default()),
         ] {
             let eval = evaluate(&cfg, &strategy, &EvaluationConfig::default()).unwrap();
             assert!(eval.latency_cycles > 0, "{}", strategy.short_name());
@@ -265,13 +261,13 @@ mod tests {
     fn reuse_reduces_area_for_linear_mapping() {
         let reuse = evaluate(
             &FactoryConfig::two_level(2).with_reuse(ReusePolicy::Reuse),
-            &Strategy::Linear,
+            &Strategy::linear(),
             &EvaluationConfig::default(),
         )
         .unwrap();
         let no_reuse = evaluate(
             &FactoryConfig::two_level(2).with_reuse(ReusePolicy::NoReuse),
-            &Strategy::Linear,
+            &Strategy::linear(),
             &EvaluationConfig::default(),
         )
         .unwrap();

@@ -7,8 +7,9 @@
 //!
 //! The crate glues the substrates together:
 //!
-//! * [`Strategy`] — the mapping strategies of Table I (`Random`, `Line`, `FD`,
-//!   `GP`, `HS`).
+//! * [`Strategy`] — mapping strategies as *registry keys*: the Table I
+//!   built-ins (`Random`, `Line`, `FD`, `GP`, `HS`) plus anything added
+//!   through [`register_strategy`].
 //! * [`evaluate`] — one factory configuration × one strategy → an
 //!   [`Evaluation`] record (realised latency, area, volume, stalls, and the
 //!   critical-path lower bound).
@@ -18,6 +19,12 @@
 //!   `FactoryConfig × Strategy` grids executed across all cores with a shared
 //!   immutable factory cache; every figure/table of the paper is a thin
 //!   [`SweepSpec`] over it.
+//! * [`spec`] — sweep and search specifications as JSON *data*: grids of
+//!   strategies, factory configs, seeds and routing policies declared with no
+//!   Rust code.
+//! * [`search`] — the portfolio searcher: multi-seed batches of randomised
+//!   strategies evaluated in parallel with early stopping and a best-so-far
+//!   incumbent report.
 //! * [`report`] — small helpers for formatting the tables the paper prints.
 //!
 //! # Example
@@ -28,7 +35,7 @@
 //!
 //! let eval = evaluate(
 //!     &FactoryConfig::single_level(2),
-//!     &Strategy::Linear,
+//!     &Strategy::linear(),
 //!     &EvaluationConfig::default(),
 //! )
 //! .unwrap();
@@ -43,6 +50,8 @@ mod error;
 mod evaluate;
 pub mod pipeline;
 pub mod report;
+pub mod search;
+pub mod spec;
 mod strategy;
 pub mod sweep;
 pub mod throughput;
@@ -52,7 +61,10 @@ pub use evaluate::{
     effective_factory, evaluate, evaluate_factory, evaluate_factory_with, evaluate_mapped,
     evaluate_mapped_with, Evaluation, EvaluationConfig,
 };
-pub use strategy::Strategy;
+pub use search::{
+    Incumbent, Objective, PortfolioEntry, SearchReport, SearchSpec, StopReason, TrajectoryPoint,
+};
+pub use strategy::{register_strategy, registered_strategies, Strategy};
 pub use sweep::{SweepIndex, SweepPoint, SweepResults, SweepRow, SweepSpec};
 
 /// Convenience result alias used by fallible APIs in this crate.

@@ -1,101 +1,222 @@
-//! The mapping strategies evaluated by Table I of the paper.
+//! Mapping strategies as registry keys.
+//!
+//! A [`Strategy`] names an entry of the process-wide mapper registry (see
+//! [`register_strategy`]) plus the parameter bag to instantiate it with and a
+//! short display label. The five strategies of the paper's Table I are
+//! pre-registered built-ins with dedicated constructors
+//! ([`Strategy::random`], [`Strategy::linear`], [`Strategy::force_directed`],
+//! [`Strategy::graph_partition`], [`Strategy::hierarchical_stitching`]), but
+//! the line-up is open: any mapper registered through [`register_strategy`]
+//! can be swept, searched and benchmarked exactly like the built-ins, and a
+//! strategy is plain *data* — constructible from a JSON sweep spec with no
+//! Rust changes (see [`crate::spec`]).
+
+use std::sync::{OnceLock, RwLock, RwLockReadGuard};
 
 use msfu_distill::Factory;
 use msfu_layout::{
-    FactoryMapper, ForceDirectedConfig, ForceDirectedMapper, GraphPartitionMapper,
-    HierarchicalStitchingMapper, Layout, LinearMapper, RandomMapper, StitchingConfig,
+    FactoryMapper, ForceDirectedConfig, Layout, MapperParams, MapperRegistry, ParamValue,
+    Result as LayoutResult, StitchingConfig,
 };
+use serde::{Serialize, Value};
 
 use crate::Result;
 
-/// A qubit-mapping strategy, matching the rows of Table I.
+/// The process-wide strategy registry behind [`Strategy::map`].
+fn global_registry() -> &'static RwLock<MapperRegistry> {
+    static REGISTRY: OnceLock<RwLock<MapperRegistry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(MapperRegistry::with_builtins()))
+}
+
+fn read_registry() -> RwLockReadGuard<'static, MapperRegistry> {
+    global_registry()
+        .read()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Registers a custom mapping strategy under `name` in the process-wide
+/// registry, making it usable by every [`Strategy`], sweep and search in the
+/// process.
+///
+/// # Errors
+///
+/// Returns [`msfu_layout::LayoutError::DuplicateMapper`] if the name is
+/// already registered (the five paper built-ins are pre-registered).
+///
+/// # Example
+///
+/// ```
+/// use msfu_core::{register_strategy, Strategy};
+/// use msfu_layout::{FactoryMapper, LinearMapper, ParamReader};
+///
+/// // Idempotent in doctests: ignore the duplicate error on re-run.
+/// let _ = register_strategy("linear_again", |params| {
+///     ParamReader::new("linear_again", params).finish()?;
+///     Ok(Box::new(LinearMapper::new()) as Box<dyn FactoryMapper>)
+/// });
+/// assert!(msfu_core::registered_strategies().contains(&"linear_again".to_string()));
+/// ```
+pub fn register_strategy(
+    name: impl Into<String>,
+    builder: impl Fn(&MapperParams) -> LayoutResult<Box<dyn FactoryMapper>> + Send + Sync + 'static,
+) -> Result<()> {
+    global_registry()
+        .write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .register(name, builder)
+        .map_err(Into::into)
+}
+
+/// The names currently registered in the process-wide strategy registry,
+/// sorted.
+pub fn registered_strategies() -> Vec<String> {
+    read_registry().names()
+}
+
+/// A qubit-mapping strategy: a registry key, its instantiation parameters and
+/// a report label.
+///
+/// Equality is structural (same key, same label, same parameters), and the
+/// whole value is plain data — no closures, no trait objects — so strategies
+/// can be compared, hashed into sweep grids, serialized into reports and
+/// declared in JSON.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Strategy {
-    /// Uniformly random placement.
-    Random {
-        /// RNG seed.
-        seed: u64,
-    },
-    /// Uniformly random placement on an expanded grid (the randomised mapping
-    /// generator of the Fig. 6 correlation study). `expansion` ≥ 1.0 scales
-    /// the grid area, leaving free cells as routing slack.
-    RandomWithSlack {
-        /// RNG seed.
-        seed: u64,
-        /// Grid-area expansion factor (clamped to ≥ 1.0 by the mapper).
-        expansion: f64,
-    },
-    /// The Fowler-style hand-tuned linear baseline.
-    Linear,
-    /// Force-directed annealing (Section VI-B1).
-    ForceDirected(ForceDirectedConfig),
-    /// Recursive graph-partitioning embedding (Section VI-B2).
-    GraphPartition {
-        /// RNG seed.
-        seed: u64,
-    },
-    /// Hierarchical stitching (Section VII). The output-port reassignment it
-    /// wants is carried on the returned [`Layout`] as a
-    /// [`msfu_distill::PortAssignment`] and applied by the evaluation layer.
-    HierarchicalStitching(StitchingConfig),
+pub struct Strategy {
+    key: String,
+    label: String,
+    params: MapperParams,
 }
 
 impl Strategy {
-    /// Short name matching the paper's Table I row labels.
-    pub fn short_name(&self) -> &'static str {
-        match self {
-            Strategy::Random { .. } | Strategy::RandomWithSlack { .. } => "Random",
-            Strategy::Linear => "Line",
-            Strategy::ForceDirected(_) => "FD",
-            Strategy::GraphPartition { .. } => "GP",
-            Strategy::HierarchicalStitching(_) => "HS",
+    /// Creates a strategy for registry entry `key` with `params`; the label
+    /// defaults to the key (see [`Strategy::with_label`]).
+    pub fn new(key: impl Into<String>, params: MapperParams) -> Self {
+        let key = key.into();
+        Strategy {
+            label: key.clone(),
+            key,
+            params,
         }
+    }
+
+    /// Replaces the report label (the paper's Table I row name for the
+    /// built-ins).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Returns the strategy with one parameter overridden (e.g. a per-batch
+    /// seed in a portfolio search).
+    pub fn with_param(mut self, key: impl Into<String>, value: ParamValue) -> Self {
+        self.params.set(key, value);
+        self
+    }
+
+    /// The registry key the strategy resolves through.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The instantiation parameters.
+    pub fn params(&self) -> &MapperParams {
+        &self.params
+    }
+
+    /// Short report label, matching the paper's Table I row labels for the
+    /// built-in line-up ("Random", "Random+S", "Line", "FD", "GP", "HS").
+    pub fn short_name(&self) -> &str {
+        &self.label
+    }
+
+    /// Uniformly random placement ("Random" in Table I).
+    pub fn random(seed: u64) -> Self {
+        Strategy::new("random", MapperParams::new().with_u64("seed", seed)).with_label("Random")
+    }
+
+    /// Uniformly random placement on an expanded grid (the randomised mapping
+    /// generator of the Fig. 6 correlation study). `expansion` ≥ 1.0 scales
+    /// the grid area, leaving free cells as routing slack. Labelled
+    /// "Random+S" so slack rows stay distinguishable from packed "Random"
+    /// rows in sweep reports.
+    pub fn random_with_slack(seed: u64, expansion: f64) -> Self {
+        Strategy::new(
+            "random",
+            MapperParams::new()
+                .with_u64("seed", seed)
+                .with_f64("expansion", expansion),
+        )
+        .with_label("Random+S")
+    }
+
+    /// The Fowler-style hand-tuned linear baseline ("Line" in Table I).
+    pub fn linear() -> Self {
+        Strategy::new("linear", MapperParams::new()).with_label("Line")
+    }
+
+    /// Force-directed annealing (Section VI-B1; "FD" in Table I).
+    pub fn force_directed(config: ForceDirectedConfig) -> Self {
+        Strategy::new("force_directed", MapperParams::from(config)).with_label("FD")
+    }
+
+    /// Recursive graph-partitioning embedding (Section VI-B2; "GP" in
+    /// Table I).
+    pub fn graph_partition(seed: u64) -> Self {
+        Strategy::new(
+            "graph_partition",
+            MapperParams::new().with_u64("seed", seed),
+        )
+        .with_label("GP")
+    }
+
+    /// Hierarchical stitching (Section VII; "HS" in Table I). The output-port
+    /// reassignment it wants is carried on the returned [`Layout`] as a
+    /// [`msfu_distill::PortAssignment`] and applied by the evaluation layer.
+    pub fn hierarchical_stitching(config: StitchingConfig) -> Self {
+        Strategy::new("hierarchical_stitching", MapperParams::from(config)).with_label("HS")
     }
 
     /// The default strategy line-up of the paper's evaluation, with the given
     /// seed applied to every randomised component.
     pub fn paper_lineup(seed: u64) -> Vec<Strategy> {
         vec![
-            Strategy::Random { seed },
-            Strategy::Linear,
-            Strategy::ForceDirected(ForceDirectedConfig {
+            Strategy::random(seed),
+            Strategy::linear(),
+            Strategy::force_directed(ForceDirectedConfig {
                 seed,
                 ..ForceDirectedConfig::default()
             }),
-            Strategy::GraphPartition { seed },
-            Strategy::HierarchicalStitching(StitchingConfig {
+            Strategy::graph_partition(seed),
+            Strategy::hierarchical_stitching(StitchingConfig {
                 seed,
                 ..StitchingConfig::default()
             }),
         ]
     }
 
-    /// Maps a factory using this strategy. The factory is never mutated:
-    /// strategies that want the factory's output ports rewired (hierarchical
-    /// stitching) record the rebinding on the returned [`Layout`], which the
-    /// evaluation layer applies to a private copy before simulating.
+    /// Maps a factory using this strategy, resolving the mapper through the
+    /// process-wide registry. The factory is never mutated: strategies that
+    /// want the factory's output ports rewired (hierarchical stitching)
+    /// record the rebinding on the returned [`Layout`], which the evaluation
+    /// layer applies to a private copy before simulating.
     ///
     /// # Errors
     ///
-    /// Propagates mapping failures from the underlying mapper.
+    /// Returns an error for an unknown registry key or rejected parameters,
+    /// and propagates mapping failures from the underlying mapper.
     pub fn map(&self, factory: &Factory) -> Result<Layout> {
-        let layout = match self {
-            Strategy::Random { seed } => RandomMapper::new(*seed).map_factory(factory)?,
-            Strategy::RandomWithSlack { seed, expansion } => RandomMapper::new(*seed)
-                .with_expansion(*expansion)
-                .map_factory(factory)?,
-            Strategy::Linear => LinearMapper::new().map_factory(factory)?,
-            Strategy::ForceDirected(cfg) => {
-                ForceDirectedMapper::with_config(*cfg).map_factory(factory)?
-            }
-            Strategy::GraphPartition { seed } => {
-                GraphPartitionMapper::new(*seed).map_factory(factory)?
-            }
-            Strategy::HierarchicalStitching(cfg) => {
-                HierarchicalStitchingMapper::with_config(*cfg).map_factory(factory)?
-            }
-        };
-        Ok(layout)
+        let mapper = read_registry().build(&self.key, &self.params)?;
+        Ok(mapper.map_factory(factory)?)
+    }
+}
+
+impl Serialize for Strategy {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("strategy".to_string(), Value::Str(self.key.clone())),
+            ("label".to_string(), Value::Str(self.label.clone())),
+            ("params".to_string(), self.params.to_value()),
+        ])
     }
 }
 
@@ -104,26 +225,49 @@ mod tests {
     use super::*;
     use msfu_distill::FactoryConfig;
 
+    /// The fixture line-up with force-directed kept cheap for tests.
+    fn cheap_lineup(seed: u64) -> Vec<Strategy> {
+        Strategy::paper_lineup(seed)
+            .into_iter()
+            .map(|s| {
+                if s.key() == "force_directed" {
+                    Strategy::force_directed(ForceDirectedConfig {
+                        seed,
+                        iterations: 3,
+                        repulsion_sample: 200,
+                        ..ForceDirectedConfig::default()
+                    })
+                } else {
+                    s
+                }
+            })
+            .collect()
+    }
+
     #[test]
     fn paper_lineup_has_five_strategies_with_distinct_names() {
         let lineup = Strategy::paper_lineup(1);
         assert_eq!(lineup.len(), 5);
         let names: std::collections::HashSet<_> = lineup.iter().map(|s| s.short_name()).collect();
         assert_eq!(names.len(), 5);
+        let keys: std::collections::HashSet<_> = lineup.iter().map(|s| s.key()).collect();
+        assert_eq!(keys.len(), 5);
+    }
+
+    #[test]
+    fn slack_variant_is_labelled_distinctly_from_packed_random() {
+        let packed = Strategy::random(1);
+        let slack = Strategy::random_with_slack(1, 1.5);
+        assert_eq!(packed.short_name(), "Random");
+        assert_eq!(slack.short_name(), "Random+S");
+        assert_eq!(packed.key(), slack.key());
+        assert_ne!(packed, slack);
     }
 
     #[test]
     fn only_stitching_requests_port_rewiring() {
         let factory = Factory::build(&FactoryConfig::two_level(2)).unwrap();
-        for s in Strategy::paper_lineup(1) {
-            let s = match s {
-                Strategy::ForceDirected(mut cfg) => {
-                    cfg.iterations = 3;
-                    cfg.repulsion_sample = 200;
-                    Strategy::ForceDirected(cfg)
-                }
-                other => other,
-            };
+        for s in cheap_lineup(1) {
             let layout = s.map(&factory).unwrap();
             assert_eq!(
                 layout.requires_port_rewiring(),
@@ -136,16 +280,7 @@ mod tests {
 
     #[test]
     fn every_strategy_maps_a_small_factory() {
-        for strategy in Strategy::paper_lineup(3) {
-            // Keep force-directed cheap in tests.
-            let strategy = match strategy {
-                Strategy::ForceDirected(mut cfg) => {
-                    cfg.iterations = 3;
-                    cfg.repulsion_sample = 200;
-                    Strategy::ForceDirected(cfg)
-                }
-                other => other,
-            };
+        for strategy in cheap_lineup(3) {
             let factory = Factory::build(&FactoryConfig::single_level(2)).unwrap();
             let layout = strategy.map(&factory).unwrap();
             assert!(
@@ -160,17 +295,52 @@ mod tests {
     fn mapping_leaves_the_factory_untouched() {
         let factory = Factory::build(&FactoryConfig::two_level(2)).unwrap();
         let before = factory.clone();
-        for s in Strategy::paper_lineup(2) {
-            let s = match s {
-                Strategy::ForceDirected(mut cfg) => {
-                    cfg.iterations = 3;
-                    cfg.repulsion_sample = 200;
-                    Strategy::ForceDirected(cfg)
-                }
-                other => other,
-            };
+        for s in cheap_lineup(2) {
             s.map(&factory).unwrap();
             assert_eq!(factory, before, "{} mutated the factory", s.short_name());
         }
+    }
+
+    #[test]
+    fn unknown_key_surfaces_a_registry_error() {
+        let factory = Factory::build(&FactoryConfig::single_level(2)).unwrap();
+        let err = Strategy::new("no_such_mapper", MapperParams::new())
+            .map(&factory)
+            .expect_err("unknown key fails");
+        assert!(err.to_string().contains("no_such_mapper"), "{err}");
+        assert!(err.to_string().contains("linear"), "{err}");
+    }
+
+    #[test]
+    fn registered_custom_strategy_is_mappable() {
+        use msfu_layout::{LinearMapper, ParamReader};
+        // Global registry: register once, tolerate re-runs in the same
+        // process.
+        let _ = register_strategy("test_custom_linear", |params| {
+            ParamReader::new("test_custom_linear", params).finish()?;
+            Ok(Box::new(LinearMapper::new()) as Box<dyn FactoryMapper>)
+        });
+        assert!(registered_strategies().contains(&"test_custom_linear".to_string()));
+
+        let factory = Factory::build(&FactoryConfig::single_level(2)).unwrap();
+        let custom = Strategy::new("test_custom_linear", MapperParams::new());
+        let builtin = Strategy::linear();
+        assert_eq!(
+            custom.map(&factory).unwrap(),
+            builtin.map(&factory).unwrap()
+        );
+    }
+
+    #[test]
+    fn duplicate_global_registration_errors() {
+        let _ = register_strategy("test_dup", |params| {
+            msfu_layout::ParamReader::new("test_dup", params).finish()?;
+            Ok(Box::new(msfu_layout::LinearMapper::new()) as Box<dyn FactoryMapper>)
+        });
+        let second = register_strategy("test_dup", |params| {
+            msfu_layout::ParamReader::new("test_dup", params).finish()?;
+            Ok(Box::new(msfu_layout::LinearMapper::new()) as Box<dyn FactoryMapper>)
+        });
+        assert!(second.is_err());
     }
 }

@@ -23,8 +23,8 @@
 //! use msfu_distill::FactoryConfig;
 //!
 //! let results = SweepSpec::new("demo", EvaluationConfig::default())
-//!     .point("a", FactoryConfig::single_level(2), Strategy::Linear)
-//!     .point("b", FactoryConfig::single_level(2), Strategy::Random { seed: 1 })
+//!     .point("a", FactoryConfig::single_level(2), Strategy::linear())
+//!     .point("b", FactoryConfig::single_level(2), Strategy::random(1))
 //!     .run()
 //!     .unwrap();
 //! assert_eq!(results.rows.len(), 2);
@@ -419,12 +419,12 @@ mod tests {
         ];
         SweepSpec::new("test", EvaluationConfig::default())
             .grid("g", &caps, |_| {
-                vec![Strategy::Linear, Strategy::Random { seed: 7 }]
+                vec![Strategy::linear(), Strategy::random(7)]
             })
             .point(
                 "hs",
                 FactoryConfig::two_level(2),
-                Strategy::HierarchicalStitching(StitchingConfig::default()),
+                Strategy::hierarchical_stitching(StitchingConfig::default()),
             )
     }
 
@@ -459,7 +459,7 @@ mod tests {
     #[test]
     fn optional_collections_default_off() {
         let results = SweepSpec::new("t", EvaluationConfig::default())
-            .point("p", FactoryConfig::single_level(2), Strategy::Linear)
+            .point("p", FactoryConfig::single_level(2), Strategy::linear())
             .run()
             .unwrap();
         assert!(results.rows[0].breakdown.is_none());
@@ -469,11 +469,7 @@ mod tests {
     #[test]
     fn mapping_metrics_are_collected_on_request() {
         let results = SweepSpec::new("t", EvaluationConfig::default())
-            .point(
-                "p",
-                FactoryConfig::single_level(4),
-                Strategy::Random { seed: 3 },
-            )
+            .point("p", FactoryConfig::single_level(4), Strategy::random(3))
             .with_mapping_metrics()
             .run()
             .unwrap();
@@ -484,7 +480,7 @@ mod tests {
     #[test]
     fn breakdowns_cover_every_round() {
         let results = SweepSpec::new("t", EvaluationConfig::default())
-            .point("p", FactoryConfig::two_level(2), Strategy::Linear)
+            .point("p", FactoryConfig::two_level(2), Strategy::linear())
             .with_breakdowns()
             .run()
             .unwrap();
@@ -496,8 +492,8 @@ mod tests {
     #[test]
     fn errors_propagate_in_point_order() {
         let spec = SweepSpec::new("t", EvaluationConfig::default())
-            .point("ok", FactoryConfig::single_level(2), Strategy::Linear)
-            .point("bad", FactoryConfig::new(0, 1), Strategy::Linear);
+            .point("ok", FactoryConfig::single_level(2), Strategy::linear())
+            .point("bad", FactoryConfig::new(0, 1), Strategy::linear());
         assert!(spec.run().is_err());
         assert!(spec.run_serial().is_err());
     }
@@ -535,8 +531,12 @@ mod tests {
         use msfu_distill::ReusePolicy;
         let base = FactoryConfig::two_level(2);
         let results = SweepSpec::new("t", EvaluationConfig::default())
-            .point("x", base.with_reuse(ReusePolicy::Reuse), Strategy::Linear)
-            .point("x", base.with_reuse(ReusePolicy::NoReuse), Strategy::Linear)
+            .point("x", base.with_reuse(ReusePolicy::Reuse), Strategy::linear())
+            .point(
+                "x",
+                base.with_reuse(ReusePolicy::NoReuse),
+                Strategy::linear(),
+            )
             .run()
             .unwrap();
         let index = results.index();
@@ -550,8 +550,8 @@ mod tests {
         let reuse = FactoryConfig::two_level(2).with_reuse(ReusePolicy::Reuse);
         let no_reuse = FactoryConfig::two_level(2).with_reuse(ReusePolicy::NoReuse);
         let results = SweepSpec::new("t", EvaluationConfig::default())
-            .point("r", reuse, Strategy::Linear)
-            .point("nr", no_reuse, Strategy::Linear)
+            .point("r", reuse, Strategy::linear())
+            .point("nr", no_reuse, Strategy::linear())
             .run()
             .unwrap();
         assert!(

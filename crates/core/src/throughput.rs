@@ -112,7 +112,7 @@ mod tests {
 
     fn sample_eval() -> (Evaluation, FactoryConfig) {
         let config = FactoryConfig::single_level(4);
-        let eval = evaluate(&config, &Strategy::Linear, &EvaluationConfig::default()).unwrap();
+        let eval = evaluate(&config, &Strategy::linear(), &EvaluationConfig::default()).unwrap();
         (eval, config)
     }
 

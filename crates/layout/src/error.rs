@@ -48,6 +48,26 @@ pub enum LayoutError {
         /// The unmapped qubit.
         qubit: QubitId,
     },
+    /// A registry lookup used a name no strategy is registered under.
+    UnknownMapper {
+        /// The requested name.
+        name: String,
+        /// The names that are registered, sorted.
+        known: Vec<String>,
+    },
+    /// A strategy was registered under a name that is already taken.
+    DuplicateMapper {
+        /// The contested name.
+        name: String,
+    },
+    /// A mapper builder rejected its parameter bag (unknown key, type
+    /// mismatch, or out-of-range value).
+    InvalidMapperParam {
+        /// The mapper whose builder rejected the parameters.
+        mapper: String,
+        /// Explanation of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for LayoutError {
@@ -78,6 +98,17 @@ impl fmt::Display for LayoutError {
                 write!(f, "factory not supported by this mapper: {reason}")
             }
             LayoutError::Unmapped { qubit } => write!(f, "qubit {qubit} has no assigned position"),
+            LayoutError::UnknownMapper { name, known } => write!(
+                f,
+                "no mapping strategy registered under `{name}` (registered: {})",
+                known.join(", ")
+            ),
+            LayoutError::DuplicateMapper { name } => {
+                write!(f, "a mapping strategy is already registered under `{name}`")
+            }
+            LayoutError::InvalidMapperParam { mapper, reason } => {
+                write!(f, "invalid parameters for mapper `{mapper}`: {reason}")
+            }
         }
     }
 }

@@ -18,6 +18,12 @@
 //!   reuse region selection, output-port reassignment and Valiant-style
 //!   annealed intermediate hops for the inter-round permutation.
 //!
+//! The line-up is open, not closed: every strategy implements the dyn-safe
+//! [`FactoryMapper`] trait, and the [`MapperRegistry`] resolves
+//! `(name, params)` pairs into boxed mappers — the five paper strategies are
+//! registered as built-ins, and callers can register their own (see the
+//! `registry` module docs).
+//!
 //! The common currency is the [`Mapping`] (logical qubit → grid cell) plus
 //! optional [`RoutingHints`] (per-interaction waypoints) consumed by the braid
 //! simulator.
@@ -47,6 +53,7 @@ mod linear;
 mod mapper;
 mod mapping;
 mod random;
+mod registry;
 mod stitching;
 
 pub use error::LayoutError;
@@ -57,6 +64,10 @@ pub use linear::LinearMapper;
 pub use mapper::{FactoryMapper, Layout};
 pub use mapping::{Coord, Mapping};
 pub use random::RandomMapper;
+pub use registry::{
+    force_directed_config_from_params, stitching_config_from_params, MapperBuilder, MapperParams,
+    MapperRegistry, ParamReader, ParamValue,
+};
 pub use stitching::{HierarchicalStitchingMapper, HopStrategy, StitchingConfig};
 
 /// Convenience result alias used by fallible APIs in this crate.

@@ -65,6 +65,18 @@ impl HopStrategy {
             HopStrategy::AnnealedMidpointHop => "annealed-midpoint-hop",
         }
     }
+
+    /// Parses a [`HopStrategy::name`] string back into the strategy (used by
+    /// data-declared sweep specs).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "no-hop" => Some(HopStrategy::None),
+            "random-hop" => Some(HopStrategy::RandomHop),
+            "annealed-random-hop" => Some(HopStrategy::AnnealedRandomHop),
+            "annealed-midpoint-hop" => Some(HopStrategy::AnnealedMidpointHop),
+            _ => None,
+        }
+    }
 }
 
 /// Tuning knobs of the hierarchical stitching mapper.

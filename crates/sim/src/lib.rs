@@ -4,8 +4,8 @@
 //! the behavioural description of the simulator used by the MSFU paper
 //! (Section VIII-A, itself derived from Javadi-Abhari et al., MICRO 2017):
 //!
-//! * logical qubits live on the cells of a 2-D mesh (the [`Mapping`] produced
-//!   by `msfu-layout`);
+//! * logical qubits live on the cells of a 2-D mesh (the
+//!   [`Mapping`](msfu_layout::Mapping) produced by `msfu-layout`);
 //! * a two-qubit gate is realised by a **braid**: a path of mesh cells
 //!   reserved for the duration of the gate; braids may not overlap;
 //! * braids are scheduled in parallel wherever the dependency structure and

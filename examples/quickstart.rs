@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let eval_config = EvaluationConfig::default();
-    for strategy in [Strategy::Linear, Strategy::GraphPartition { seed: 42 }] {
+    for strategy in [Strategy::linear(), Strategy::graph_partition(42)] {
         let eval = evaluate(&config, &strategy, &eval_config)?;
         println!(
             "{:<6} latency = {:>6} cycles  area = {:>4} qubits  volume = {:>8}  (lower bound {:>8})",

@@ -23,16 +23,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let eval_config = EvaluationConfig::default();
     let strategies = vec![
-        Strategy::Random { seed: 7 },
-        Strategy::Linear,
-        Strategy::ForceDirected(ForceDirectedConfig {
+        Strategy::random(7),
+        Strategy::linear(),
+        Strategy::force_directed(ForceDirectedConfig {
             seed: 7,
             iterations: 12,
             repulsion_sample: 4_000,
             ..ForceDirectedConfig::default()
         }),
-        Strategy::GraphPartition { seed: 7 },
-        Strategy::HierarchicalStitching(StitchingConfig {
+        Strategy::graph_partition(7),
+        Strategy::hierarchical_stitching(StitchingConfig {
             seed: 7,
             ..StitchingConfig::default()
         }),

@@ -26,7 +26,7 @@
 //!
 //! let eval = evaluate(
 //!     &FactoryConfig::single_level(2),
-//!     &Strategy::Linear,
+//!     &Strategy::linear(),
 //!     &EvaluationConfig::default(),
 //! )?;
 //! println!(

@@ -11,7 +11,7 @@ use msfu::layout::{
 use msfu::sim::{SimConfig, Simulator};
 
 fn cheap_fd(seed: u64) -> Strategy {
-    Strategy::ForceDirected(ForceDirectedConfig {
+    Strategy::force_directed(ForceDirectedConfig {
         seed,
         iterations: 6,
         repulsion_sample: 1_000,
@@ -23,10 +23,10 @@ fn cheap_fd(seed: u64) -> Strategy {
 fn every_strategy_respects_the_critical_path_bound() {
     let config = FactoryConfig::single_level(4);
     for strategy in [
-        Strategy::Random { seed: 1 },
-        Strategy::Linear,
+        Strategy::random(1),
+        Strategy::linear(),
         cheap_fd(1),
-        Strategy::GraphPartition { seed: 1 },
+        Strategy::graph_partition(1),
     ] {
         let eval = evaluate(&config, &strategy, &EvaluationConfig::default()).unwrap();
         assert!(
@@ -43,7 +43,7 @@ fn single_level_linear_mapping_is_near_optimal() {
     // The paper observes the hand-tuned linear mapping approaches the
     // theoretical minimum latency for single-level factories (Fig. 7a).
     let config = FactoryConfig::single_level(8);
-    let eval = evaluate(&config, &Strategy::Linear, &EvaluationConfig::default()).unwrap();
+    let eval = evaluate(&config, &Strategy::linear(), &EvaluationConfig::default()).unwrap();
     assert!(
         eval.latency_ratio_to_critical() < 2.5,
         "linear mapping latency is {}x the critical path",
@@ -55,8 +55,8 @@ fn single_level_linear_mapping_is_near_optimal() {
 fn structured_mappers_beat_random_on_single_level_volume() {
     let config = FactoryConfig::single_level(8);
     let eval_cfg = EvaluationConfig::default();
-    let random = evaluate(&config, &Strategy::Random { seed: 5 }, &eval_cfg).unwrap();
-    for strategy in [Strategy::Linear, Strategy::GraphPartition { seed: 5 }] {
+    let random = evaluate(&config, &Strategy::random(5), &eval_cfg).unwrap();
+    for strategy in [Strategy::linear(), Strategy::graph_partition(5)] {
         let eval = evaluate(&config, &strategy, &eval_cfg).unwrap();
         assert!(
             eval.volume < random.volume,
@@ -74,13 +74,13 @@ fn hierarchical_stitching_beats_the_linear_baseline_on_two_level_volume() {
     let eval_cfg = EvaluationConfig::default();
     let linear = evaluate(
         &FactoryConfig::two_level(2).with_reuse(ReusePolicy::NoReuse),
-        &Strategy::Linear,
+        &Strategy::linear(),
         &eval_cfg,
     )
     .unwrap();
     let stitched = evaluate(
         &FactoryConfig::two_level(2).with_reuse(ReusePolicy::Reuse),
-        &Strategy::HierarchicalStitching(StitchingConfig::default()),
+        &Strategy::hierarchical_stitching(StitchingConfig::default()),
         &eval_cfg,
     )
     .unwrap();
@@ -158,7 +158,7 @@ fn adaptive_routing_is_no_worse_than_dimension_ordered() {
 #[test]
 fn per_round_breakdown_is_consistent_with_end_to_end_latency() {
     let factory = Factory::build(&FactoryConfig::two_level(2)).unwrap();
-    let strategy = Strategy::GraphPartition { seed: 3 };
+    let strategy = Strategy::graph_partition(3);
     let eval_cfg = EvaluationConfig::default();
     let eval = evaluate_factory(&factory, &strategy, &eval_cfg).unwrap();
     let layout = strategy.map(&factory).unwrap();

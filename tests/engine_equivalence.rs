@@ -14,7 +14,7 @@ use msfu::sim::{reference, SimConfig, SimEngine};
 
 /// A cheap force-directed configuration so the sweep stays fast.
 fn cheap_fd(seed: u64) -> Strategy {
-    Strategy::ForceDirected(ForceDirectedConfig {
+    Strategy::force_directed(ForceDirectedConfig {
         seed,
         iterations: 4,
         repulsion_sample: 500,
@@ -32,11 +32,11 @@ fn seeded_configs() -> Vec<(FactoryConfig, Strategy)> {
             for policy in [ReusePolicy::Reuse, ReusePolicy::NoReuse] {
                 let config = base.with_reuse(policy);
                 for strategy in [
-                    Strategy::Random { seed },
-                    Strategy::Linear,
+                    Strategy::random(seed),
+                    Strategy::linear(),
                     cheap_fd(seed),
-                    Strategy::GraphPartition { seed },
-                    Strategy::HierarchicalStitching(StitchingConfig {
+                    Strategy::graph_partition(seed),
+                    Strategy::hierarchical_stitching(StitchingConfig {
                         seed,
                         ..StitchingConfig::default()
                     }),

@@ -1,0 +1,98 @@
+//! Integration tests for the open strategy registry and data-declared
+//! sweeps: a sweep written purely as JSON must reproduce the hand-coded
+//! fig7 quick-mode report byte-identically, custom registered strategies
+//! must flow through the sweep engine like built-ins, and the portfolio
+//! search must never end worse than the best paper-lineup strategy (the
+//! line-up is contained in the default portfolio).
+
+use msfu::core::{register_strategy, EvaluationConfig, SearchSpec, Strategy, SweepSpec};
+use msfu::distill::FactoryConfig;
+use msfu::layout::{FactoryMapper, LinearMapper, MapperParams, ParamReader};
+use msfu_bench::{fig7_spec, harness_eval_config, Mode};
+
+#[test]
+fn json_declared_fig7_quick_is_byte_identical_to_the_hand_coded_sweep() {
+    let text =
+        std::fs::read_to_string("benches/specs/fig7_quick.json").expect("spec file is checked in");
+    let from_json = SweepSpec::from_json(&text).unwrap();
+    let hand_coded = fig7_spec(Mode::Quick, 42);
+
+    // The decoded spec is structurally identical to the Rust-built one —
+    // same name, eval config, point order, strategies and parameters.
+    assert_eq!(from_json, hand_coded);
+
+    // And running it reproduces the quick-mode fig7 report byte for byte.
+    let json_results = from_json.run().unwrap();
+    let hand_results = hand_coded.run().unwrap();
+    assert_eq!(json_results, hand_results);
+    assert_eq!(
+        serde_json::to_string_pretty(&json_results).unwrap(),
+        serde_json::to_string_pretty(&hand_results).unwrap(),
+    );
+}
+
+#[test]
+fn custom_registered_strategy_sweeps_like_a_builtin() {
+    // A custom strategy registered at runtime: the linear baseline under a
+    // new name, parameterised by a row offset it validates strictly.
+    let _ = register_strategy("offset_linear", |params| {
+        let mut reader = ParamReader::new("offset_linear", params);
+        let _offset = reader.u64_or("offset", 0)?;
+        reader.finish()?;
+        Ok(Box::new(LinearMapper::new()) as Box<dyn FactoryMapper>)
+    });
+
+    let custom = Strategy::new("offset_linear", MapperParams::new().with_u64("offset", 0))
+        .with_label("OffL");
+    let results = SweepSpec::new("custom", EvaluationConfig::default())
+        .point("p", FactoryConfig::single_level(2), custom)
+        .point("p", FactoryConfig::single_level(2), Strategy::linear())
+        .run()
+        .unwrap();
+    assert_eq!(results.rows[0].evaluation.strategy, "OffL");
+    // Identical placements -> identical evaluations, label aside.
+    assert_eq!(
+        results.rows[0].evaluation.volume,
+        results.rows[1].evaluation.volume
+    );
+
+    // A typo in the custom strategy's parameters is a hard error.
+    let typo = Strategy::new("offset_linear", MapperParams::new().with_u64("offest", 1));
+    let failed = SweepSpec::new("typo", EvaluationConfig::default())
+        .point("p", FactoryConfig::single_level(2), typo)
+        .run();
+    assert!(failed.is_err());
+}
+
+#[test]
+fn search_incumbent_is_at_least_as_good_as_the_best_paper_lineup_strategy() {
+    let eval = harness_eval_config();
+    let config = FactoryConfig::single_level(2);
+
+    let lineup = SweepSpec::new("lineup", eval)
+        .grid("g", &[config], |_| Strategy::paper_lineup(42))
+        .run()
+        .unwrap();
+    let best_lineup_volume = lineup
+        .rows
+        .iter()
+        .map(|r| r.evaluation.volume)
+        .min()
+        .expect("lineup evaluated");
+
+    let mut search = SearchSpec::new("vs_lineup", eval, config);
+    search.seed = 42;
+    search.portfolio = SearchSpec::paper_portfolio(42);
+    // One batch covers candidate 0 of every entry — exactly the paper
+    // line-up — so the incumbent can never be worse than its best member.
+    search.batch_size = search.portfolio.len();
+    search.budget = 2 * search.portfolio.len();
+    let report = search.run().unwrap();
+    let incumbent = report.incumbent.expect("search produced an incumbent");
+    assert!(
+        incumbent.value <= best_lineup_volume,
+        "incumbent volume {} worse than best lineup volume {}",
+        incumbent.value,
+        best_lineup_volume
+    );
+}

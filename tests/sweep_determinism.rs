@@ -37,18 +37,18 @@ fn fig10_style_spec() -> SweepSpec {
 
     let strategies = |c: &FactoryConfig| {
         let mut out = vec![
-            Strategy::Random { seed: 11 },
-            Strategy::Linear,
-            Strategy::ForceDirected(ForceDirectedConfig {
+            Strategy::random(11),
+            Strategy::linear(),
+            Strategy::force_directed(ForceDirectedConfig {
                 seed: 11,
                 iterations: 4,
                 repulsion_sample: 400,
                 ..ForceDirectedConfig::default()
             }),
-            Strategy::GraphPartition { seed: 11 },
+            Strategy::graph_partition(11),
         ];
         if c.levels > 1 {
-            out.push(Strategy::HierarchicalStitching(StitchingConfig {
+            out.push(Strategy::hierarchical_stitching(StitchingConfig {
                 seed: 11,
                 ..StitchingConfig::default()
             }));
