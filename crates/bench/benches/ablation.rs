@@ -34,9 +34,7 @@ fn bench_ablations(c: &mut Criterion) {
     group.sample_size(10);
 
     let eval_cfg = EvaluationConfig::default();
-    let dimension_ordered = EvaluationConfig {
-        sim: SimConfig::dimension_ordered(),
-    };
+    let dimension_ordered = EvaluationConfig::default().with_sim(SimConfig::dimension_ordered());
     let two_level = FactoryConfig::two_level(2);
     let no_barriers = two_level.with_barriers(false);
 

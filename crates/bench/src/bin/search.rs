@@ -13,36 +13,15 @@
 //!   `portfolio/<strategy>` row per portfolio entry plus the `incumbent`
 //!   row, in the same shape the figure binaries emit so `bench-diff` gates
 //!   search results too.
+//!
+//! Like the figure binaries, this is a thin wrapper over the service
+//! façade: it builds a search [`Request`](msfu_service::Request) via
+//! [`msfu_bench::run_search_spec`] and only formats the returned report.
 
 use std::process::ExitCode;
-use std::time::Instant;
 
-use serde::Serialize;
-
-use msfu_core::{SearchReport, SearchSpec, SweepResults};
-
-/// Wall-time stamp of a search run (the search analogue of
-/// `msfu_bench::perf::PerfStamp`; `bench-diff` reads `wall_seconds`).
-#[derive(Debug, Clone, Serialize)]
-struct SearchPerf {
-    /// End-to-end search wall time in seconds.
-    wall_seconds: f64,
-    /// Whether batches ran on all cores or serially.
-    parallel: bool,
-    /// Candidates evaluated.
-    evaluations: usize,
-    /// `evaluations / wall_seconds`.
-    evaluations_per_second: f64,
-}
-
-/// The `BENCH_<name>.json` document for a search run.
-#[derive(Debug, Clone, Serialize)]
-struct SearchBenchReport {
-    name: String,
-    perf: SearchPerf,
-    results: SweepResults,
-    search: SearchReport,
-}
+use msfu_bench::run_search_spec;
+use msfu_core::{SearchReport, SearchSpec};
 
 fn print_report(report: &SearchReport) {
     println!(
@@ -124,46 +103,8 @@ fn run() -> Result<(), String> {
     let text =
         std::fs::read_to_string(&spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
     let spec = SearchSpec::from_json(&text).map_err(|e| e.to_string())?;
-
-    let start = Instant::now();
-    let report = if serial {
-        spec.run_serial()
-    } else {
-        spec.run()
-    }
-    .map_err(|e| e.to_string())?;
-    let wall = start.elapsed();
-    eprintln!(
-        "[search {}] {} candidates in {:.2?} ({})",
-        report.name,
-        report.evaluations,
-        wall,
-        if serial { "serial" } else { "parallel" }
-    );
+    let report = run_search_spec(&spec, serial, json)?;
     print_report(&report);
-
-    if json {
-        let wall_seconds = wall.as_secs_f64();
-        let bench = SearchBenchReport {
-            name: report.name.clone(),
-            perf: SearchPerf {
-                wall_seconds,
-                parallel: !serial,
-                evaluations: report.evaluations,
-                evaluations_per_second: if wall_seconds > 0.0 {
-                    report.evaluations as f64 / wall_seconds
-                } else {
-                    0.0
-                },
-            },
-            results: report.to_sweep_results(),
-            search: report,
-        };
-        let path = format!("BENCH_{}.json", bench.name);
-        let text = serde_json::to_string_pretty(&bench).map_err(|e| e.to_string())?;
-        std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
-        eprintln!("[search {}] wrote {path}", bench.name);
-    }
     Ok(())
 }
 

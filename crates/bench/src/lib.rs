@@ -36,13 +36,17 @@
 
 pub mod perf;
 
-use std::time::Instant;
+use std::time::Duration;
 
 use serde::Serialize;
 
-use msfu_core::{EvaluationConfig, Strategy, SweepIndex, SweepResults, SweepRow, SweepSpec};
+use msfu_core::{
+    EvaluationConfig, NoProgress, SearchReport, SearchSpec, Strategy, SweepIndex, SweepResults,
+    SweepRow, SweepSpec,
+};
 use msfu_distill::{FactoryConfig, ReusePolicy};
 use msfu_layout::{ForceDirectedConfig, StitchingConfig};
+use msfu_service::{JobHandle, Payload, Request, Service};
 
 use crate::perf::PerfStamp;
 
@@ -133,24 +137,28 @@ pub struct BenchReport {
     pub results: SweepResults,
 }
 
-/// Executes a sweep according to the harness arguments: parallel by default,
-/// serial when requested, timing reported on stderr, and a [`BenchReport`]
-/// (results + perf stamp) serialised to `BENCH_<name>.json` when `--json`
-/// was passed.
+/// Executes a sweep according to the harness arguments by submitting it as a
+/// [`Request`] to the service façade: parallel by default, serial when
+/// requested, timing reported on stderr, and a [`BenchReport`] (results +
+/// perf stamp) serialised to `BENCH_<name>.json` when `--json` was passed.
+///
+/// Every figure/table binary therefore exercises the exact code path a
+/// server or queue worker uses; results are identical to calling
+/// [`SweepSpec::run`] directly.
 ///
 /// # Panics
 ///
 /// Panics if any sweep point fails to evaluate (the harness sweeps are all
 /// valid configurations) or if the JSON report cannot be written.
 pub fn run_spec(spec: &SweepSpec, args: &HarnessArgs) -> SweepResults {
-    let start = Instant::now();
-    let results = if args.serial {
-        spec.run_serial()
-    } else {
-        spec.run()
-    }
-    .expect("sweep evaluation succeeds");
-    let wall = start.elapsed();
+    let request = Request::sweep(spec.name.clone(), spec.clone()).with_serial(args.serial);
+    let response = Service::new().run(&request, &JobHandle::new(), &NoProgress);
+    let results = match response.result {
+        Ok(Payload::Sweep(results)) => results,
+        Ok(_) => unreachable!("a sweep request yields a sweep payload"),
+        Err(error) => panic!("sweep evaluation failed: {error}"),
+    };
+    let wall = Duration::from_secs_f64(response.perf.wall_seconds);
     eprintln!(
         "[sweep {}] {} points in {:.2?} ({})",
         spec.name,
@@ -188,6 +196,87 @@ pub fn run_spec(spec: &SweepSpec, args: &HarnessArgs) -> SweepResults {
     results
 }
 
+/// Wall-time stamp of a search run (the search analogue of
+/// [`PerfStamp`]; `bench-diff` reads `wall_seconds`).
+#[derive(Debug, Clone, Serialize)]
+pub struct SearchPerf {
+    /// End-to-end search wall time in seconds.
+    pub wall_seconds: f64,
+    /// Whether batches ran on all cores or serially.
+    pub parallel: bool,
+    /// Candidates evaluated.
+    pub evaluations: usize,
+    /// `evaluations / wall_seconds`.
+    pub evaluations_per_second: f64,
+}
+
+/// The `BENCH_<name>.json` document for a search run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SearchBenchReport {
+    /// The search's name.
+    pub name: String,
+    /// Wall-time stamp for this run.
+    pub perf: SearchPerf,
+    /// Entry-best and incumbent rows in sweep shape (what `bench-diff`
+    /// gates).
+    pub results: SweepResults,
+    /// The full search report.
+    pub search: SearchReport,
+}
+
+/// Executes a portfolio search by submitting it as a [`Request`] to the
+/// service façade: timing reported on stderr and a [`SearchBenchReport`]
+/// written to `BENCH_<name>.json` when `json` is set — the exact shape the
+/// `bench-diff` regression gate compares.
+///
+/// # Errors
+///
+/// Returns the service error message on any spec/mapping/simulation failure
+/// or when the report cannot be written.
+pub fn run_search_spec(
+    spec: &SearchSpec,
+    serial: bool,
+    json: bool,
+) -> Result<SearchReport, String> {
+    let request = Request::search(spec.name.clone(), spec.clone()).with_serial(serial);
+    let response = Service::new().run(&request, &JobHandle::new(), &NoProgress);
+    let report = match response.result {
+        Ok(Payload::Search(report)) => *report,
+        Ok(_) => unreachable!("a search request yields a search payload"),
+        Err(error) => return Err(error.to_string()),
+    };
+    let wall_seconds = response.perf.wall_seconds;
+    eprintln!(
+        "[search {}] {} candidates in {:.2?} ({})",
+        report.name,
+        report.evaluations,
+        Duration::from_secs_f64(wall_seconds),
+        if serial { "serial" } else { "parallel" }
+    );
+    if json {
+        let bench = SearchBenchReport {
+            name: report.name.clone(),
+            perf: SearchPerf {
+                wall_seconds,
+                parallel: !serial,
+                evaluations: report.evaluations,
+                evaluations_per_second: if wall_seconds > 0.0 {
+                    report.evaluations as f64 / wall_seconds
+                } else {
+                    0.0
+                },
+            },
+            results: report.to_sweep_results(),
+            search: report.clone(),
+        };
+        let path = format!("BENCH_{}.json", bench.name);
+        let text = serde_json::to_string_pretty(&bench).map_err(|e| e.to_string())?;
+        std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("[search {}] wrote {path}", bench.name);
+    }
+    Ok(report)
+}
+
 /// The evaluation configuration used by every harness binary.
 ///
 /// The paper's simulator routes each braid along a fixed path and inserts a
@@ -197,9 +286,7 @@ pub fn run_spec(spec: &SweepSpec, args: &HarnessArgs) -> SweepResults {
 /// in the paper. Adaptive routing remains available as an ablation
 /// (`benches/ablation.rs`).
 pub fn harness_eval_config() -> EvaluationConfig {
-    EvaluationConfig {
-        sim: msfu_sim::SimConfig::dimension_ordered(),
-    }
+    EvaluationConfig::default().with_sim(msfu_sim::SimConfig::dimension_ordered())
 }
 
 /// Force-directed configuration scaled to the problem size: large factories

@@ -13,6 +13,7 @@
 
 pub use serde_derive::{Deserialize, Serialize};
 
+use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Range;
 
@@ -87,6 +88,26 @@ impl Value {
 pub trait Serialize {
     /// Renders `self` into the shim's value tree.
     fn to_value(&self) -> Value;
+
+    /// Borrow-or-build: the value tree behind a [`Cow`], so renderers avoid
+    /// a deep copy when `self` already *is* a [`Value`]. The default builds
+    /// via [`Serialize::to_value`]; only the `Value` impl overrides it.
+    fn to_value_cow(&self) -> Cow<'_, Value> {
+        Cow::Owned(self.to_value())
+    }
+}
+
+/// A [`Value`] serializes as itself, so hand-assembled trees (e.g. protocol
+/// envelopes wrapping derived payloads) pass straight through
+/// `serde_json::to_string` — by reference, without cloning the tree.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+
+    fn to_value_cow(&self) -> Cow<'_, Value> {
+        Cow::Borrowed(self)
+    }
 }
 
 /// Marker trait emitted by `#[derive(Deserialize)]`. Deserialization is not
@@ -255,6 +276,18 @@ mod tests {
                 ("end".into(), Value::UInt(3)),
             ])
         );
+    }
+
+    #[test]
+    fn values_serialize_as_themselves_without_cloning() {
+        let v = Value::Array(vec![Value::UInt(1), Value::Str("x".into())]);
+        assert_eq!(v.to_value(), v);
+        assert!(
+            matches!(v.to_value_cow(), Cow::Borrowed(b) if std::ptr::eq(b, &v)),
+            "a Value must render by reference, not by deep copy"
+        );
+        // Non-Value types keep the building default.
+        assert!(matches!(1u32.to_value_cow(), Cow::Owned(Value::UInt(1))));
     }
 
     #[test]

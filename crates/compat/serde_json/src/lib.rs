@@ -242,16 +242,20 @@ impl Parser<'_> {
 }
 
 /// Serializes a value as compact JSON.
+///
+/// Serializing a tree that already is a [`Value`] renders it by reference
+/// (no deep copy — see [`Serialize::to_value_cow`]), so protocol envelopes
+/// assembled as `Value`s cost nothing extra to print.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     let mut out = String::new();
-    write_value(&value.to_value(), &mut out, None, 0);
+    write_value(&value.to_value_cow(), &mut out, None, 0);
     Ok(out)
 }
 
 /// Serializes a value as human-readable, two-space-indented JSON.
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     let mut out = String::new();
-    write_value(&value.to_value(), &mut out, Some(2), 0);
+    write_value(&value.to_value_cow(), &mut out, Some(2), 0);
     Ok(out)
 }
 

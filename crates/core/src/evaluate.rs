@@ -12,10 +12,23 @@ use msfu_sim::{SimConfig, SimEngine};
 use crate::{Result, Strategy};
 
 /// Configuration of an end-to-end evaluation run.
+///
+/// `#[non_exhaustive]` so the service protocol can grow evaluation knobs
+/// without a semver break: construct with [`EvaluationConfig::default`] and
+/// refine with the `with_*` builders.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct EvaluationConfig {
     /// Simulator configuration (latency model, routing policy, cycle limit).
     pub sim: SimConfig,
+}
+
+impl EvaluationConfig {
+    /// Replaces the simulator configuration (builder style).
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
 }
 
 /// The outcome of evaluating one factory configuration under one strategy:

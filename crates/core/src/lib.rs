@@ -49,6 +49,7 @@
 mod error;
 mod evaluate;
 pub mod pipeline;
+pub mod progress;
 pub mod report;
 pub mod search;
 pub mod spec;
@@ -61,11 +62,13 @@ pub use evaluate::{
     effective_factory, evaluate, evaluate_factory, evaluate_factory_with, evaluate_mapped,
     evaluate_mapped_with, Evaluation, EvaluationConfig,
 };
+pub use progress::{CancelToken, NoProgress, ProgressEvent, ProgressSink, RunControl};
 pub use search::{
-    Incumbent, Objective, PortfolioEntry, SearchReport, SearchSpec, StopReason, TrajectoryPoint,
+    Incumbent, Objective, PortfolioEntry, SearchOutcome, SearchReport, SearchSpec, StopReason,
+    TrajectoryPoint,
 };
 pub use strategy::{register_strategy, registered_strategies, Strategy};
-pub use sweep::{SweepIndex, SweepPoint, SweepResults, SweepRow, SweepSpec};
+pub use sweep::{SweepIndex, SweepOutcome, SweepPoint, SweepResults, SweepRow, SweepSpec};
 
 /// Convenience result alias used by fallible APIs in this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -72,26 +72,68 @@ impl Table {
 
     /// Renders the table as aligned plain text with scientific-notation cells,
     /// matching the style of Table I.
+    ///
+    /// Alignment is content-safe: blank (`None`) and missing trailing cells
+    /// render as `-` in their own column, and columns widen past the default
+    /// widths (label 14, values 12) when a label, header or cell would
+    /// otherwise overflow and shift every column after it.
     pub fn to_text(&self) -> String {
+        let value_columns = self.headers.len().saturating_sub(1);
+        // Render every cell first so column widths can account for them; rows
+        // shorter than the header count are padded with blank cells so each
+        // header always has a column under it.
+        let rendered: Vec<(&str, Vec<String>)> = self
+            .rows
+            .iter()
+            .map(|(label, values)| {
+                let mut cells: Vec<String> = values
+                    .iter()
+                    .map(|v| match v {
+                        Some(x) => format_scientific(*x),
+                        None => "-".to_string(),
+                    })
+                    .collect();
+                while cells.len() < value_columns {
+                    cells.push("-".to_string());
+                }
+                (label.as_str(), cells)
+            })
+            .collect();
+        let label_width = std::iter::once(self.headers.first().map_or(0, String::len))
+            .chain(rendered.iter().map(|(label, _)| label.len()))
+            .map(|w| w + 1)
+            .max()
+            .unwrap_or(0)
+            .max(14);
+        let cell_width = self
+            .headers
+            .iter()
+            .skip(1)
+            .map(String::len)
+            .chain(
+                rendered
+                    .iter()
+                    .flat_map(|(_, cells)| cells.iter().map(String::len)),
+            )
+            .map(|w| w + 1)
+            .max()
+            .unwrap_or(0)
+            .max(12);
+
         let mut out = String::new();
         out.push_str(&format!("# {}\n", self.title));
-        let mut header_line = String::new();
         for (i, h) in self.headers.iter().enumerate() {
             if i == 0 {
-                header_line.push_str(&format!("{h:<14}"));
+                out.push_str(&format!("{h:<label_width$}"));
             } else {
-                header_line.push_str(&format!("{h:>12}"));
+                out.push_str(&format!("{h:>cell_width$}"));
             }
         }
-        out.push_str(&header_line);
         out.push('\n');
-        for (label, values) in &self.rows {
-            out.push_str(&format!("{label:<14}"));
-            for v in values {
-                match v {
-                    Some(x) => out.push_str(&format!("{:>12}", format_scientific(*x))),
-                    None => out.push_str(&format!("{:>12}", "-")),
-                }
+        for (label, cells) in &rendered {
+            out.push_str(&format!("{label:<label_width$}"));
+            for cell in cells {
+                out.push_str(&format!("{cell:>cell_width$}"));
             }
             out.push('\n');
         }
@@ -137,6 +179,77 @@ mod tests {
         assert_eq!(format_scientific(0.0), "0");
         assert_eq!(format_scientific(42.0), "42");
         assert_eq!(format_scientific(3.5), "3.50");
+    }
+
+    #[test]
+    fn series_and_table_share_the_json_path_of_service_responses() {
+        // Figure reports and service responses serialise through the same
+        // derive; pin the wire shape so clients can rely on it.
+        let mut s = Series::new("FD");
+        s.push(2.0, 100.0);
+        assert_eq!(
+            serde_json::to_string(&s).unwrap(),
+            r#"{"label":"FD","x":[2.0],"y":[100.0]}"#
+        );
+        let mut t = Table::new("T", vec!["P".into(), "K".into()]);
+        t.push_row("Line", vec![None]);
+        assert_eq!(
+            serde_json::to_string(&t).unwrap(),
+            r#"{"title":"T","headers":["P","K"],"rows":[["Line",[null]]]}"#
+        );
+    }
+
+    #[test]
+    fn default_widths_render_byte_identically_to_the_paper_style() {
+        let mut t = Table::new("T", vec!["Procedure".into(), "K = 2".into()]);
+        t.push_row("Line(R)", vec![Some(6530.0)]);
+        t.push_row("HS", vec![None]);
+        assert_eq!(
+            t.to_text(),
+            "# T\nProcedure            K = 2\nLine(R)             6.53e3\nHS                       -\n"
+        );
+    }
+
+    #[test]
+    fn blank_cells_stay_aligned_under_their_headers() {
+        let mut t = Table::new("T", vec!["P".into(), "A".into(), "B".into(), "C".into()]);
+        t.push_row("full", vec![Some(1.0), Some(2.0), Some(3.0)]);
+        t.push_row("holes", vec![None, Some(2.0), None]);
+        t.push_row("short", vec![Some(1.0)]); // missing trailing cells pad as '-'
+        let text = t.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        let width = lines[1].len();
+        for line in &lines[1..] {
+            assert_eq!(line.len(), width, "misaligned row: {line:?}\n{text}");
+        }
+        // Every '-' sits exactly where the numbers of other rows end.
+        let full = lines[2];
+        let holes = lines[3];
+        for (i, c) in holes.char_indices() {
+            if c == '-' {
+                assert_ne!(full.as_bytes()[i], b' ', "blank cell drifted\n{text}");
+            }
+        }
+        assert_eq!(lines[4].matches('-').count(), 2, "{text}");
+    }
+
+    #[test]
+    fn wide_labels_and_cells_widen_their_columns_instead_of_shifting() {
+        let mut t = Table::new(
+            "T",
+            vec!["Procedure".into(), "K = 2".into(), "K = 4".into()],
+        );
+        t.push_row("a-very-long-strategy-name", vec![Some(1.0), None]);
+        t.push_row("HS", vec![None, Some(2.32e5)]);
+        let text = t.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        let width = lines[1].len();
+        for line in &lines[1..] {
+            assert_eq!(line.len(), width, "misaligned row: {line:?}\n{text}");
+        }
+        // Both rows' final cells end in the same column.
+        assert!(lines[2].ends_with('-'));
+        assert!(lines[3].ends_with("2.32e5"));
     }
 
     #[test]

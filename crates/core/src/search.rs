@@ -45,6 +45,7 @@ use msfu_distill::{Factory, FactoryConfig};
 use msfu_layout::{ForceDirectedConfig, MapperParams, ParamValue, StitchingConfig};
 
 use crate::evaluate::{effective_factory, evaluate_mapped_with, with_thread_engine};
+use crate::progress::{ProgressEvent, RunControl};
 use crate::spec::{eval_from_json, factory_from_json, params_from_json, strategy_from_json};
 use crate::sweep::{SweepResults, SweepRow};
 use crate::{CoreError, Evaluation, EvaluationConfig, Result, Strategy};
@@ -88,6 +89,7 @@ impl Objective {
 
 /// Why a search ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[non_exhaustive]
 pub enum StopReason {
     /// The evaluation budget was exhausted.
     BudgetExhausted,
@@ -98,11 +100,18 @@ pub enum StopReason {
     Converged,
     /// The incumbent reached the requested target value.
     TargetReached,
+    /// The run was cancelled (or hit its deadline) at a batch boundary; the
+    /// report covers the batches that completed.
+    Cancelled,
 }
 
 /// One template of the search portfolio: a strategy plus the parameter
 /// ladder and seeding rule its candidates are expanded from.
+///
+/// `#[non_exhaustive]`: construct with [`PortfolioEntry::seed_scan`] or
+/// [`PortfolioEntry::fixed`] and refine with the builder methods.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct PortfolioEntry {
     /// Report label for candidates of this entry (becomes
     /// [`Evaluation::strategy`]).
@@ -182,7 +191,12 @@ impl PortfolioEntry {
 
 /// A declarative portfolio search: one factory configuration, an objective,
 /// a candidate budget and the portfolio to draw candidates from.
+///
+/// `#[non_exhaustive]`: construct with [`SearchSpec::new`] (fields remain
+/// public for reads and assignment) so the spec — and the JSON protocol
+/// carrying it — can grow fields without a semver break.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct SearchSpec {
     /// Search name (carried into reports).
     pub name: String,
@@ -293,7 +307,7 @@ impl SearchSpec {
     /// size, and propagates the first (in candidate order) factory, mapping
     /// or simulation failure.
     pub fn run(&self) -> Result<SearchReport> {
-        self.execute(false)
+        Ok(self.execute(false, &RunControl::default())?.report)
     }
 
     /// Runs the search sequentially on the calling thread (reference
@@ -303,10 +317,33 @@ impl SearchSpec {
     ///
     /// As [`SearchSpec::run`].
     pub fn run_serial(&self) -> Result<SearchReport> {
-        self.execute(true)
+        Ok(self.execute(true, &RunControl::default())?.report)
     }
 
-    fn execute(&self, serial: bool) -> Result<SearchReport> {
+    /// [`SearchSpec::run`] under a [`RunControl`]: incumbent improvements and
+    /// batch completions stream to the control's sink, and
+    /// cancellation/deadline are honoured between batches. An interrupted
+    /// search ends with [`StopReason::Cancelled`] and reports the candidates
+    /// evaluated so far.
+    ///
+    /// # Errors
+    ///
+    /// As [`SearchSpec::run`].
+    pub fn run_with(&self, ctrl: &RunControl<'_>) -> Result<SearchOutcome> {
+        self.execute(false, ctrl)
+    }
+
+    /// [`SearchSpec::run_serial`] under a [`RunControl`] (see
+    /// [`SearchSpec::run_with`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`SearchSpec::run`].
+    pub fn run_serial_with(&self, ctrl: &RunControl<'_>) -> Result<SearchOutcome> {
+        self.execute(true, ctrl)
+    }
+
+    fn execute(&self, serial: bool, ctrl: &RunControl<'_>) -> Result<SearchOutcome> {
         self.validate()?;
         let factory = Arc::new(Factory::build(&self.factory)?);
 
@@ -340,6 +377,10 @@ impl SearchSpec {
         let stop;
 
         'search: loop {
+            if ctrl.interrupted() {
+                stop = StopReason::Cancelled;
+                break;
+            }
             let mut batch: Vec<(usize, Strategy)> = Vec::with_capacity(self.batch_size);
             // Terminates: the stream holds at least `effective_budget`
             // distinct positions, and `evaluated + batch.len()` is bounded
@@ -392,18 +433,26 @@ impl SearchSpec {
                         evaluation: *g as u64,
                         value,
                     });
+                    ctrl.emit(&ProgressEvent::IncumbentImproved {
+                        name: &self.name,
+                        candidate: *g,
+                        value,
+                        strategy,
+                    });
                     incumbent = Some(candidate);
                     improved = true;
                 }
                 if let (Some(target), Some(best)) = (self.target, &incumbent) {
                     if best.value <= target {
                         batches += 1;
+                        self.emit_batch(ctrl, batches, evaluated, &incumbent);
                         stop = StopReason::TargetReached;
                         break 'search;
                     }
                 }
             }
             batches += 1;
+            self.emit_batch(ctrl, batches, evaluated, &incumbent);
             stalled = if improved { 0 } else { stalled + 1 };
             if evaluated >= effective_budget {
                 stop = exhausted(evaluated);
@@ -415,17 +464,36 @@ impl SearchSpec {
             }
         }
 
-        Ok(SearchReport {
-            name: self.name.clone(),
-            objective: self.objective,
-            factory: self.factory,
-            evaluations: evaluated,
-            batches,
-            stop,
-            incumbent,
-            trajectory,
-            entry_bests: entry_bests.into_iter().flatten().collect(),
+        Ok(SearchOutcome {
+            interrupted: stop == StopReason::Cancelled,
+            report: SearchReport {
+                name: self.name.clone(),
+                objective: self.objective,
+                factory: self.factory,
+                evaluations: evaluated,
+                batches,
+                stop,
+                incumbent,
+                trajectory,
+                entry_bests: entry_bests.into_iter().flatten().collect(),
+            },
         })
+    }
+
+    /// Emits one `SearchBatchFinished` event.
+    fn emit_batch(
+        &self,
+        ctrl: &RunControl<'_>,
+        batch: usize,
+        evaluated: usize,
+        incumbent: &Option<Incumbent>,
+    ) {
+        ctrl.emit(&ProgressEvent::SearchBatchFinished {
+            name: &self.name,
+            batch,
+            evaluated,
+            incumbent: incumbent.as_ref().map(|i| i.value),
+        });
     }
 
     fn evaluate_candidate(&self, strategy: &Strategy, factory: &Factory) -> Result<Evaluation> {
@@ -455,9 +523,21 @@ impl SearchSpec {
     ///
     /// Returns [`CoreError::Spec`] naming the offending field.
     pub fn from_json(text: &str) -> Result<Self> {
+        let root = serde_json::from_str(text).map_err(|e| CoreError::Spec {
+            reason: format!("search spec is not valid JSON: {e}"),
+        })?;
+        Self::from_value(&root)
+    }
+
+    /// Decodes an already-parsed search-spec document — the embedded form
+    /// used by the service protocol, where the spec is one field of a
+    /// request object.
+    ///
+    /// # Errors
+    ///
+    /// As [`SearchSpec::from_json`].
+    pub fn from_value(root: &Value) -> Result<Self> {
         let fail = |reason: String| CoreError::Spec { reason };
-        let root = serde_json::from_str(text)
-            .map_err(|e| fail(format!("search spec is not valid JSON: {e}")))?;
         let str_field = |key: &str| match root.get(key) {
             Some(Value::Str(s)) => Ok(Some(s.clone())),
             Some(_) => Err(fail(format!("search: `{key}` must be a string"))),
@@ -500,7 +580,7 @@ impl SearchSpec {
         if let Some(seed) = u64_field("seed")? {
             spec.seed = seed;
         }
-        if let Value::Object(entries) = &root {
+        if let Value::Object(entries) = root {
             for (key, _) in entries {
                 if !matches!(
                     key.as_str(),
@@ -604,6 +684,19 @@ pub struct TrajectoryPoint {
     pub value: u64,
 }
 
+/// The outcome of a controllable search run: the report, plus whether the
+/// run was interrupted (cancelled or past its deadline) before stopping on
+/// its own.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct SearchOutcome {
+    /// The search report (its [`SearchReport::stop`] is
+    /// [`StopReason::Cancelled`] when `interrupted`).
+    pub report: SearchReport,
+    /// `true` when the run stopped at a batch boundary before finishing.
+    pub interrupted: bool,
+}
+
 /// The outcome of a portfolio search.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SearchReport {
@@ -664,9 +757,7 @@ mod tests {
     use msfu_sim::SimConfig;
 
     fn quick_spec() -> SearchSpec {
-        let eval = EvaluationConfig {
-            sim: SimConfig::dimension_ordered(),
-        };
+        let eval = EvaluationConfig::default().with_sim(SimConfig::dimension_ordered());
         let mut spec = SearchSpec::new("t", eval, FactoryConfig::single_level(2));
         spec.budget = 12;
         spec.batch_size = 4;

@@ -266,7 +266,7 @@ pub fn eval_from_json(value: &Value) -> Result<EvaluationConfig> {
             return Err(spec_err(format!("{ctx}: unknown field `{key}`")));
         }
     }
-    Ok(EvaluationConfig { sim })
+    Ok(EvaluationConfig::default().with_sim(sim))
 }
 
 fn latency_from_json(value: &Value) -> Result<LatencyModel> {
@@ -299,18 +299,29 @@ impl SweepSpec {
     pub fn from_json(text: &str) -> Result<Self> {
         let root = serde_json::from_str(text)
             .map_err(|e| spec_err(format!("sweep spec is not valid JSON: {e}")))?;
+        Self::from_value(&root)
+    }
+
+    /// Decodes an already-parsed sweep-spec document — the embedded form used
+    /// by the service protocol, where the spec is one field of a request
+    /// object.
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepSpec::from_json`].
+    pub fn from_value(root: &Value) -> Result<Self> {
         let ctx = "sweep";
-        let name = get_str(&root, "name", ctx)?
+        let name = get_str(root, "name", ctx)?
             .ok_or_else(|| spec_err(format!("{ctx}: missing `name`")))?;
         let eval = match root.get("eval") {
             Some(v) => eval_from_json(v)?,
             None => EvaluationConfig::default(),
         };
         let mut spec = SweepSpec::new(name, eval);
-        if get_bool(&root, "collect_breakdowns", ctx)?.unwrap_or(false) {
+        if get_bool(root, "collect_breakdowns", ctx)?.unwrap_or(false) {
             spec = spec.with_breakdowns();
         }
-        if get_bool(&root, "collect_mapping_metrics", ctx)?.unwrap_or(false) {
+        if get_bool(root, "collect_mapping_metrics", ctx)?.unwrap_or(false) {
             spec = spec.with_mapping_metrics();
         }
         if let Some(points) = root.get("points") {
@@ -379,7 +390,7 @@ impl SweepSpec {
                 }
             }
         }
-        for (key, _) in as_object(&root, ctx)? {
+        for (key, _) in as_object(root, ctx)? {
             if !matches!(
                 key.as_str(),
                 "name"
@@ -490,9 +501,7 @@ mod tests {
             ]
         }"#;
         let parsed = SweepSpec::from_json(json).unwrap();
-        let eval = EvaluationConfig {
-            sim: SimConfig::dimension_ordered(),
-        };
+        let eval = EvaluationConfig::default().with_sim(SimConfig::dimension_ordered());
         let hand = SweepSpec::new("demo", eval)
             .point(
                 "hs",

@@ -44,10 +44,22 @@ use msfu_sim::SimEngine;
 
 use crate::evaluate::{effective_factory, evaluate_mapped_with, with_thread_engine};
 use crate::pipeline::{per_round_breakdown_with, RoundBreakdown};
+use crate::progress::{ProgressEvent, RunControl};
 use crate::{Evaluation, EvaluationConfig, Result, Strategy};
 
+/// Points evaluated per parallel batch. Cancellation and deadlines are
+/// honoured between batches, so this bounds how much work a cancelled sweep
+/// still finishes; it is a fixed constant (not thread-count derived) so the
+/// progress-event stream of a given spec is identical on every machine.
+const SWEEP_BATCH: usize = 32;
+
 /// One point of a sweep grid: map `factory` with `strategy` and simulate.
+///
+/// `#[non_exhaustive]`: construct with [`SweepPoint::new`] (or the
+/// [`SweepSpec::point`]/[`SweepSpec::grid`] builders) so new per-point knobs
+/// can be added without a semver break.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct SweepPoint {
     /// Caller-chosen tag used to select rows out of the results (e.g. the
     /// figure panel the point belongs to).
@@ -59,7 +71,12 @@ pub struct SweepPoint {
 }
 
 /// A declarative sweep: an evaluation configuration plus the list of points.
+///
+/// `#[non_exhaustive]`: construct with [`SweepSpec::new`] and the builder
+/// methods so the spec (and the JSON protocol carrying it) can grow fields
+/// without a semver break.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct SweepSpec {
     /// Sweep name (carried into [`SweepResults`] and JSON reports).
     pub name: String,
@@ -95,6 +112,19 @@ pub struct SweepResults {
     pub name: String,
     /// One row per point, in the spec's point order.
     pub rows: Vec<SweepRow>,
+}
+
+/// The outcome of a controllable sweep run: the rows that completed, plus
+/// whether the run was interrupted (cancelled or past its deadline) before
+/// evaluating every point.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct SweepOutcome {
+    /// The completed rows, in point order — all of them when
+    /// `interrupted == false`, a prefix otherwise.
+    pub results: SweepResults,
+    /// `true` when the run stopped at a batch boundary before finishing.
+    pub interrupted: bool,
 }
 
 impl SweepResults {
@@ -182,6 +212,17 @@ impl<'a> SweepIndex<'a> {
     }
 }
 
+impl SweepPoint {
+    /// Creates a point.
+    pub fn new(label: impl Into<String>, factory: FactoryConfig, strategy: Strategy) -> Self {
+        SweepPoint {
+            label: label.into(),
+            factory,
+            strategy,
+        }
+    }
+}
+
 impl SweepSpec {
     /// Creates an empty sweep.
     pub fn new(name: impl Into<String>, eval: EvaluationConfig) -> Self {
@@ -254,38 +295,89 @@ impl SweepSpec {
     /// Returns the first (in point order) factory-construction, placement or
     /// simulation error.
     pub fn run(&self) -> Result<SweepResults> {
-        // Build each distinct factory once, in parallel.
-        let mut distinct: Vec<FactoryConfig> = Vec::new();
-        for p in &self.points {
-            if !distinct.contains(&p.factory) {
-                distinct.push(p.factory);
+        Ok(self.run_with(&RunControl::default())?.results)
+    }
+
+    /// [`SweepSpec::run`] under a [`RunControl`]: progress events stream to
+    /// the control's sink as batches complete, and cancellation/deadline are
+    /// honoured between batches of [`SWEEP_BATCH`](self) points. An
+    /// interrupted run returns the rows completed so far with
+    /// [`SweepOutcome::interrupted`] set, never an error.
+    ///
+    /// Row values are identical to [`SweepSpec::run`]; a run with the default
+    /// control behaves byte-for-byte like it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in point order) factory-construction, placement or
+    /// simulation error among the batches that ran.
+    pub fn run_with(&self, ctrl: &RunControl<'_>) -> Result<SweepOutcome> {
+        let total = self.points.len();
+        let mut rows: Vec<SweepRow> = Vec::with_capacity(total);
+        let mut interrupted = ctrl.interrupted();
+
+        if !interrupted {
+            // Build each distinct factory once, in parallel.
+            let mut distinct: Vec<FactoryConfig> = Vec::new();
+            for p in &self.points {
+                if !distinct.contains(&p.factory) {
+                    distinct.push(p.factory);
+                }
+            }
+            let built: Vec<crate::Result<Arc<FactoryEntry>>> = distinct
+                .par_iter()
+                .map(|config| Ok(Arc::new(FactoryEntry::build(config)?)))
+                .collect();
+            let mut cache: FactoryCache = HashMap::new();
+            for (config, entry) in distinct.iter().zip(built) {
+                cache.insert(*config, entry?);
+            }
+
+            for chunk in self.points.chunks(SWEEP_BATCH) {
+                if ctrl.interrupted() {
+                    interrupted = true;
+                    break;
+                }
+                let batch: Vec<crate::Result<SweepRow>> = chunk
+                    .par_iter()
+                    .map(|point| {
+                        let entry = cache
+                            .get(&point.factory)
+                            .expect("every point's config was pre-built")
+                            .clone();
+                        // Each worker thread reuses one simulator engine
+                        // across every point it evaluates (arena reuse;
+                        // results are unaffected).
+                        with_thread_engine(self.eval.sim, |engine| {
+                            self.evaluate_point(point, &entry, engine)
+                        })
+                    })
+                    .collect();
+                for row in batch {
+                    let index = rows.len();
+                    rows.push(row?);
+                    ctrl.emit(&ProgressEvent::RowCompleted {
+                        name: &self.name,
+                        index,
+                        total,
+                        row: &rows[index],
+                    });
+                }
+                ctrl.emit(&ProgressEvent::BatchFinished {
+                    name: &self.name,
+                    completed: rows.len(),
+                    total,
+                });
             }
         }
-        let built: Vec<crate::Result<Arc<FactoryEntry>>> = distinct
-            .par_iter()
-            .map(|config| Ok(Arc::new(FactoryEntry::build(config)?)))
-            .collect();
-        let mut cache: FactoryCache = HashMap::new();
-        for (config, entry) in distinct.iter().zip(built) {
-            cache.insert(*config, entry?);
-        }
 
-        let rows: Vec<crate::Result<SweepRow>> = self
-            .points
-            .par_iter()
-            .map(|point| {
-                let entry = cache
-                    .get(&point.factory)
-                    .expect("every point's config was pre-built")
-                    .clone();
-                // Each worker thread reuses one simulator engine across every
-                // point it evaluates (arena reuse; results are unaffected).
-                with_thread_engine(self.eval.sim, |engine| {
-                    self.evaluate_point(point, &entry, engine)
-                })
-            })
-            .collect();
-        self.assemble(rows)
+        Ok(SweepOutcome {
+            results: SweepResults {
+                name: self.name.clone(),
+                rows,
+            },
+            interrupted,
+        })
     }
 
     /// Executes every point sequentially on the calling thread (reference
@@ -296,16 +388,55 @@ impl SweepSpec {
     ///
     /// Returns the first factory-construction, placement or simulation error.
     pub fn run_serial(&self) -> Result<SweepResults> {
+        Ok(self.run_serial_with(&RunControl::default())?.results)
+    }
+
+    /// [`SweepSpec::run_serial`] under a [`RunControl`]: rows stream to the
+    /// control's sink as each point completes, and cancellation/deadline are
+    /// honoured between points (a serial "batch" is one point).
+    ///
+    /// The calling thread's simulator engine is reused across calls, so a
+    /// long-lived process (e.g. `msfu serve`) pays the arena allocations
+    /// once, not per job.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first factory-construction, placement or simulation error
+    /// among the points that ran.
+    pub fn run_serial_with(&self, ctrl: &RunControl<'_>) -> Result<SweepOutcome> {
+        let total = self.points.len();
         let mut cache: FactoryCache = HashMap::new();
-        let mut engine = SimEngine::new(self.eval.sim);
-        let mut rows: Vec<crate::Result<SweepRow>> = Vec::with_capacity(self.points.len());
-        for point in &self.points {
-            let row = self
-                .entry_for(&mut cache, point.factory)
-                .and_then(|entry| self.evaluate_point(point, &entry, &mut engine));
-            rows.push(row);
-        }
-        self.assemble(rows)
+        with_thread_engine(self.eval.sim, |engine| {
+            let mut rows: Vec<SweepRow> = Vec::with_capacity(total);
+            let mut interrupted = false;
+            for point in &self.points {
+                if ctrl.interrupted() {
+                    interrupted = true;
+                    break;
+                }
+                let entry = self.entry_for(&mut cache, point.factory)?;
+                let index = rows.len();
+                rows.push(self.evaluate_point(point, &entry, engine)?);
+                ctrl.emit(&ProgressEvent::RowCompleted {
+                    name: &self.name,
+                    index,
+                    total,
+                    row: &rows[index],
+                });
+            }
+            ctrl.emit(&ProgressEvent::BatchFinished {
+                name: &self.name,
+                completed: rows.len(),
+                total,
+            });
+            Ok(SweepOutcome {
+                results: SweepResults {
+                    name: self.name.clone(),
+                    rows,
+                },
+                interrupted,
+            })
+        })
     }
 
     fn entry_for(
@@ -371,18 +502,6 @@ impl SweepSpec {
             evaluation,
             breakdown,
             metrics,
-        })
-    }
-
-    /// Collapses per-point results, surfacing the first error in point order.
-    fn assemble(&self, rows: Vec<crate::Result<SweepRow>>) -> Result<SweepResults> {
-        let mut out = Vec::with_capacity(rows.len());
-        for row in rows {
-            out.push(row?);
-        }
-        Ok(SweepResults {
-            name: self.name.clone(),
-            rows: out,
         })
     }
 }

@@ -1,0 +1,55 @@
+//! # msfu-service
+//!
+//! The versioned request/response façade of the MSFU reproduction: one
+//! stable, machine-readable surface through which every capability of the
+//! pipeline — single evaluations, declarative sweeps, portfolio searches —
+//! is reachable by a server, a queue worker or a non-Rust client.
+//!
+//! * [`protocol`] — the wire contract: a versioned [`Request`] (one of
+//!   `evaluate` / `sweep` / `search`, payloads reusing the JSON spec formats
+//!   of `msfu_core::spec`), a typed [`Response`] carrying the result payload,
+//!   a perf stamp and [stable error codes](mod@error_code), and the NDJSON
+//!   progress-event encoding.
+//! * [`Service`] — executes one request against the pipeline, streaming
+//!   [`msfu_core::ProgressEvent`]s to a caller-supplied sink and honouring a
+//!   [`JobHandle`]'s cooperative cancellation and deadline between batches.
+//! * [`serve`] — a JSON-lines session loop (requests in, interleaved
+//!   progress events and responses out) serving any number of jobs from one
+//!   process, with per-worker simulator engines reused across jobs and
+//!   in-flight jobs cancellable by a `{"cancel": <id>}` line.
+//!
+//! # Example
+//!
+//! ```
+//! use msfu_core::{EvaluationConfig, NoProgress, Strategy};
+//! use msfu_distill::FactoryConfig;
+//! use msfu_service::{JobHandle, Request, Service};
+//!
+//! let request = Request::evaluate(
+//!     "demo",
+//!     FactoryConfig::single_level(2),
+//!     Strategy::linear(),
+//!     EvaluationConfig::default(),
+//! );
+//! let response = Service::new().run(&request, &JobHandle::new(), &NoProgress);
+//! assert!(response.result.is_ok());
+//! println!("{}", response.to_json());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error_code;
+pub mod ndjson;
+pub mod protocol;
+mod serve;
+mod service;
+
+pub use error_code::{error_code, ALL_ERROR_CODES};
+pub use ndjson::NdjsonSink;
+pub use protocol::{
+    Job, Payload, Request, RequestError, Response, ResponsePerf, ServiceError, SessionLine,
+    PROTOCOL_VERSION,
+};
+pub use serve::{serve, ServeOptions, ServeSummary};
+pub use service::{JobHandle, Service};

@@ -1,0 +1,194 @@
+//! NDJSON rendering of progress events.
+//!
+//! Each event becomes one JSON line tagged `"type": "progress"` and carrying
+//! the job id, so a client multiplexing a serve session can route events to
+//! the right job. The line formats:
+//!
+//! ```json
+//! {"type":"progress","id":"j1","event":"row_completed","name":"fig7",
+//!  "index":0,"total":10,"label":"single","strategy":"FD",
+//!  "latency_cycles":4769,"area":24,"volume":114456}
+//! {"type":"progress","id":"j1","event":"batch_finished","name":"fig7",
+//!  "completed":10,"total":10}
+//! {"type":"progress","id":"j2","event":"incumbent_improved","name":"search",
+//!  "candidate":0,"value":1444,"strategy":"Line"}
+//! {"type":"progress","id":"j2","event":"search_batch_finished","name":"search",
+//!  "batch":1,"evaluated":6,"incumbent":1444}
+//! ```
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use serde_json::Value;
+
+use msfu_core::{ProgressEvent, ProgressSink};
+
+/// Renders one progress event as its wire JSON object.
+pub fn progress_to_value(id: &str, event: &ProgressEvent<'_>) -> Value {
+    let mut entries = vec![
+        ("type".to_string(), Value::Str("progress".to_string())),
+        ("id".to_string(), Value::Str(id.to_string())),
+    ];
+    match event {
+        ProgressEvent::RowCompleted {
+            name,
+            index,
+            total,
+            row,
+        } => {
+            entries.extend([
+                ("event".to_string(), Value::Str("row_completed".to_string())),
+                ("name".to_string(), Value::Str(name.to_string())),
+                ("index".to_string(), Value::UInt(*index as u64)),
+                ("total".to_string(), Value::UInt(*total as u64)),
+                ("label".to_string(), Value::Str(row.label.clone())),
+                (
+                    "strategy".to_string(),
+                    Value::Str(row.evaluation.strategy.clone()),
+                ),
+                (
+                    "latency_cycles".to_string(),
+                    Value::UInt(row.evaluation.latency_cycles),
+                ),
+                ("area".to_string(), Value::UInt(row.evaluation.area as u64)),
+                ("volume".to_string(), Value::UInt(row.evaluation.volume)),
+            ]);
+        }
+        ProgressEvent::BatchFinished {
+            name,
+            completed,
+            total,
+        } => {
+            entries.extend([
+                (
+                    "event".to_string(),
+                    Value::Str("batch_finished".to_string()),
+                ),
+                ("name".to_string(), Value::Str(name.to_string())),
+                ("completed".to_string(), Value::UInt(*completed as u64)),
+                ("total".to_string(), Value::UInt(*total as u64)),
+            ]);
+        }
+        ProgressEvent::IncumbentImproved {
+            name,
+            candidate,
+            value,
+            strategy,
+        } => {
+            entries.extend([
+                (
+                    "event".to_string(),
+                    Value::Str("incumbent_improved".to_string()),
+                ),
+                ("name".to_string(), Value::Str(name.to_string())),
+                ("candidate".to_string(), Value::UInt(*candidate as u64)),
+                ("value".to_string(), Value::UInt(*value)),
+                (
+                    "strategy".to_string(),
+                    Value::Str(strategy.short_name().to_string()),
+                ),
+            ]);
+        }
+        ProgressEvent::SearchBatchFinished {
+            name,
+            batch,
+            evaluated,
+            incumbent,
+        } => {
+            entries.extend([
+                (
+                    "event".to_string(),
+                    Value::Str("search_batch_finished".to_string()),
+                ),
+                ("name".to_string(), Value::Str(name.to_string())),
+                ("batch".to_string(), Value::UInt(*batch as u64)),
+                ("evaluated".to_string(), Value::UInt(*evaluated as u64)),
+                (
+                    "incumbent".to_string(),
+                    match incumbent {
+                        Some(v) => Value::UInt(*v),
+                        None => Value::Null,
+                    },
+                ),
+            ]);
+        }
+        // ProgressEvent is #[non_exhaustive]; surface future events rather
+        // than silently dropping them.
+        other => {
+            entries.push(("event".to_string(), Value::Str(format!("{other:?}"))));
+        }
+    }
+    Value::Object(entries)
+}
+
+/// A [`ProgressSink`] writing each event as one NDJSON line to a shared
+/// writer (shared with the response writer of a serve session, so events and
+/// responses interleave without tearing).
+///
+/// Writes are best-effort: a failing writer (e.g. a closed pipe) drops the
+/// event rather than aborting the job — the response still reports the
+/// outcome.
+pub struct NdjsonSink<'a, W: Write> {
+    id: &'a str,
+    out: &'a Mutex<W>,
+}
+
+impl<'a, W: Write> NdjsonSink<'a, W> {
+    /// Creates a sink tagging every line with `id`.
+    pub fn new(id: &'a str, out: &'a Mutex<W>) -> Self {
+        NdjsonSink { id, out }
+    }
+}
+
+impl<W: Write> ProgressSink for NdjsonSink<'_, W> {
+    fn emit(&self, event: &ProgressEvent<'_>) {
+        let value = progress_to_value(self.id, event);
+        if let Ok(text) = serde_json::to_string(&value) {
+            let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = writeln!(out, "{text}");
+            let _ = out.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msfu_core::{EvaluationConfig, RunControl, Strategy, SweepSpec};
+    use msfu_distill::FactoryConfig;
+
+    #[test]
+    fn sweep_rows_stream_as_ndjson_lines() {
+        let spec = SweepSpec::new("t", EvaluationConfig::default())
+            .point("a", FactoryConfig::single_level(2), Strategy::linear())
+            .point("b", FactoryConfig::single_level(2), Strategy::random(1));
+        let out: Mutex<Vec<u8>> = Mutex::new(Vec::new());
+        let sink = NdjsonSink::new("j1", &out);
+        let outcome = spec
+            .run_with(&RunControl::default().with_progress(&sink))
+            .unwrap();
+        assert!(!outcome.interrupted);
+
+        let text = String::from_utf8(out.into_inner().unwrap()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Two row events plus one batch event (both points fit one batch).
+        assert_eq!(lines.len(), 3, "{text}");
+        for line in &lines {
+            let value = serde_json::from_str(line).expect("each line is JSON");
+            assert_eq!(value.get("type").and_then(Value::as_str), Some("progress"));
+            assert_eq!(value.get("id").and_then(Value::as_str), Some("j1"));
+        }
+        let first = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(
+            first.get("event").and_then(Value::as_str),
+            Some("row_completed")
+        );
+        assert_eq!(first.get("strategy").and_then(Value::as_str), Some("Line"));
+        let last = serde_json::from_str(lines[2]).unwrap();
+        assert_eq!(
+            last.get("event").and_then(Value::as_str),
+            Some("batch_finished")
+        );
+        assert_eq!(last.get("completed").and_then(Value::as_u64), Some(2));
+    }
+}

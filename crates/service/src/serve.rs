@@ -1,0 +1,428 @@
+//! The JSON-lines session loop behind `msfu serve`.
+//!
+//! One process serves any number of jobs: requests arrive as NDJSON on the
+//! input, progress events and responses leave interleaved as NDJSON on the
+//! output. Jobs execute one at a time in arrival order (so outputs are
+//! deterministic for a deterministic session), but the input is drained by a
+//! dedicated reader thread the whole time — which is what makes
+//! `{"cancel": "<id>"}` lines take effect *mid-job*: the reader cancels the
+//! in-flight job's token directly, and the job stops at its next batch
+//! boundary with partial results.
+//!
+//! Per-thread simulator engines are reused across every job of the session
+//! (see `msfu_core::evaluate`), so arenas are allocated once per worker, not
+//! once per job.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+
+use serde_json::Value;
+
+use msfu_core::CancelToken;
+
+use crate::ndjson::NdjsonSink;
+use crate::protocol::{Payload, Request, RequestError, Response};
+use crate::service::{JobHandle, Service};
+
+/// Options of a serve session.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct ServeOptions {
+    /// Force every job to run serially (a request's own `serial` flag still
+    /// applies when this is off).
+    pub serial: bool,
+    /// When set, each successful sweep/search response is additionally
+    /// written as `BENCH_<name>.json` under this directory, in the shape the
+    /// `bench-diff` regression gate compares.
+    pub bench_dir: Option<PathBuf>,
+}
+
+impl ServeOptions {
+    /// Creates the default options.
+    pub fn new() -> Self {
+        ServeOptions::default()
+    }
+
+    /// Forces serial execution (builder style).
+    pub fn with_serial(mut self, serial: bool) -> Self {
+        self.serial = serial;
+        self
+    }
+
+    /// Writes `BENCH_<name>.json` reports under `dir` (builder style).
+    pub fn with_bench_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.bench_dir = Some(dir.into());
+        self
+    }
+}
+
+/// What a completed serve session did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServeSummary {
+    /// Responses written (one per request line, malformed ones included).
+    pub responses: usize,
+    /// Responses with `status: "error"`.
+    pub errors: usize,
+    /// Responses with `cancelled: true`.
+    pub cancelled: usize,
+}
+
+/// Runs one serve session: NDJSON requests on `input` until EOF, interleaved
+/// progress events and responses on `output`.
+///
+/// Every line gets exactly one response, in arrival order; malformed lines
+/// and unsupported protocol versions produce typed error responses and the
+/// session keeps serving. A `{"cancel": "<id>"}` line cancels the job with
+/// that id whether it is currently running or still queued.
+///
+/// # Errors
+///
+/// Returns an error only when writing to `output` fails; job failures are
+/// responses, not errors.
+///
+/// `input` is `'static` because the reader runs on a *detached* thread: if
+/// writing a response fails while the input is still open (a client that
+/// tore down only the output pipe), `serve` returns the error immediately
+/// instead of joining a reader that is blocked on a read forever.
+pub fn serve<R, W>(input: R, output: W, options: &ServeOptions) -> std::io::Result<ServeSummary>
+where
+    R: BufRead + Send + 'static,
+    W: Write,
+{
+    let out = Mutex::new(output);
+    let service = Service::new();
+    let state = Arc::new(Mutex::new(SessionState::default()));
+    let (tx, rx) = mpsc::channel::<Result<Box<Request>, RequestError>>();
+    let mut summary = ServeSummary::default();
+
+    let reader_state = Arc::clone(&state);
+    thread::spawn(move || {
+        for line in input.lines() {
+            let Ok(line) = line else { break };
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match crate::protocol::SessionLine::from_json(line) {
+                Ok(crate::protocol::SessionLine::Cancel(id)) => {
+                    reader_state
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .cancel(&id);
+                }
+                Ok(crate::protocol::SessionLine::Request(request)) => {
+                    if tx.send(Ok(request)).is_err() {
+                        break;
+                    }
+                }
+                Err(error) => {
+                    if tx.send(Err(error)).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    });
+
+    for message in rx {
+        let response = match message {
+            Err(error) => Response::for_request_error(error),
+            Ok(mut request) => {
+                request.serial = request.serial || options.serial;
+                let handle = JobHandle::new();
+                state
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .start(&request.id, &handle);
+                let sink = NdjsonSink::new(&request.id, &out);
+                let response = service.run(&request, &handle, &sink);
+                state
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .finish(&request.id);
+                response
+            }
+        };
+        summary.responses += 1;
+        if response.result.is_err() {
+            summary.errors += 1;
+        }
+        if response.cancelled {
+            summary.cancelled += 1;
+        }
+        if let Some(dir) = &options.bench_dir {
+            write_bench_report(dir, &response)?;
+        }
+        let mut out = out.lock().unwrap_or_else(|e| e.into_inner());
+        writeln!(out, "{}", response.to_json())?;
+        out.flush()?;
+    }
+    Ok(summary)
+}
+
+/// Cancellation bookkeeping of one session, under a single lock so the
+/// reader thread and the job loop always observe a consistent picture.
+#[derive(Default)]
+struct SessionState {
+    /// The running job's cancel token, by id.
+    inflight: HashMap<String, CancelToken>,
+    /// Cancels for jobs that have not started yet.
+    precancelled: HashSet<String>,
+    /// Ids whose jobs already completed. A cancel arriving after its job
+    /// finished is dropped — it must not leak forward onto a later job that
+    /// happens to reuse the id (ids default to "job" when omitted).
+    served: HashSet<String>,
+}
+
+impl SessionState {
+    /// Handles one `{"cancel": id}` line from the reader thread.
+    fn cancel(&mut self, id: &str) {
+        if let Some(token) = self.inflight.get(id) {
+            token.cancel();
+        } else if !self.served.contains(id) {
+            self.precancelled.insert(id.to_string());
+        }
+    }
+
+    /// Registers a job about to run, applying any pending pre-cancel.
+    fn start(&mut self, id: &str, handle: &JobHandle) {
+        self.served.remove(id);
+        self.inflight.insert(id.to_string(), handle.token().clone());
+        if self.precancelled.remove(id) {
+            handle.cancel();
+        }
+    }
+
+    /// Marks a job's id as served. Later jobs may reuse the id (it leaves
+    /// `served` again the moment one starts).
+    fn finish(&mut self, id: &str) {
+        self.inflight.remove(id);
+        self.served.insert(id.to_string());
+    }
+}
+
+/// Writes a completed sweep/search response as `BENCH_<name>.json` in the
+/// `{name, perf, results}` shape the `bench-diff` gate compares (searches
+/// additionally carry their full report under `search`). Cancelled or
+/// unnamed responses are skipped — a partial sweep must never overwrite a
+/// complete baseline candidate.
+fn write_bench_report(dir: &std::path::Path, response: &Response) -> std::io::Result<()> {
+    let (Some(name), Ok(payload)) = (response.name(), &response.result) else {
+        return Ok(());
+    };
+    if response.cancelled {
+        return Ok(());
+    }
+    use serde::Serialize;
+    let mut entries = vec![
+        ("name".to_string(), Value::Str(name.to_string())),
+        (
+            "perf".to_string(),
+            Value::Object(vec![
+                (
+                    "wall_seconds".to_string(),
+                    Value::Float(response.perf.wall_seconds),
+                ),
+                ("serial".to_string(), Value::Bool(response.perf.serial)),
+            ]),
+        ),
+    ];
+    match payload {
+        Payload::Sweep(results) => {
+            entries.push(("results".to_string(), results.to_value()));
+        }
+        Payload::Search(report) => {
+            entries.push(("results".to_string(), report.to_sweep_results().to_value()));
+            entries.push(("search".to_string(), report.to_value()));
+        }
+        _ => return Ok(()),
+    }
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let text = serde_json::to_string_pretty(&Value::Object(entries))
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(lines: &'static str) -> (ServeSummary, Vec<Value>) {
+        let mut output: Vec<u8> = Vec::new();
+        let summary = serve(lines.as_bytes(), &mut output, &ServeOptions::new()).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let values = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("every output line is JSON"))
+            .collect();
+        (summary, values)
+    }
+
+    fn responses(values: &[Value]) -> Vec<&Value> {
+        values
+            .iter()
+            .filter(|v| v.get("type").and_then(Value::as_str) == Some("response"))
+            .collect()
+    }
+
+    #[test]
+    fn two_requests_one_process_in_order() {
+        let lines = concat!(
+            r#"{"protocol_version": 1, "id": "a", "kind": "evaluate", "factory": {"k": 2}, "strategy": {"strategy": "linear"}}"#,
+            "\n",
+            r#"{"protocol_version": 1, "id": "b", "kind": "sweep", "sweep": {"name": "s", "points": [{"label": "p", "factory": {"k": 2}, "strategy": {"strategy": "linear"}}]}}"#,
+            "\n",
+        );
+        let (summary, values) = session(lines);
+        assert_eq!(summary.responses, 2);
+        assert_eq!(summary.errors, 0);
+        let responses = responses(&values);
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].get("id").and_then(Value::as_str), Some("a"));
+        assert_eq!(responses[1].get("id").and_then(Value::as_str), Some("b"));
+        for r in responses {
+            assert_eq!(r.get("status").and_then(Value::as_str), Some("ok"));
+        }
+        // The sweep's progress events precede its response.
+        let first_progress = values
+            .iter()
+            .position(|v| v.get("type").and_then(Value::as_str) == Some("progress"))
+            .expect("sweep emitted progress");
+        let sweep_response = values
+            .iter()
+            .position(|v| {
+                v.get("type").and_then(Value::as_str) == Some("response")
+                    && v.get("id").and_then(Value::as_str) == Some("b")
+            })
+            .unwrap();
+        assert!(first_progress < sweep_response);
+    }
+
+    #[test]
+    fn malformed_and_mismatched_lines_get_error_responses_and_serving_continues() {
+        let lines = concat!(
+            "this is not json\n",
+            r#"{"protocol_version": 99, "id": "old", "kind": "sweep"}"#,
+            "\n",
+            r#"{"protocol_version": 1, "id": "ok", "kind": "evaluate", "factory": {"k": 2}, "strategy": {"strategy": "linear"}}"#,
+            "\n",
+        );
+        let (summary, values) = session(lines);
+        assert_eq!(summary.responses, 3);
+        assert_eq!(summary.errors, 2);
+        let responses = responses(&values);
+        let code = |r: &Value| {
+            r.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_str)
+                .map(str::to_string)
+        };
+        assert_eq!(code(responses[0]).as_deref(), Some("E_REQUEST_PARSE"));
+        assert_eq!(code(responses[1]).as_deref(), Some("E_PROTOCOL_VERSION"));
+        assert_eq!(
+            responses[1].get("id").and_then(Value::as_str),
+            Some("old"),
+            "version errors still correlate by id"
+        );
+        assert_eq!(
+            responses[2].get("status").and_then(Value::as_str),
+            Some("ok"),
+            "the session keeps serving after errors"
+        );
+    }
+
+    #[test]
+    fn session_state_drops_late_cancels_but_honours_pending_and_inflight_ones() {
+        let mut state = SessionState::default();
+
+        // Late cancel: the job already finished — dropped, and a later job
+        // reusing the id starts uncancelled.
+        let first = JobHandle::new();
+        state.start("a", &first);
+        state.finish("a");
+        state.cancel("a");
+        let reused = JobHandle::new();
+        state.start("a", &reused);
+        assert!(
+            !reused.is_cancelled(),
+            "late cancel leaked onto a reused id"
+        );
+        state.finish("a");
+
+        // Pending cancel: the job has not started yet — applied at start.
+        state.cancel("b");
+        let queued = JobHandle::new();
+        state.start("b", &queued);
+        assert!(queued.is_cancelled());
+        state.finish("b");
+
+        // In-flight cancel: hits the running job's token directly.
+        let running = JobHandle::new();
+        state.start("c", &running);
+        state.cancel("c");
+        assert!(running.is_cancelled());
+    }
+
+    #[test]
+    fn a_late_cancel_does_not_leak_onto_a_reused_id() {
+        // The cancel arrives after job "a" completed (the reader processes
+        // lines in order, and job 1's response precedes line 2's parse only
+        // in wall time — but the session file order guarantees the first
+        // request is consumed first and the cancel refers to it). A second
+        // job reusing the id must run normally, not come back cancelled.
+        let lines = concat!(
+            r#"{"protocol_version": 1, "id": "a", "kind": "evaluate", "factory": {"k": 2}, "strategy": {"strategy": "linear"}}"#,
+            "\n",
+            r#"{"protocol_version": 1, "cancel": "a"}"#,
+            "\n",
+            r#"{"protocol_version": 1, "id": "a", "kind": "sweep", "sweep": {"name": "s", "points": [{"label": "p", "factory": {"k": 2}, "strategy": {"strategy": "linear"}}]}}"#,
+            "\n",
+        );
+        // The race between "job 1 finishes" and "cancel parsed" is real, so
+        // only assert the invariant that must hold either way: the second
+        // job is a *different* job, and a cancel consumed by job 1 (or
+        // dropped as late) must leave it untouched with its full row.
+        let (summary, values) = session(lines);
+        assert_eq!(summary.responses, 2);
+        let second = responses(&values)[1];
+        assert_eq!(second.get("status").and_then(Value::as_str), Some("ok"));
+        let rows = second
+            .get("result")
+            .and_then(|r| r.get("results"))
+            .and_then(|r| r.get("rows"))
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(rows.len(), 1, "late cancel must not skip the reused id");
+    }
+
+    #[test]
+    fn queued_cancel_takes_effect_before_the_job_starts() {
+        // The cancel line is read by the reader thread (possibly) before the
+        // sweep starts; either way the sweep must come back cancelled with a
+        // row prefix, because the cancel precedes it in the session.
+        let lines = concat!(
+            r#"{"protocol_version": 1, "cancel": "victim"}"#,
+            "\n",
+            r#"{"protocol_version": 1, "id": "victim", "kind": "sweep", "sweep": {"name": "s", "points": [{"label": "p", "factory": {"k": 2}, "strategy": {"strategy": "linear"}}]}}"#,
+            "\n",
+        );
+        let (summary, values) = session(lines);
+        assert_eq!(summary.responses, 1);
+        assert_eq!(summary.cancelled, 1);
+        let response = responses(&values)[0];
+        assert_eq!(response.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(response.get("cancelled"), Some(&Value::Bool(true)));
+        let rows = response
+            .get("result")
+            .and_then(|r| r.get("results"))
+            .and_then(|r| r.get("rows"))
+            .and_then(Value::as_array)
+            .expect("partial results present");
+        assert!(rows.is_empty(), "pre-cancelled job evaluates nothing");
+    }
+}

@@ -29,7 +29,13 @@ impl RoutingPolicy {
 }
 
 /// Configuration of the braid network simulator.
+///
+/// The struct is `#[non_exhaustive]` so new knobs can be added without a
+/// semver break: construct it with [`SimConfig::default`] (or
+/// [`SimConfig::dimension_ordered`]) and refine with the `with_*` builders.
+/// Field reads and assignments remain available everywhere.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct SimConfig {
     /// Per-gate latencies in logical cycles.
     pub latency: LatencyModel,
@@ -53,10 +59,25 @@ impl SimConfig {
     /// Configuration with dimension-ordered routing (used by ablation
     /// benches).
     pub fn dimension_ordered() -> Self {
-        SimConfig {
-            routing: RoutingPolicy::DimensionOrdered,
-            ..SimConfig::default()
-        }
+        SimConfig::default().with_routing(RoutingPolicy::DimensionOrdered)
+    }
+
+    /// Replaces the routing policy (builder style).
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Replaces the hard cycle limit (builder style).
+    pub fn with_cycle_limit(mut self, cycle_limit: u64) -> Self {
+        self.cycle_limit = cycle_limit;
+        self
+    }
+
+    /// Replaces the per-gate latency model (builder style).
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
     }
 }
 
@@ -77,6 +98,16 @@ mod tests {
             SimConfig::dimension_ordered().routing,
             RoutingPolicy::DimensionOrdered
         );
+    }
+
+    #[test]
+    fn builders_replace_single_fields() {
+        let c = SimConfig::default()
+            .with_routing(RoutingPolicy::DimensionOrdered)
+            .with_cycle_limit(123);
+        assert_eq!(c.routing, RoutingPolicy::DimensionOrdered);
+        assert_eq!(c.cycle_limit, 123);
+        assert_eq!(c.latency, SimConfig::default().latency);
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! The service façade from library code: versioned requests, streaming
+//! progress, cooperative cancellation.
+//!
+//! Run with: `cargo run --example service_session`
+//!
+//! The same protocol is reachable from the command line:
+//!
+//! ```text
+//! msfu run request.json            # one job -> one JSON response
+//! msfu serve < session.ndjson      # many jobs, progress + responses
+//! ```
+
+use std::sync::Mutex;
+
+use msfu::core::{EvaluationConfig, ProgressEvent, ProgressSink, Strategy, SweepSpec};
+use msfu::distill::FactoryConfig;
+use msfu::service::{JobHandle, NdjsonSink, Payload, Request, Service};
+
+/// A sink that prints a one-line summary per event — what a web dashboard
+/// or queue worker would forward to its own transport.
+struct ConsoleSink;
+
+impl ProgressSink for ConsoleSink {
+    fn emit(&self, event: &ProgressEvent<'_>) {
+        match event {
+            ProgressEvent::RowCompleted {
+                index, total, row, ..
+            } => println!(
+                "  [{} / {total}] {} {}: volume {}",
+                index + 1,
+                row.label,
+                row.evaluation.strategy,
+                row.evaluation.volume
+            ),
+            ProgressEvent::BatchFinished {
+                completed, total, ..
+            } => println!("  batch boundary at {completed}/{total}"),
+            _ => {}
+        }
+    }
+}
+
+fn main() {
+    let service = Service::new();
+
+    // A sweep request assembled in Rust. The identical job is expressible as
+    // pure JSON (README "Service protocol") for non-Rust clients.
+    let spec = SweepSpec::new("demo", EvaluationConfig::default())
+        .point("a", FactoryConfig::single_level(2), Strategy::linear())
+        .point("a", FactoryConfig::single_level(2), Strategy::random(7))
+        .point("b", FactoryConfig::single_level(4), Strategy::linear());
+    let request = Request::sweep("session-demo", spec.clone());
+
+    println!("# running a sweep with streamed progress");
+    let response = service.run(&request, &JobHandle::new(), &ConsoleSink);
+    let Ok(Payload::Sweep(results)) = &response.result else {
+        panic!("sweep failed")
+    };
+    println!(
+        "-> {} rows in {:.3}s (cancelled: {})\n",
+        results.rows.len(),
+        response.perf.wall_seconds,
+        response.cancelled
+    );
+
+    // Cooperative cancellation: a pre-cancelled handle stops the job at its
+    // first batch boundary; the response still carries the completed prefix.
+    println!("# the same job, cancelled before it starts");
+    let handle = JobHandle::new();
+    handle.cancel();
+    let cancelled = service.run(&request, &handle, &ConsoleSink);
+    println!(
+        "-> cancelled: {}, partial rows: {}\n",
+        cancelled.cancelled,
+        match &cancelled.result {
+            Ok(Payload::Sweep(results)) => results.rows.len(),
+            _ => 0,
+        }
+    );
+
+    // The wire form: the NDJSON sink renders events exactly as `msfu serve`
+    // streams them, and the response renders to one JSON line.
+    println!("# the wire form (NDJSON progress + response)");
+    let out = Mutex::new(Vec::<u8>::new());
+    let sink = NdjsonSink::new("session-demo", &out);
+    let response = service.run(&request, &JobHandle::new(), &sink);
+    print!("{}", String::from_utf8(out.into_inner().unwrap()).unwrap());
+    println!("{}", response.to_json());
+}

@@ -1,0 +1,114 @@
+//! The unified `msfu` command-line front end of the service façade.
+//!
+//! ```text
+//! msfu run <REQUEST.json> [--serial] [--progress]
+//!     Execute one job request and print its JSON response on stdout.
+//!     --progress additionally streams NDJSON progress events on stderr.
+//!
+//! msfu serve [--serial] [--bench-dir DIR]
+//!     JSON-lines session: one request per stdin line, interleaved NDJSON
+//!     progress events and responses on stdout, until EOF. A line of
+//!     {"protocol_version": 1, "cancel": "<id>"} cancels the in-flight or
+//!     queued job with that id. --bench-dir additionally writes each
+//!     completed sweep/search response as BENCH_<name>.json under DIR, in
+//!     the shape the bench-diff regression gate compares.
+//! ```
+//!
+//! Request/response schemas are documented in `msfu::service::protocol` and
+//! the README's "Service protocol" section. Exit status: 0 when every
+//! response is ok, 1 when any response carries an error, 2 on usage or I/O
+//! problems.
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::Mutex;
+
+use msfu::service::{serve, JobHandle, NdjsonSink, Request, ServeOptions, Service};
+
+const USAGE: &str = "usage: msfu run <REQUEST.json> [--serial] [--progress]\n       msfu serve [--serial] [--bench-dir DIR]";
+
+fn run_command(args: &[String]) -> Result<bool, String> {
+    let mut request_path: Option<&str> = None;
+    let mut serial = false;
+    let mut progress = false;
+    for arg in args {
+        match arg.as_str() {
+            "--serial" | "serial" => serial = true,
+            "--progress" => progress = true,
+            _ if arg.starts_with("--") => return Err(format!("unknown flag `{arg}`")),
+            _ => {
+                if request_path.replace(arg).is_some() {
+                    return Err("exactly one request file is expected".to_string());
+                }
+            }
+        }
+    }
+    let path = request_path.ok_or_else(|| USAGE.to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let response = match Request::from_json(&text) {
+        Ok(mut request) => {
+            request.serial = request.serial || serial;
+            let handle = JobHandle::new();
+            if progress {
+                let stderr = Mutex::new(std::io::stderr());
+                let sink = NdjsonSink::new(&request.id, &stderr);
+                Service::new().run(&request, &handle, &sink)
+            } else {
+                Service::new().run(&request, &handle, &msfu::core::NoProgress)
+            }
+        }
+        Err(error) => msfu::service::Response::for_request_error(error),
+    };
+    let ok = response.result.is_ok();
+    let text = serde_json::to_string_pretty(&response.to_value()).map_err(|e| e.to_string())?;
+    // Tolerate a closed pipe (e.g. `msfu run ... | head`): the job already
+    // ran; a write error must not turn into a panic.
+    let _ = writeln!(std::io::stdout(), "{text}");
+    Ok(ok)
+}
+
+fn serve_command(args: &[String]) -> Result<bool, String> {
+    let mut options = ServeOptions::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--serial" | "serial" => options = options.with_serial(true),
+            "--bench-dir" => {
+                let dir = iter.next().ok_or("--bench-dir needs a directory")?;
+                options = options.with_bench_dir(dir);
+            }
+            _ => return Err(format!("unknown argument `{arg}`")),
+        }
+    }
+    // StdinLock is not Send (the reader runs on a dedicated thread), so wrap
+    // the unlocked handle instead.
+    let stdin = std::io::BufReader::new(std::io::stdin());
+    let stdout = std::io::stdout().lock();
+    let summary = serve(stdin, stdout, &options).map_err(|e| format!("serve session: {e}"))?;
+    writeln!(
+        std::io::stderr(),
+        "[msfu serve] {} response(s), {} error(s), {} cancelled",
+        summary.responses,
+        summary.errors,
+        summary.cancelled
+    )
+    .ok();
+    Ok(summary.errors == 0)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => run_command(&args[1..]),
+        Some("serve") => serve_command(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("msfu: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

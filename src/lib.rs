@@ -17,8 +17,14 @@
 //!   graph partitioning, hierarchical stitching).
 //! * [`sim`] — the cycle-accurate braid network simulator.
 //! * [`core`] — the end-to-end evaluation pipeline and reporting helpers.
+//! * [`service`] — the versioned request/response façade (and the `msfu`
+//!   binary's `run`/`serve` commands): every capability reachable through
+//!   one wire format with streaming progress, cooperative cancellation and
+//!   stable error codes.
 //!
 //! # Quickstart
+//!
+//! The low-level API evaluates one configuration directly:
 //!
 //! ```
 //! use msfu::core::{evaluate, EvaluationConfig, Strategy};
@@ -35,6 +41,25 @@
 //! );
 //! # Ok::<(), msfu::core::CoreError>(())
 //! ```
+//!
+//! The service façade runs the same job behind the versioned protocol —
+//! what a server, queue worker or non-Rust client programs against:
+//!
+//! ```
+//! use msfu::core::{EvaluationConfig, NoProgress, Strategy};
+//! use msfu::distill::FactoryConfig;
+//! use msfu::service::{JobHandle, Payload, Request, Service};
+//!
+//! let request = Request::evaluate(
+//!     "quickstart",
+//!     FactoryConfig::single_level(2),
+//!     Strategy::linear(),
+//!     EvaluationConfig::default(),
+//! );
+//! let response = Service::new().run(&request, &JobHandle::new(), &NoProgress);
+//! let Ok(Payload::Evaluate(eval)) = response.result else { panic!() };
+//! assert!(eval.latency_cycles >= eval.critical_path_cycles);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -44,4 +69,5 @@ pub use msfu_core as core;
 pub use msfu_distill as distill;
 pub use msfu_graph as graph;
 pub use msfu_layout as layout;
+pub use msfu_service as service;
 pub use msfu_sim as sim;

@@ -124,10 +124,7 @@ fn cycle_limit_aborts_both_engines() {
     m.place(QubitId::new(0), Coord::new(0, 0)).unwrap();
     m.place(QubitId::new(1), Coord::new(0, 1)).unwrap();
     let layout = Layout::new(m);
-    let config = SimConfig {
-        cycle_limit: 3,
-        ..SimConfig::default()
-    };
+    let config = SimConfig::default().with_cycle_limit(3);
     assert!(matches!(
         SimEngine::new(config).run(&circuit, &layout),
         Err(SimError::CycleLimitExceeded { limit: 3 })
