@@ -260,23 +260,50 @@ fn compare_report(
         }
     }
     if let Some(wall_tol) = args.wall_tolerance {
-        let wall = |v: &Value| {
-            v.get("perf")
-                .and_then(|p| p.get("wall_seconds"))
-                .and_then(Value::as_f64)
-        };
-        if let (Some(base), Some(cur)) = (wall(baseline), wall(current)) {
-            if base < MIN_GATED_WALL_SECONDS {
-                // A sub-noise-floor baseline (e.g. the millisecond search
-                // smoke) cannot be ratio-gated: scheduler jitter alone
-                // exceeds any reasonable tolerance. Say so instead of
-                // flaking or silently skipping.
-                eprintln!(
-                    "[bench-diff] NOTE: {name}: baseline wall {base:.4}s is below the \
-                     {MIN_GATED_WALL_SECONDS}s gating floor; wall time not gated"
-                );
-            } else {
-                gate_cell(name, "perf.wall_seconds", base, cur, wall_tol, regressions)?;
+        // The machine-dependent wall metrics share one coarse tolerance: the
+        // sweep's end-to-end wall time and the mapping-phase refinement time
+        // (the delta-cost path must not quietly regress towards the
+        // full-recompute reference).
+        for (what, path) in [
+            ("perf.wall_seconds", &["perf", "wall_seconds"][..]),
+            (
+                "perf.mapping.refine_seconds",
+                &["perf", "mapping", "refine_seconds"][..],
+            ),
+        ] {
+            let read = |v: &Value| {
+                let mut node = v;
+                for key in path {
+                    node = node.get(key)?;
+                }
+                node.as_f64()
+            };
+            // A baseline predating a metric (or lacking an FD point) simply
+            // skips it; a *current* report that dropped a metric its baseline
+            // carries is structural drift and must fail loudly — otherwise
+            // the exact gate this field exists for silently disappears.
+            match (read(baseline), read(current)) {
+                (Some(_), None) => {
+                    return Err(format!(
+                        "{name}: baseline records {what} but the current report lacks it; \
+                         the metric can no longer be gated — refresh the baselines if \
+                         intentional"
+                    ));
+                }
+                (Some(base), Some(_)) if base < MIN_GATED_WALL_SECONDS => {
+                    // A sub-noise-floor baseline (e.g. the millisecond search
+                    // smoke) cannot be ratio-gated: scheduler jitter alone
+                    // exceeds any reasonable tolerance. Say so instead of
+                    // flaking or silently skipping.
+                    eprintln!(
+                        "[bench-diff] NOTE: {name}: baseline {what} {base:.4}s is below the \
+                         {MIN_GATED_WALL_SECONDS}s gating floor; not gated"
+                    );
+                }
+                (Some(base), Some(cur)) => {
+                    gate_cell(name, what, base, cur, wall_tol, regressions)?;
+                }
+                (None, _) => {}
             }
         }
     }
@@ -441,6 +468,51 @@ mod tests {
         compare_report("t", &base, &slow_wall, &args(0.10, Some(0.5)), &mut regs).unwrap();
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].what, "perf.wall_seconds");
+    }
+
+    /// Adds a `perf.mapping.refine_seconds` cell to a fixture report.
+    fn with_mapping_refine(mut r: Value, refine_seconds: f64) -> Value {
+        if let Value::Object(entries) = &mut r {
+            if let Some((_, Value::Object(perf))) = entries.iter_mut().find(|(k, _)| k == "perf") {
+                perf.push((
+                    "mapping".into(),
+                    Value::Object(vec![(
+                        "refine_seconds".into(),
+                        Value::Float(refine_seconds),
+                    )]),
+                ));
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn mapping_phase_regression_is_gated_under_wall_tolerance() {
+        let base = with_mapping_refine(report(&[100], 1.0), 1.0);
+        let slow = with_mapping_refine(report(&[100], 1.0), 4.0);
+        let mut regs = Vec::new();
+        compare_report("t", &base, &slow, &args(0.10, None), &mut regs).unwrap();
+        assert!(regs.is_empty(), "ungated without --wall-tolerance");
+        compare_report("t", &base, &slow, &args(0.10, Some(2.0)), &mut regs).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].what, "perf.mapping.refine_seconds");
+        // A baseline without the field (pre-metric report) is skipped.
+        let old_base = report(&[100], 1.0);
+        let mut regs = Vec::new();
+        compare_report("t", &old_base, &slow, &args(0.10, Some(2.0)), &mut regs).unwrap();
+        assert!(regs.is_empty());
+        // A *current* report that dropped a gated metric its baseline
+        // carries is an explicit error, not a silent skip.
+        let current_without = report(&[100], 1.0);
+        let err = compare_report(
+            "t",
+            &base,
+            &current_without,
+            &args(0.10, Some(2.0)),
+            &mut regs,
+        )
+        .expect_err("dropping a gated metric must error");
+        assert!(err.contains("perf.mapping.refine_seconds"), "{err}");
     }
 
     #[test]

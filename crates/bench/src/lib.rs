@@ -151,8 +151,15 @@ pub struct BenchReport {
 /// Panics if any sweep point fails to evaluate (the harness sweeps are all
 /// valid configurations) or if the JSON report cannot be written.
 pub fn run_spec(spec: &SweepSpec, args: &HarnessArgs) -> SweepResults {
+    // Cache counters are sampled from the process-wide totals around the
+    // service call: the per-run counters live on `SweepOutcome`, which the
+    // service facade's pinned `Response` shape does not expose. Each harness
+    // binary runs exactly one job per process, so the delta is that job's —
+    // a multi-job host must not reuse this sampling pattern.
+    let cache_before = msfu_core::process_cache_stats();
     let request = Request::sweep(spec.name.clone(), spec.clone()).with_serial(args.serial);
     let response = Service::new().run(&request, &JobHandle::new(), &NoProgress);
+    let cache = msfu_core::process_cache_stats().since(&cache_before);
     let results = match response.result {
         Ok(Payload::Sweep(results)) => results,
         Ok(_) => unreachable!("a sweep request yields a sweep payload"),
@@ -160,16 +167,19 @@ pub fn run_spec(spec: &SweepSpec, args: &HarnessArgs) -> SweepResults {
     };
     let wall = Duration::from_secs_f64(response.perf.wall_seconds);
     eprintln!(
-        "[sweep {}] {} points in {:.2?} ({})",
+        "[sweep {}] {} points in {:.2?} ({}); eval cache {} hits / {} misses ({:.0}% hit rate)",
         spec.name,
         spec.points.len(),
         wall,
-        if args.serial { "serial" } else { "parallel" }
+        if args.serial { "serial" } else { "parallel" },
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0,
     );
     if args.json {
-        let stamp = perf::stamp(spec, &results, wall, !args.serial);
+        let stamp = perf::stamp(spec, &results, wall, !args.serial, Some(cache));
         eprintln!(
-            "[sweep {}] {:.0} cycles/s{}",
+            "[sweep {}] {:.0} cycles/s{}{}",
             spec.name,
             stamp.cycles_per_second,
             stamp
@@ -179,6 +189,16 @@ pub fn run_spec(spec: &SweepSpec, args: &HarnessArgs) -> SweepResults {
                     format!(
                         "; dense point {}/{}/{}: event-driven {:.1}x vs reference",
                         d.label, d.strategy, d.capacity, d.speedup
+                    )
+                })
+                .unwrap_or_default(),
+            stamp
+                .mapping
+                .as_ref()
+                .map(|m| {
+                    format!(
+                        "; mapping {}/{}/{} ({} qubits): delta-cost {:.1}x vs full recompute",
+                        m.label, m.strategy, m.capacity, m.qubits, m.speedup
                     )
                 })
                 .unwrap_or_default()
@@ -208,6 +228,9 @@ pub struct SearchPerf {
     pub evaluations: usize,
     /// `evaluations / wall_seconds`.
     pub evaluations_per_second: f64,
+    /// Evaluation-cache counters of the run (candidates that converged to an
+    /// already simulated layout were answered from the cache).
+    pub cache: msfu_core::CacheStats,
 }
 
 /// The `BENCH_<name>.json` document for a search run.
@@ -238,8 +261,12 @@ pub fn run_search_spec(
     serial: bool,
     json: bool,
 ) -> Result<SearchReport, String> {
+    // Process-wide delta sampling: valid because each harness binary runs a
+    // single job per process (see the note in `run_spec`).
+    let cache_before = msfu_core::process_cache_stats();
     let request = Request::search(spec.name.clone(), spec.clone()).with_serial(serial);
     let response = Service::new().run(&request, &JobHandle::new(), &NoProgress);
+    let cache = msfu_core::process_cache_stats().since(&cache_before);
     let report = match response.result {
         Ok(Payload::Search(report)) => *report,
         Ok(_) => unreachable!("a search request yields a search payload"),
@@ -247,11 +274,15 @@ pub fn run_search_spec(
     };
     let wall_seconds = response.perf.wall_seconds;
     eprintln!(
-        "[search {}] {} candidates in {:.2?} ({})",
+        "[search {}] {} candidates in {:.2?} ({}); eval cache {} hits / {} misses \
+         ({:.0}% hit rate)",
         report.name,
         report.evaluations,
         Duration::from_secs_f64(wall_seconds),
-        if serial { "serial" } else { "parallel" }
+        if serial { "serial" } else { "parallel" },
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0,
     );
     if json {
         let bench = SearchBenchReport {
@@ -265,6 +296,7 @@ pub fn run_search_spec(
                 } else {
                     0.0
                 },
+                cache,
             },
             results: report.to_sweep_results(),
             search: report.clone(),

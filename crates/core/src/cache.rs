@@ -1,0 +1,259 @@
+//! Content-addressed evaluation caching.
+//!
+//! Sweeps and portfolio searches frequently re-derive the *same* simulation:
+//! seed ladders converge to identical layouts, the same
+//! `(factory, strategy)` point appears under several report labels, and
+//! reuse-policy grids duplicate their baselines. An [`EvalCache`] keys each
+//! simulated [`Evaluation`] by the full content of what determines it — the
+//! factory configuration, the layout bytes (placement, routing hints *and*
+//! port assignment), and the evaluation/simulator configuration — so any
+//! duplicate across sweep rows or search candidates simulates exactly once,
+//! even when workers race on it from different threads.
+//!
+//! The key is the rendered content itself (no lossy hashing), so a cache hit
+//! can never alias two distinct inputs: results with the cache enabled are
+//! byte-identical to cache-disabled runs. The report label is deliberately
+//! *not* part of the key — it is patched onto the cached record per caller —
+//! so candidates from different portfolio entries still share work.
+//!
+//! Hit/miss counters aggregate per cache and into process-wide totals
+//! ([`process_cache_stats`]), which the bench harness samples around a run to
+//! stamp hit rates into `BENCH_<name>.json` reports.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use serde::Serialize;
+
+use msfu_distill::FactoryConfig;
+use msfu_layout::Layout;
+
+use crate::{Evaluation, EvaluationConfig, Result};
+
+/// Hit/miss counters of an [`EvalCache`] (or of the whole process, see
+/// [`process_cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct CacheStats {
+    /// Lookups answered from a previously simulated evaluation.
+    pub hits: u64,
+    /// Lookups that had to simulate.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 for an unused cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter increments since `earlier` (for sampling the process-wide
+    /// totals around one run).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+}
+
+static PROCESS_HITS: AtomicU64 = AtomicU64::new(0);
+static PROCESS_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative hit/miss counters across every [`EvalCache`] of the process.
+/// Sample before and after a run and diff with [`CacheStats::since`] to
+/// attribute counts to that run.
+pub fn process_cache_stats() -> CacheStats {
+    CacheStats {
+        hits: PROCESS_HITS.load(Ordering::Relaxed),
+        misses: PROCESS_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// One cache slot: a per-key compute guard plus the published value.
+/// Concurrent requesters of the same key serialize on `guard`, so the
+/// evaluation runs once and late arrivals read the published result.
+#[derive(Default)]
+struct Slot {
+    guard: Mutex<()>,
+    value: OnceLock<Evaluation>,
+}
+
+/// A content-addressed map from evaluation inputs to simulated
+/// [`Evaluation`] records, shared across the worker threads of one sweep or
+/// search run.
+#[derive(Default)]
+pub struct EvalCache {
+    slots: Mutex<HashMap<String, Arc<Slot>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for EvalCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl EvalCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cache's own hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Returns the evaluation for `key`, running `compute` only if no other
+    /// requester has published it yet. The cached record's `strategy` label
+    /// is replaced by `strategy_name` (the label is presentation, not
+    /// content). Compute errors are propagated without populating the slot.
+    pub(crate) fn get_or_compute(
+        &self,
+        key: String,
+        strategy_name: &str,
+        compute: impl FnOnce() -> Result<Evaluation>,
+    ) -> Result<Evaluation> {
+        let slot = {
+            let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+            slots.entry(key).or_default().clone()
+        };
+        if let Some(found) = slot.value.get() {
+            return Ok(self.hit(found, strategy_name));
+        }
+        let _guard = slot.guard.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(found) = slot.value.get() {
+            // Another worker simulated this key while we waited.
+            return Ok(self.hit(found, strategy_name));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        PROCESS_MISSES.fetch_add(1, Ordering::Relaxed);
+        let value = compute()?;
+        let _ = slot.value.set(value.clone());
+        Ok(value)
+    }
+
+    fn hit(&self, found: &Evaluation, strategy_name: &str) -> Evaluation {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        PROCESS_HITS.fetch_add(1, Ordering::Relaxed);
+        let mut evaluation = found.clone();
+        evaluation.strategy = strategy_name.to_string();
+        evaluation
+    }
+}
+
+/// Renders the content address of one evaluation: everything the simulated
+/// record depends on — factory configuration, the complete layout (placement,
+/// routing hints, port assignment) and the evaluation configuration — via
+/// their exhaustive `Debug` forms (f64 debug formatting round-trips, so
+/// distinct configs cannot collide). Routing hints are rendered in sorted
+/// pair order: their container iterates in unspecified order, and a
+/// non-canonical rendering would give equal layouts distinct addresses
+/// (missed dedup — never wrong results, but the HS waypoint layouts would
+/// stop sharing work).
+pub(crate) fn evaluation_key(
+    factory: &FactoryConfig,
+    layout: &Layout,
+    eval: &EvaluationConfig,
+) -> String {
+    let mut hints: Vec<_> = layout
+        .hints
+        .iter()
+        .map(|(pair, waypoint)| (*pair, *waypoint))
+        .collect();
+    hints.sort_by_key(|(pair, _)| *pair);
+    format!(
+        "{factory:?}|{eval:?}|{:?}|{:?}|{hints:?}",
+        layout.mapping, layout.ports
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Strategy;
+    use msfu_distill::Factory;
+
+    fn sample_inputs() -> (FactoryConfig, Layout, EvaluationConfig) {
+        let config = FactoryConfig::single_level(2);
+        let factory = Factory::build(&config).unwrap();
+        let layout = Strategy::linear().map(&factory).unwrap();
+        (config, layout, EvaluationConfig::default())
+    }
+
+    #[test]
+    fn second_lookup_hits_and_patches_the_label() {
+        let (config, layout, eval) = sample_inputs();
+        let factory = Factory::build(&config).unwrap();
+        let cache = EvalCache::new();
+        let key = || evaluation_key(&config, &layout, &eval);
+        let first = cache
+            .get_or_compute(key(), "Line", || {
+                crate::evaluate_mapped(&factory, &layout, "Line", &eval)
+            })
+            .unwrap();
+        let second = cache
+            .get_or_compute(key(), "Other", || panic!("must not recompute"))
+            .unwrap();
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(second.strategy, "Other");
+        assert_eq!(second.latency_cycles, first.latency_cycles);
+        assert_eq!(second.volume, first.volume);
+        assert!(cache.stats().hit_rate() > 0.49);
+    }
+
+    #[test]
+    fn distinct_layouts_are_distinct_keys() {
+        let (config, layout, eval) = sample_inputs();
+        let factory = Factory::build(&config).unwrap();
+        let other = Strategy::random(3).map(&factory).unwrap();
+        assert_ne!(
+            evaluation_key(&config, &layout, &eval),
+            evaluation_key(&config, &other, &eval)
+        );
+        // Sim config changes re-key too.
+        let adaptive = EvaluationConfig::default().with_sim(msfu_sim::SimConfig::default());
+        let dimension =
+            EvaluationConfig::default().with_sim(msfu_sim::SimConfig::dimension_ordered());
+        if adaptive != dimension {
+            assert_ne!(
+                evaluation_key(&config, &layout, &adaptive),
+                evaluation_key(&config, &layout, &dimension)
+            );
+        }
+    }
+
+    #[test]
+    fn compute_errors_do_not_poison_the_slot() {
+        let (config, layout, eval) = sample_inputs();
+        let factory = Factory::build(&config).unwrap();
+        let cache = EvalCache::new();
+        let key = || evaluation_key(&config, &layout, &eval);
+        let err: Result<Evaluation> = cache.get_or_compute(key(), "Line", || {
+            Err(crate::CoreError::Spec {
+                reason: "injected".into(),
+            })
+        });
+        assert!(err.is_err());
+        // The key remains computable after a failure.
+        let ok = cache
+            .get_or_compute(key(), "Line", || {
+                crate::evaluate_mapped(&factory, &layout, "Line", &eval)
+            })
+            .unwrap();
+        assert_eq!(ok.strategy, "Line");
+        assert_eq!(cache.stats().misses, 2);
+    }
+}

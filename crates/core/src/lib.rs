@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 mod error;
 mod evaluate;
 pub mod pipeline;
@@ -57,6 +58,7 @@ mod strategy;
 pub mod sweep;
 pub mod throughput;
 
+pub use cache::{process_cache_stats, CacheStats, EvalCache};
 pub use error::CoreError;
 pub use evaluate::{
     effective_factory, evaluate, evaluate_factory, evaluate_factory_with, evaluate_mapped,
@@ -67,7 +69,7 @@ pub use search::{
     Incumbent, Objective, PortfolioEntry, SearchOutcome, SearchReport, SearchSpec, StopReason,
     TrajectoryPoint,
 };
-pub use strategy::{register_strategy, registered_strategies, Strategy};
+pub use strategy::{register_strategy, registered_strategies, ResolvedStrategy, Strategy};
 pub use sweep::{SweepIndex, SweepOutcome, SweepPoint, SweepResults, SweepRow, SweepSpec};
 
 /// Convenience result alias used by fallible APIs in this crate.

@@ -44,9 +44,11 @@ use serde::{Serialize, Value};
 use msfu_distill::{Factory, FactoryConfig};
 use msfu_layout::{ForceDirectedConfig, MapperParams, ParamValue, StitchingConfig};
 
+use crate::cache::{evaluation_key, CacheStats, EvalCache};
 use crate::evaluate::{effective_factory, evaluate_mapped_with, with_thread_engine};
 use crate::progress::{ProgressEvent, RunControl};
 use crate::spec::{eval_from_json, factory_from_json, params_from_json, strategy_from_json};
+use crate::strategy::ResolvedStrategy;
 use crate::sweep::{SweepResults, SweepRow};
 use crate::{CoreError, Evaluation, EvaluationConfig, Result, Strategy};
 
@@ -220,6 +222,10 @@ pub struct SearchSpec {
     pub seed: u64,
     /// The candidate templates, interleaved round-robin.
     pub portfolio: Vec<PortfolioEntry>,
+    /// Share one content-addressed [`EvalCache`] across the search's workers
+    /// so candidates converging to the same layout simulate once. Enabled by
+    /// default; reports are byte-identical either way.
+    pub use_eval_cache: bool,
 }
 
 impl SearchSpec {
@@ -237,6 +243,7 @@ impl SearchSpec {
             target: None,
             seed: 0,
             portfolio: Vec::new(),
+            use_eval_cache: true,
         }
     }
 
@@ -346,6 +353,15 @@ impl SearchSpec {
     fn execute(&self, serial: bool, ctrl: &RunControl<'_>) -> Result<SearchOutcome> {
         self.validate()?;
         let factory = Arc::new(Factory::build(&self.factory)?);
+        // Resolve each entry's registry mapper once; every candidate of the
+        // entry (seed scan, ladder rung) reuses the handle instead of
+        // re-entering the registry per evaluation.
+        let resolved: Vec<ResolvedStrategy> = self
+            .portfolio
+            .iter()
+            .map(|entry| entry.template.resolve())
+            .collect::<Result<_>>()?;
+        let cache = self.use_eval_cache.then(EvalCache::new);
 
         // Positions in the stream beyond an entry's distinct-candidate count
         // are skipped, so the effective budget is capped by the number of
@@ -397,16 +413,18 @@ impl SearchSpec {
                 stop = exhausted(evaluated);
                 break;
             }
+            let evaluate = |(g, s): &(usize, Strategy)| {
+                self.evaluate_candidate(
+                    &resolved[g % self.portfolio.len()],
+                    s,
+                    &factory,
+                    cache.as_ref(),
+                )
+            };
             let evaluations: Vec<Result<Evaluation>> = if serial {
-                batch
-                    .iter()
-                    .map(|(_, s)| self.evaluate_candidate(s, &factory))
-                    .collect()
+                batch.iter().map(evaluate).collect()
             } else {
-                batch
-                    .par_iter()
-                    .map(|(_, s)| self.evaluate_candidate(s, &factory))
-                    .collect()
+                batch.par_iter().map(evaluate).collect()
             };
 
             let mut improved = false;
@@ -466,6 +484,7 @@ impl SearchSpec {
 
         Ok(SearchOutcome {
             interrupted: stop == StopReason::Cancelled,
+            cache: cache.map(|c| c.stats()).unwrap_or_default(),
             report: SearchReport {
                 name: self.name.clone(),
                 objective: self.objective,
@@ -496,10 +515,16 @@ impl SearchSpec {
         });
     }
 
-    fn evaluate_candidate(&self, strategy: &Strategy, factory: &Factory) -> Result<Evaluation> {
-        let layout = strategy.map(factory)?;
+    fn evaluate_candidate(
+        &self,
+        resolved: &ResolvedStrategy,
+        strategy: &Strategy,
+        factory: &Factory,
+        cache: Option<&EvalCache>,
+    ) -> Result<Evaluation> {
+        let layout = resolved.map(strategy, factory)?;
         let effective = effective_factory(factory, &layout)?;
-        with_thread_engine(self.eval.sim, |engine| {
+        let simulate = |engine: &mut msfu_sim::SimEngine| {
             evaluate_mapped_with(
                 engine,
                 &effective,
@@ -507,7 +532,15 @@ impl SearchSpec {
                 strategy.short_name(),
                 &self.eval,
             )
-        })
+        };
+        match cache {
+            Some(cache) => cache.get_or_compute(
+                evaluation_key(&self.factory, &layout, &self.eval),
+                strategy.short_name(),
+                || with_thread_engine(self.eval.sim, simulate),
+            ),
+            None => with_thread_engine(self.eval.sim, simulate),
+        }
     }
 
     /// Decodes a search declared as JSON data.
@@ -580,6 +613,11 @@ impl SearchSpec {
         if let Some(seed) = u64_field("seed")? {
             spec.seed = seed;
         }
+        match root.get("cache") {
+            None => {}
+            Some(Value::Bool(b)) => spec.use_eval_cache = *b,
+            Some(_) => return Err(fail("search: `cache` must be a boolean".to_string())),
+        }
         if let Value::Object(entries) = root {
             for (key, _) in entries {
                 if !matches!(
@@ -593,6 +631,7 @@ impl SearchSpec {
                         | "patience"
                         | "target"
                         | "seed"
+                        | "cache"
                         | "portfolio"
                 ) {
                     return Err(fail(format!("search: unknown field `{key}`")));
@@ -695,6 +734,12 @@ pub struct SearchOutcome {
     pub report: SearchReport,
     /// `true` when the run stopped at a batch boundary before finishing.
     pub interrupted: bool,
+    /// Evaluation-cache counters of this run (all zero when the cache is
+    /// disabled). Each distinct key misses exactly once — racing workers
+    /// serialize on the slot's compute guard, so late arrivals count as hits
+    /// — and the report itself is identical for serial, parallel, cached and
+    /// uncached runs.
+    pub cache: CacheStats,
 }
 
 /// The outcome of a portfolio search.

@@ -324,6 +324,9 @@ impl SweepSpec {
         if get_bool(root, "collect_mapping_metrics", ctx)?.unwrap_or(false) {
             spec = spec.with_mapping_metrics();
         }
+        if let Some(cache) = get_bool(root, "cache", ctx)? {
+            spec = spec.with_eval_cache(cache);
+        }
         if let Some(points) = root.get("points") {
             for (i, point) in as_array(points, "points")?.iter().enumerate() {
                 let ctx = format!("points[{i}]");
@@ -397,6 +400,7 @@ impl SweepSpec {
                     | "eval"
                     | "collect_breakdowns"
                     | "collect_mapping_metrics"
+                    | "cache"
                     | "points"
                     | "grids"
             ) {

@@ -11,12 +11,12 @@
 //! strategy is plain *data* — constructible from a JSON sweep spec with no
 //! Rust changes (see [`crate::spec`]).
 
-use std::sync::{OnceLock, RwLock, RwLockReadGuard};
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard};
 
 use msfu_distill::Factory;
 use msfu_layout::{
-    FactoryMapper, ForceDirectedConfig, Layout, MapperParams, MapperRegistry, ParamValue,
-    Result as LayoutResult, StitchingConfig,
+    FactoryMapper, ForceDirectedConfig, Layout, MapperBuilder, MapperParams, MapperRegistry,
+    ParamValue, Result as LayoutResult, StitchingConfig,
 };
 use serde::{Serialize, Value};
 
@@ -206,6 +206,47 @@ impl Strategy {
     /// and propagates mapping failures from the underlying mapper.
     pub fn map(&self, factory: &Factory) -> Result<Layout> {
         let mapper = read_registry().build(&self.key, &self.params)?;
+        Ok(mapper.map_factory(factory)?)
+    }
+
+    /// Resolves the strategy's registry entry once, returning a handle that
+    /// maps without re-entering the registry. Hot loops that expand one
+    /// strategy template into many parameterisations — a portfolio entry's
+    /// seed ladder — resolve per template instead of per candidate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown registry key.
+    pub fn resolve(&self) -> Result<ResolvedStrategy> {
+        Ok(ResolvedStrategy {
+            builder: read_registry().resolve(&self.key)?,
+        })
+    }
+}
+
+/// A pre-resolved registry entry: the shared builder of one mapper key,
+/// detached from the registry lock (see [`Strategy::resolve`]).
+#[derive(Clone)]
+pub struct ResolvedStrategy {
+    builder: Arc<MapperBuilder>,
+}
+
+impl std::fmt::Debug for ResolvedStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResolvedStrategy").finish_non_exhaustive()
+    }
+}
+
+impl ResolvedStrategy {
+    /// Maps `factory` with `strategy`'s parameters through the pre-resolved
+    /// builder. `strategy` must carry the key this handle was resolved from
+    /// (candidates derived from the same template always do).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter rejections and mapping failures.
+    pub fn map(&self, strategy: &Strategy, factory: &Factory) -> Result<Layout> {
+        let mapper = (self.builder)(strategy.params())?;
         Ok(mapper.map_factory(factory)?)
     }
 }

@@ -42,6 +42,7 @@ use msfu_distill::{Factory, FactoryConfig};
 use msfu_graph::{metrics::MappingMetrics, InteractionGraph};
 use msfu_sim::SimEngine;
 
+use crate::cache::{evaluation_key, CacheStats, EvalCache};
 use crate::evaluate::{effective_factory, evaluate_mapped_with, with_thread_engine};
 use crate::pipeline::{per_round_breakdown_with, RoundBreakdown};
 use crate::progress::{ProgressEvent, RunControl};
@@ -90,6 +91,11 @@ pub struct SweepSpec {
     /// Also compute the Fig. 6 congestion metrics of each mapping
     /// ([`SweepRow::metrics`]).
     pub collect_mapping_metrics: bool,
+    /// Share one content-addressed [`EvalCache`] across the run's workers so
+    /// duplicate `(factory, layout, eval config)` points simulate once.
+    /// Enabled by default; results are byte-identical either way (the cache
+    /// key is the full content, never a lossy hash).
+    pub use_eval_cache: bool,
 }
 
 /// The outcome of one sweep point.
@@ -125,6 +131,12 @@ pub struct SweepOutcome {
     pub results: SweepResults,
     /// `true` when the run stopped at a batch boundary before finishing.
     pub interrupted: bool,
+    /// Evaluation-cache counters of this run (all zero when the cache is
+    /// disabled). Each distinct key misses exactly once — racing workers
+    /// serialize on the slot's compute guard, so late arrivals count as hits
+    /// — making the counters identical for parallel and serial runs of a
+    /// completed sweep.
+    pub cache: CacheStats,
 }
 
 impl SweepResults {
@@ -232,7 +244,16 @@ impl SweepSpec {
             points: Vec::new(),
             collect_breakdowns: false,
             collect_mapping_metrics: false,
+            use_eval_cache: true,
         }
+    }
+
+    /// Enables or disables the shared evaluation cache (builder style). Rows
+    /// are byte-identical either way; disabling only forces duplicate points
+    /// to re-simulate (the reference mode of the cache-correctness tests).
+    pub fn with_eval_cache(mut self, enabled: bool) -> Self {
+        self.use_eval_cache = enabled;
+        self
     }
 
     /// Appends one point (builder style).
@@ -315,6 +336,7 @@ impl SweepSpec {
         let total = self.points.len();
         let mut rows: Vec<SweepRow> = Vec::with_capacity(total);
         let mut interrupted = ctrl.interrupted();
+        let eval_cache = self.use_eval_cache.then(EvalCache::new);
 
         if !interrupted {
             // Build each distinct factory once, in parallel.
@@ -349,7 +371,7 @@ impl SweepSpec {
                         // across every point it evaluates (arena reuse;
                         // results are unaffected).
                         with_thread_engine(self.eval.sim, |engine| {
-                            self.evaluate_point(point, &entry, engine)
+                            self.evaluate_point(point, &entry, engine, eval_cache.as_ref())
                         })
                     })
                     .collect();
@@ -377,6 +399,7 @@ impl SweepSpec {
                 rows,
             },
             interrupted,
+            cache: eval_cache.map(|c| c.stats()).unwrap_or_default(),
         })
     }
 
@@ -406,6 +429,7 @@ impl SweepSpec {
     pub fn run_serial_with(&self, ctrl: &RunControl<'_>) -> Result<SweepOutcome> {
         let total = self.points.len();
         let mut cache: FactoryCache = HashMap::new();
+        let eval_cache = self.use_eval_cache.then(EvalCache::new);
         with_thread_engine(self.eval.sim, |engine| {
             let mut rows: Vec<SweepRow> = Vec::with_capacity(total);
             let mut interrupted = false;
@@ -416,7 +440,7 @@ impl SweepSpec {
                 }
                 let entry = self.entry_for(&mut cache, point.factory)?;
                 let index = rows.len();
-                rows.push(self.evaluate_point(point, &entry, engine)?);
+                rows.push(self.evaluate_point(point, &entry, engine, eval_cache.as_ref())?);
                 ctrl.emit(&ProgressEvent::RowCompleted {
                     name: &self.name,
                     index,
@@ -435,6 +459,7 @@ impl SweepSpec {
                     rows,
                 },
                 interrupted,
+                cache: eval_cache.map(|c| c.stats()).unwrap_or_default(),
             })
         })
     }
@@ -453,23 +478,36 @@ impl SweepSpec {
     }
 
     /// Evaluates one point against a shared, immutable factory, simulating
-    /// through the caller's reusable engine.
+    /// through the caller's reusable engine. With a cache, the mapping phase
+    /// always runs (it produces the content address) but the simulation of a
+    /// duplicate `(factory, layout, eval)` is answered from the shared map.
     fn evaluate_point(
         &self,
         point: &SweepPoint,
         entry: &FactoryEntry,
         engine: &mut SimEngine,
+        cache: Option<&EvalCache>,
     ) -> Result<SweepRow> {
         let factory = &entry.factory;
         let layout = point.strategy.map(factory)?;
         let effective = effective_factory(factory, &layout)?;
-        let evaluation = evaluate_mapped_with(
-            engine,
-            &effective,
-            &layout,
-            point.strategy.short_name(),
-            &self.eval,
-        )?;
+        let simulate = |engine: &mut SimEngine| {
+            evaluate_mapped_with(
+                engine,
+                &effective,
+                &layout,
+                point.strategy.short_name(),
+                &self.eval,
+            )
+        };
+        let evaluation = match cache {
+            Some(cache) => cache.get_or_compute(
+                evaluation_key(factory.config(), &layout, &self.eval),
+                point.strategy.short_name(),
+                || simulate(engine),
+            )?,
+            None => simulate(engine)?,
+        };
         let breakdown = if self.collect_breakdowns {
             Some(per_round_breakdown_with(
                 engine,

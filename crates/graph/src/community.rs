@@ -6,6 +6,14 @@
 //!   detector used to drive the community-structure forces of the
 //!   force-directed mapper.
 //! * [`label_propagation`] — a cheaper detector useful for very large graphs.
+//!
+//! Both detectors run entirely on index-addressed scratch arrays over the CSR
+//! adjacency — no per-vertex maps in the inner loops — and are deterministic
+//! by construction: candidate communities/labels are visited in ascending
+//! index order. The Louvain coarsening loop aggregates levels into reused
+//! buffers ([`CommunityScratch`]) instead of cloning and rebuilding the graph
+//! per level; [`louvain_with`] lets long-lived callers reuse one scratch
+//! across many detections.
 
 use std::collections::{BTreeMap, HashMap};
 
@@ -89,12 +97,59 @@ pub fn modularity(graph: &InteractionGraph, assignment: &[usize]) -> f64 {
     q
 }
 
+/// Reusable buffers for [`louvain_with`] and [`label_propagation_with`]: the
+/// aggregated work graph (double-buffered canonical edge lists plus a CSR
+/// rebuilt in place per level) and the index-addressed local-moving state.
+/// One scratch can serve any number of detections on graphs of any size —
+/// buffers only ever grow.
+#[derive(Debug, Clone, Default)]
+pub struct CommunityScratch {
+    // Aggregated work graph (level > 0), coarsened in place.
+    work_edges: Vec<(usize, usize, f64)>,
+    next_edges: Vec<(usize, usize, f64)>,
+    keyed: Vec<((usize, usize), f64)>,
+    offsets: Vec<usize>,
+    adj: Vec<(usize, f64)>,
+    self_loops: Vec<f64>,
+    next_self_loops: Vec<f64>,
+    vertex_of: Vec<usize>,
+    raw_to_dense: Vec<usize>,
+    // Local-moving / voting state.
+    community: Vec<usize>,
+    degree: Vec<f64>,
+    community_degree: Vec<f64>,
+    order: Vec<usize>,
+    weight_to: Vec<f64>,
+    stamp: Vec<u64>,
+    stamp_gen: u64,
+    touched: Vec<usize>,
+}
+
+impl CommunityScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Louvain community detection: repeated local moving followed by graph
 /// aggregation, until modularity stops improving.
 ///
 /// The detector is deterministic for a fixed `rng` seed (vertex visiting order
 /// is shuffled once per pass).
 pub fn louvain<R: Rng>(graph: &InteractionGraph, rng: &mut R) -> Communities {
+    louvain_with(graph, rng, &mut CommunityScratch::default())
+}
+
+/// [`louvain`] against caller-held [`CommunityScratch`], so a loop of
+/// detections (e.g. one per force-directed refinement) reuses one set of
+/// aggregation buffers instead of reallocating them per call and per
+/// coarsening level. Results are identical to [`louvain`].
+pub fn louvain_with<R: Rng>(
+    graph: &InteractionGraph,
+    rng: &mut R,
+    scratch: &mut CommunityScratch,
+) -> Communities {
     let n = graph.num_vertices();
     if n == 0 {
         return Communities {
@@ -103,52 +158,111 @@ pub fn louvain<R: Rng>(graph: &InteractionGraph, rng: &mut R) -> Communities {
         };
     }
 
-    // Current assignment of original vertices.
+    // Current (dense) assignment of original vertices, and the super vertex
+    // each original vertex is represented by in the work graph.
     let mut assignment: Vec<usize> = (0..n).collect();
-    // Working graph (aggregated), its self-loop weights (internal community
-    // weight accumulated by aggregation) and the mapping original vertex ->
-    // super vertex.
-    let mut work = graph.clone();
-    let mut self_loops: Vec<f64> = vec![0.0; n];
-    let mut vertex_of: Vec<usize> = (0..n).collect();
+    scratch.vertex_of.clear();
+    scratch.vertex_of.extend(0..n);
+    scratch.self_loops.clear();
+    scratch.self_loops.resize(n, 0.0);
+
+    // Level 0 moves on the input graph's CSR directly; aggregation then
+    // coarsens into the scratch buffers, which later levels reuse in place.
+    let mut work_n = n;
+    let mut on_input = true;
 
     for _pass in 0..10 {
-        let improved = local_moving(&work, &self_loops, rng, &vertex_of, &mut assignment, n);
+        let improved = {
+            let (offsets, adj, edges) = if on_input {
+                let (o, a) = graph.csr();
+                (o, a, graph.edges())
+            } else {
+                (
+                    scratch.offsets.as_slice(),
+                    scratch.adj.as_slice(),
+                    scratch.work_edges.as_slice(),
+                )
+            };
+            local_moving(
+                work_n,
+                offsets,
+                adj,
+                edges,
+                &scratch.self_loops,
+                rng,
+                &mut scratch.community,
+                &mut scratch.degree,
+                &mut scratch.community_degree,
+                &mut scratch.order,
+                &mut scratch.weight_to,
+                &mut scratch.stamp,
+                &mut scratch.stamp_gen,
+                &mut scratch.touched,
+            )
+        };
         if !improved {
             break;
         }
-        // Aggregate: build the community graph, preserving intra-community
+        // Aggregate: renumber the moved communities densely (first-appearance
+        // order over original vertices, exactly `Communities::from_assignment`
+        // semantics) and build the community graph, preserving intra-community
         // weight as self-loops so later passes see the true modularity terms.
-        let communities = Communities::from_assignment(assignment.clone());
-        let mut edges: BTreeMap<(usize, usize), f64> = BTreeMap::new();
-        let mut new_self_loops = vec![0.0; communities.count];
-        for (u, v, w) in work.edges() {
-            // Map work-graph vertices back through membership of any original
-            // vertex they represent.
-            let cu = community_of_super(*u, &vertex_of, &communities.assignment);
-            let cv = community_of_super(*v, &vertex_of, &communities.assignment);
-            if cu == cv {
-                new_self_loops[cu] += *w;
-                continue;
+        scratch.raw_to_dense.clear();
+        scratch.raw_to_dense.resize(work_n, usize::MAX);
+        let mut count = 0usize;
+        for (orig, slot) in assignment.iter_mut().enumerate() {
+            let raw = scratch.community[scratch.vertex_of[orig]];
+            if scratch.raw_to_dense[raw] == usize::MAX {
+                scratch.raw_to_dense[raw] = count;
+                count += 1;
             }
-            let key = if cu < cv { (cu, cv) } else { (cv, cu) };
-            *edges.entry(key).or_insert(0.0) += *w;
+            *slot = scratch.raw_to_dense[raw];
         }
-        for (s, loop_weight) in self_loops.iter().enumerate() {
+        scratch.keyed.clear();
+        scratch.next_self_loops.clear();
+        scratch.next_self_loops.resize(count, 0.0);
+        {
+            let src_edges = if on_input {
+                graph.edges()
+            } else {
+                scratch.work_edges.as_slice()
+            };
+            for (u, v, w) in src_edges {
+                let cu = scratch.raw_to_dense[scratch.community[*u]];
+                let cv = scratch.raw_to_dense[scratch.community[*v]];
+                if cu == cv {
+                    scratch.next_self_loops[cu] += *w;
+                } else {
+                    let key = if cu < cv { (cu, cv) } else { (cv, cu) };
+                    scratch.keyed.push((key, *w));
+                }
+            }
+        }
+        for (sv, loop_weight) in scratch.self_loops.iter().enumerate() {
             if *loop_weight > 0.0 {
-                let c = community_of_super(s, &vertex_of, &communities.assignment);
-                new_self_loops[c] += *loop_weight;
+                let c = scratch.raw_to_dense[scratch.community[sv]];
+                scratch.next_self_loops[c] += *loop_weight;
             }
         }
-        work = InteractionGraph::from_edges(
-            communities.count,
-            edges.into_iter().map(|((a, b), w)| (a, b, w)),
+        // Canonical sort + fold (shared with `InteractionGraph::from_edges`),
+        // without rebuilding a map per level.
+        crate::graph::merge_keyed_edges(&mut scratch.keyed, &mut scratch.next_edges);
+        std::mem::swap(&mut scratch.work_edges, &mut scratch.next_edges);
+        crate::graph::build_csr(
+            count,
+            &scratch.work_edges,
+            &mut scratch.offsets,
+            &mut scratch.adj,
         );
-        self_loops = new_self_loops;
-        // After aggregation every original vertex's super vertex is its community.
-        vertex_of = communities.assignment.clone();
-        assignment = communities.assignment;
-        if work.num_edges() == 0 {
+        std::mem::swap(&mut scratch.self_loops, &mut scratch.next_self_loops);
+        scratch.self_loops.truncate(count);
+        work_n = count;
+        on_input = false;
+        // After aggregation every original vertex's super vertex is its
+        // community.
+        scratch.vertex_of.clear();
+        scratch.vertex_of.extend_from_slice(&assignment);
+        if scratch.work_edges.is_empty() {
             break;
         }
     }
@@ -156,69 +270,90 @@ pub fn louvain<R: Rng>(graph: &InteractionGraph, rng: &mut R) -> Communities {
     Communities::from_assignment(assignment)
 }
 
-/// Community of super-vertex `s`: look up any original vertex mapped to `s`.
-fn community_of_super(s: usize, vertex_of: &[usize], assignment: &[usize]) -> usize {
-    // vertex_of maps original -> super; find the community recorded for one of
-    // them. Because local_moving assigns communities per super vertex and then
-    // writes them back per original vertex, every original vertex mapped to
-    // `s` shares the same community.
-    for (orig, sv) in vertex_of.iter().enumerate() {
-        if *sv == s {
-            return assignment[orig];
-        }
-    }
-    s
-}
-
-/// One Louvain local-moving phase on the working (aggregated) graph. Returns
-/// whether any vertex changed community. `self_loops[v]` is the internal
-/// weight absorbed into super-vertex `v` by earlier aggregation passes; it
-/// contributes to the vertex degree and to the total weight `m`.
+/// One Louvain local-moving phase on the working (aggregated) CSR graph.
+/// Returns whether any vertex changed community. `self_loops[v]` is the
+/// internal weight absorbed into super-vertex `v` by earlier aggregation
+/// passes; it contributes to the vertex degree and to the total weight `m`.
+/// Candidate communities are visited in ascending index order (sorted touched
+/// list), the same tie-break order an ordered map would give.
+#[allow(clippy::too_many_arguments)]
 fn local_moving<R: Rng>(
-    work: &InteractionGraph,
+    nw: usize,
+    offsets: &[usize],
+    adj: &[(usize, f64)],
+    edges: &[(usize, usize, f64)],
     self_loops: &[f64],
     rng: &mut R,
-    vertex_of: &[usize],
-    assignment: &mut [usize],
-    num_original: usize,
+    community: &mut Vec<usize>,
+    degree: &mut Vec<f64>,
+    community_degree: &mut Vec<f64>,
+    order: &mut Vec<usize>,
+    weight_to: &mut Vec<f64>,
+    stamp: &mut Vec<u64>,
+    stamp_gen: &mut u64,
+    touched: &mut Vec<usize>,
 ) -> bool {
-    let nw = work.num_vertices();
-    let m = work.total_edge_weight() + self_loops.iter().sum::<f64>();
+    let m = edges.iter().map(|(_, _, w)| *w).sum::<f64>() + self_loops.iter().sum::<f64>();
     if m <= 0.0 || nw == 0 {
         return false;
     }
     // Community of each super vertex; initially its own community.
-    let mut community: Vec<usize> = (0..nw).collect();
-    let degree: Vec<f64> = (0..nw)
-        .map(|v| work.weighted_degree(v) + 2.0 * self_loops[v])
-        .collect();
-    let mut community_degree: Vec<f64> = degree.clone();
+    community.clear();
+    community.extend(0..nw);
+    degree.clear();
+    degree.extend((0..nw).map(|v| {
+        adj[offsets[v]..offsets[v + 1]]
+            .iter()
+            .map(|(_, w)| *w)
+            .sum::<f64>()
+            + 2.0 * self_loops[v]
+    }));
+    community_degree.clear();
+    community_degree.extend_from_slice(degree);
 
-    let mut order: Vec<usize> = (0..nw).collect();
+    order.clear();
+    order.extend(0..nw);
     order.shuffle(rng);
+
+    if weight_to.len() < nw {
+        weight_to.resize(nw, 0.0);
+        stamp.resize(nw, 0);
+    }
 
     let mut any_moved = false;
     for _ in 0..10 {
         let mut moved = false;
-        for &v in &order {
+        for &v in order.iter() {
             let current = community[v];
-            // Weights from v to each neighbouring community. Ordered map:
-            // candidate iteration order breaks near-ties, so a HashMap here
-            // would make the whole detector nondeterministic per run.
-            let mut to_community: BTreeMap<usize, f64> = BTreeMap::new();
-            for (n, w) in work.neighbors(v) {
-                *to_community.entry(community[*n]).or_insert(0.0) += *w;
+            // Weights from v to each neighbouring community, accumulated into
+            // a stamped scratch array (one slot per community) instead of a
+            // per-vertex ordered map.
+            *stamp_gen += 1;
+            touched.clear();
+            for (nb, w) in &adj[offsets[v]..offsets[v + 1]] {
+                let c = community[*nb];
+                if stamp[c] != *stamp_gen {
+                    stamp[c] = *stamp_gen;
+                    weight_to[c] = 0.0;
+                    touched.push(c);
+                }
+                weight_to[c] += *w;
             }
+            touched.sort_unstable();
             // Remove v from its community.
             community_degree[current] -= degree[v];
+            let to_current = if stamp[current] == *stamp_gen {
+                weight_to[current]
+            } else {
+                0.0
+            };
             let mut best = current;
-            let mut best_gain = to_community.get(&current).copied().unwrap_or(0.0)
-                - community_degree[current] * degree[v] / (2.0 * m);
-            for (&c, &w_to) in &to_community {
+            let mut best_gain = to_current - community_degree[current] * degree[v] / (2.0 * m);
+            for &c in touched.iter() {
                 if c == current {
                     continue;
                 }
-                let gain = w_to - community_degree[c] * degree[v] / (2.0 * m);
+                let gain = weight_to[c] - community_degree[c] * degree[v] / (2.0 * m);
                 if gain > best_gain + 1e-12 {
                     best_gain = gain;
                     best = c;
@@ -235,12 +370,6 @@ fn local_moving<R: Rng>(
             break;
         }
     }
-
-    // Write the community of each original vertex.
-    for orig in 0..num_original {
-        let sv = vertex_of[orig];
-        assignment[orig] = community[sv];
-    }
     any_moved
 }
 
@@ -252,25 +381,65 @@ pub fn label_propagation<R: Rng>(
     max_iters: usize,
     rng: &mut R,
 ) -> Communities {
+    label_propagation_with(graph, max_iters, rng, &mut CommunityScratch::default())
+}
+
+/// [`label_propagation`] against caller-held [`CommunityScratch`] (vote
+/// buffers are reused across sweeps and calls). Results are identical to
+/// [`label_propagation`].
+pub fn label_propagation_with<R: Rng>(
+    graph: &InteractionGraph,
+    max_iters: usize,
+    rng: &mut R,
+    scratch: &mut CommunityScratch,
+) -> Communities {
     let n = graph.num_vertices();
     let mut labels: Vec<usize> = (0..n).collect();
-    let mut order: Vec<usize> = (0..n).collect();
+    scratch.order.clear();
+    scratch.order.extend(0..n);
+    if scratch.weight_to.len() < n {
+        scratch.weight_to.resize(n, 0.0);
+        scratch.stamp.resize(n, 0);
+    }
     for _ in 0..max_iters {
-        order.shuffle(rng);
+        scratch.order.shuffle(rng);
         let mut changed = false;
-        for &v in &order {
+        for &v in scratch.order.iter() {
             if graph.degree(v) == 0 {
                 continue;
             }
-            let mut votes: BTreeMap<usize, f64> = BTreeMap::new();
+            scratch.stamp_gen += 1;
+            scratch.touched.clear();
             for (nb, w) in graph.neighbors(v) {
-                *votes.entry(labels[*nb]).or_insert(0.0) += *w;
+                let l = labels[*nb];
+                if scratch.stamp[l] != scratch.stamp_gen {
+                    scratch.stamp[l] = scratch.stamp_gen;
+                    scratch.weight_to[l] = 0.0;
+                    scratch.touched.push(l);
+                }
+                scratch.weight_to[l] += *w;
             }
-            let best = votes
-                .iter()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(a.0)))
-                .map(|(l, _)| *l)
-                .unwrap_or(labels[v]);
+            scratch.touched.sort_unstable();
+            // Max vote over ascending labels; on weight ties the *larger*
+            // label encountered later wins only if strictly heavier, i.e.
+            // ties resolve towards the smallest label.
+            let mut best: Option<(usize, f64)> = None;
+            for &l in scratch.touched.iter() {
+                let w = scratch.weight_to[l];
+                best = match best {
+                    None => Some((l, w)),
+                    Some((bl, bw)) => {
+                        let keep = bw.partial_cmp(&w).unwrap().then(l.cmp(&bl))
+                            == std::cmp::Ordering::Greater;
+                        if keep {
+                            Some((bl, bw))
+                        } else {
+                            Some((l, w))
+                        }
+                    }
+                };
+            }
+            let best = best.map(|(l, _)| l).unwrap_or(labels[v]);
             if best != labels[v] {
                 labels[v] = best;
                 changed = true;

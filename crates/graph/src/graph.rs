@@ -1,7 +1,5 @@
 //! The program interaction graph.
 
-use std::collections::BTreeMap;
-
 use serde::{Deserialize, Serialize};
 
 use msfu_circuit::Circuit;
@@ -11,6 +9,13 @@ use msfu_circuit::Circuit;
 /// Vertices are logical qubits (dense indices `0..n`), edges are two-qubit
 /// interactions; the weight of an edge is the number of times that pair of
 /// qubits interacts in the circuit (Section VI of the paper).
+///
+/// The adjacency is stored in compressed-sparse-row (CSR) form: one flat
+/// `(neighbor, weight)` array plus per-vertex offsets, with every vertex's
+/// neighbor list sorted by index. Iteration order is therefore fixed by the
+/// representation itself — the determinism the mapping algorithms rely on is
+/// structural, not an artifact of map iteration order — and traversals are
+/// cache-friendly slices instead of per-vertex heap allocations.
 ///
 /// # Example
 ///
@@ -26,10 +31,15 @@ use msfu_circuit::Circuit;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InteractionGraph {
     num_vertices: usize,
-    /// Canonical edge list: `u < v`, with positive weight.
+    /// Canonical edge list: `u < v`, sorted lexicographically, with positive
+    /// weight and no duplicates.
     edges: Vec<(usize, usize, f64)>,
-    /// Adjacency lists: `adjacency[u]` holds `(v, weight)` pairs.
-    adjacency: Vec<Vec<(usize, f64)>>,
+    /// CSR offsets: the neighbors of `v` live in
+    /// `adj[offsets[v]..offsets[v + 1]]`. Length `num_vertices + 1`.
+    offsets: Vec<usize>,
+    /// Flattened adjacency: `(neighbor, weight)` pairs, sorted by neighbor
+    /// index within each vertex's slice.
+    adj: Vec<(usize, f64)>,
 }
 
 impl InteractionGraph {
@@ -38,7 +48,8 @@ impl InteractionGraph {
         InteractionGraph {
             num_vertices,
             edges: Vec::new(),
-            adjacency: vec![Vec::new(); num_vertices],
+            offsets: vec![0; num_vertices + 1],
+            adj: Vec::new(),
         }
     }
 
@@ -48,19 +59,42 @@ impl InteractionGraph {
     where
         I: IntoIterator<Item = (usize, usize, f64)>,
     {
-        let mut merged: BTreeMap<(usize, usize), f64> = BTreeMap::new();
-        for (a, b, w) in edges {
-            if a == b {
-                continue;
-            }
-            let key = if a < b { (a, b) } else { (b, a) };
-            *merged.entry(key).or_insert(0.0) += w;
+        let mut keyed: Vec<((usize, usize), f64)> = edges
+            .into_iter()
+            .filter(|(a, b, _)| a != b)
+            .map(|(a, b, w)| (if a < b { (a, b) } else { (b, a) }, w))
+            .collect();
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(keyed.len());
+        merge_keyed_edges(&mut keyed, &mut merged);
+        Self::from_sorted_edges(num_vertices, merged)
+    }
+
+    /// Builds a graph from a canonical edge list — `u < v`, sorted
+    /// lexicographically, no duplicate pairs — skipping the merge pass of
+    /// [`InteractionGraph::from_edges`]. Used by the coarsening loops of the
+    /// community/partition algorithms, which produce canonical lists by
+    /// construction.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts canonical form.
+    pub fn from_sorted_edges(num_vertices: usize, edges: Vec<(usize, usize, f64)>) -> Self {
+        debug_assert!(edges
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        debug_assert!(edges.iter().all(|(u, v, _)| u < v && *v < num_vertices));
+        // Filling in lexicographic edge order yields ascending neighbor
+        // indices within every vertex's slice: for vertex x, all (a, x) with
+        // a < x precede all (x, b) in the sorted list, each group ascending.
+        let mut offsets = Vec::new();
+        let mut adj = Vec::new();
+        build_csr(num_vertices, &edges, &mut offsets, &mut adj);
+        InteractionGraph {
+            num_vertices,
+            edges,
+            offsets,
+            adj,
         }
-        let mut g = InteractionGraph::empty(num_vertices);
-        for ((u, v), w) in merged {
-            g.push_edge(u, v, w);
-        }
-        g
     }
 
     /// Builds the interaction graph of a circuit: one vertex per qubit, one
@@ -75,11 +109,10 @@ impl InteractionGraph {
         )
     }
 
-    fn push_edge(&mut self, u: usize, v: usize, w: f64) {
-        debug_assert!(u < v && v < self.num_vertices);
-        self.edges.push((u, v, w));
-        self.adjacency[u].push((v, w));
-        self.adjacency[v].push((u, w));
+    /// The raw CSR arrays `(offsets, adj)`: the neighbors of `v` live in
+    /// `adj[offsets[v]..offsets[v + 1]]`.
+    pub(crate) fn csr(&self) -> (&[usize], &[(usize, f64)]) {
+        (&self.offsets, &self.adj)
     }
 
     /// Number of vertices.
@@ -92,24 +125,24 @@ impl InteractionGraph {
         self.edges.len()
     }
 
-    /// The canonical edge list (`u < v`).
+    /// The canonical edge list (`u < v`, lexicographically sorted).
     pub fn edges(&self) -> &[(usize, usize, f64)] {
         &self.edges
     }
 
-    /// Neighbours of a vertex with edge weights.
+    /// Neighbours of a vertex with edge weights, sorted by neighbor index.
     pub fn neighbors(&self, v: usize) -> &[(usize, f64)] {
-        &self.adjacency[v]
+        &self.adj[self.offsets[v]..self.offsets[v + 1]]
     }
 
     /// Unweighted degree of a vertex.
     pub fn degree(&self, v: usize) -> usize {
-        self.adjacency[v].len()
+        self.offsets[v + 1] - self.offsets[v]
     }
 
     /// Weighted degree (sum of incident edge weights) of a vertex.
     pub fn weighted_degree(&self, v: usize) -> f64 {
-        self.adjacency[v].iter().map(|(_, w)| *w).sum()
+        self.neighbors(v).iter().map(|(_, w)| *w).sum()
     }
 
     /// Sum of all edge weights.
@@ -117,19 +150,20 @@ impl InteractionGraph {
         self.edges.iter().map(|(_, _, w)| *w).sum()
     }
 
-    /// Weight of the edge between `u` and `v`, or zero if absent.
+    /// Weight of the edge between `u` and `v`, or zero if absent. Binary
+    /// search over the sorted neighbor slice.
     pub fn edge_weight(&self, u: usize, v: usize) -> f64 {
-        self.adjacency[u]
-            .iter()
-            .find(|(n, _)| *n == v)
-            .map(|(_, w)| *w)
-            .unwrap_or(0.0)
+        let nbs = self.neighbors(u);
+        match nbs.binary_search_by_key(&v, |(n, _)| *n) {
+            Ok(i) => nbs[i].1,
+            Err(_) => 0.0,
+        }
     }
 
     /// Vertices with at least one incident edge.
     pub fn active_vertices(&self) -> Vec<usize> {
         (0..self.num_vertices)
-            .filter(|v| !self.adjacency[*v].is_empty())
+            .filter(|v| self.degree(*v) > 0)
             .collect()
     }
 
@@ -169,7 +203,7 @@ impl InteractionGraph {
             let mut component = Vec::new();
             while let Some(v) = stack.pop() {
                 component.push(v);
-                for (n, _) in &self.adjacency[v] {
+                for (n, _) in self.neighbors(v) {
                     if !visited[*n] {
                         visited[*n] = true;
                         stack.push(*n);
@@ -180,6 +214,57 @@ impl InteractionGraph {
             components.push(component);
         }
         components
+    }
+}
+
+/// Canonicalises a keyed edge list into `out`: stable sort by `(u, v)` key,
+/// then parallel edges folded with their weights accumulated in *source
+/// order* — exactly the fold a keyed ordered map would produce, which is the
+/// FP-accumulation-order invariant the byte-identical-results guarantees of
+/// the graph algorithms rest on. Shared by [`InteractionGraph::from_edges`]
+/// and the Louvain aggregation so the invariant lives in one place. `keyed`
+/// is drained (its capacity is retained for reuse).
+pub(crate) fn merge_keyed_edges(
+    keyed: &mut Vec<((usize, usize), f64)>,
+    out: &mut Vec<(usize, usize, f64)>,
+) {
+    keyed.sort_by_key(|(key, _)| *key);
+    out.clear();
+    for ((u, v), w) in keyed.drain(..) {
+        match out.last_mut() {
+            Some((lu, lv, lw)) if *lu == u && *lv == v => *lw += w,
+            _ => out.push((u, v, w)),
+        }
+    }
+}
+
+/// Builds the CSR arrays for a canonical (sorted, `u < v`, deduplicated)
+/// edge list into caller-owned buffers, so coarsening loops can rebuild their
+/// work graph per level without reallocating. Same fill as
+/// [`InteractionGraph::from_sorted_edges`].
+pub(crate) fn build_csr(
+    num_vertices: usize,
+    edges: &[(usize, usize, f64)],
+    offsets: &mut Vec<usize>,
+    adj: &mut Vec<(usize, f64)>,
+) {
+    offsets.clear();
+    offsets.resize(num_vertices + 1, 0);
+    for (u, v, _) in edges {
+        offsets[*u + 1] += 1;
+        offsets[*v + 1] += 1;
+    }
+    for i in 0..num_vertices {
+        offsets[i + 1] += offsets[i];
+    }
+    adj.clear();
+    adj.resize(offsets[num_vertices], (0, 0.0));
+    let mut cursor: Vec<usize> = offsets.clone();
+    for (u, v, w) in edges {
+        adj[cursor[*u]] = (*v, *w);
+        cursor[*u] += 1;
+        adj[cursor[*v]] = (*u, *w);
+        cursor[*v] += 1;
     }
 }
 
@@ -257,5 +342,41 @@ mod tests {
         let g = InteractionGraph::empty(3);
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.connected_components().len(), 3);
+    }
+
+    #[test]
+    fn csr_neighbor_slices_are_sorted() {
+        // Insert edges in scrambled order; CSR must still expose every
+        // neighbor slice in ascending index order.
+        let g = InteractionGraph::from_edges(
+            6,
+            [
+                (5, 2, 1.0),
+                (0, 4, 1.0),
+                (2, 0, 2.0),
+                (3, 2, 1.0),
+                (1, 2, 1.0),
+            ],
+        );
+        for v in 0..6 {
+            let nbs: Vec<usize> = g.neighbors(v).iter().map(|(n, _)| *n).collect();
+            let mut sorted = nbs.clone();
+            sorted.sort_unstable();
+            assert_eq!(nbs, sorted, "vertex {v}");
+        }
+        assert_eq!(
+            g.neighbors(2).iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+            vec![0, 1, 3, 5]
+        );
+        assert_eq!(g.edge_weight(2, 0), 2.0);
+        assert_eq!(g.edge_weight(2, 4), 0.0);
+    }
+
+    #[test]
+    fn from_sorted_edges_matches_from_edges() {
+        let edges = vec![(0, 1, 1.0), (0, 3, 2.0), (1, 2, 4.0)];
+        let a = InteractionGraph::from_sorted_edges(4, edges.clone());
+        let b = InteractionGraph::from_edges(4, edges);
+        assert_eq!(a, b);
     }
 }

@@ -7,7 +7,7 @@
 
 use rand::Rng;
 
-use crate::geometry::{centroid, Point};
+use crate::geometry::Point;
 
 /// Result of a KMeans run.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,12 +37,43 @@ impl Clustering {
     }
 }
 
+/// Reusable buffers for [`kmeans_with`]: the running minimum seeding
+/// distances and the per-cluster accumulation slots of the Lloyd update.
+#[derive(Debug, Clone, Default)]
+pub struct KMeansScratch {
+    min_dist2: Vec<f64>,
+    sums: Vec<Point>,
+    counts: Vec<usize>,
+}
+
+impl KMeansScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Runs KMeans++ (careful seeding followed by Lloyd iterations) on `points`.
 ///
 /// `k` is clamped to the number of points; an empty input yields an empty
 /// clustering. The iteration stops after convergence of the assignment or
 /// after `max_iters` Lloyd steps, whichever comes first.
 pub fn kmeans<R: Rng>(points: &[Point], k: usize, max_iters: usize, rng: &mut R) -> Clustering {
+    kmeans_with(points, k, max_iters, rng, &mut KMeansScratch::default())
+}
+
+/// [`kmeans`] against caller-held [`KMeansScratch`]. The seeding pass keeps a
+/// running minimum-distance array (updated once per new centroid instead of
+/// refolded over every centroid), and the Lloyd centroid update accumulates
+/// per-cluster sums in one pass over the points instead of collecting each
+/// cluster's members. Results are identical to [`kmeans`].
+pub fn kmeans_with<R: Rng>(
+    points: &[Point],
+    k: usize,
+    max_iters: usize,
+    rng: &mut R,
+    scratch: &mut KMeansScratch,
+) -> Clustering {
     if points.is_empty() || k == 0 {
         return Clustering {
             centroids: Vec::new(),
@@ -52,39 +83,47 @@ pub fn kmeans<R: Rng>(points: &[Point], k: usize, max_iters: usize, rng: &mut R)
     }
     let k = k.min(points.len());
 
-    // KMeans++ seeding.
+    // KMeans++ seeding. `min_dist2[i]` is the squared distance of point `i`
+    // to its closest centroid so far — the left-to-right min fold over the
+    // centroid list, maintained incrementally.
     let mut centroids: Vec<Point> = Vec::with_capacity(k);
-    centroids.push(points[rng.gen_range(0..points.len())]);
-    while centroids.len() < k {
-        let dist2: Vec<f64> = points
+    let first = points[rng.gen_range(0..points.len())];
+    centroids.push(first);
+    let dist2 = &mut scratch.min_dist2;
+    dist2.clear();
+    dist2.extend(
+        points
             .iter()
-            .map(|p| {
-                centroids
-                    .iter()
-                    .map(|c| p.distance(c).powi(2))
-                    .fold(f64::INFINITY, f64::min)
-            })
-            .collect();
+            .map(|p| f64::INFINITY.min(p.distance(&first).powi(2))),
+    );
+    while centroids.len() < k {
         let total: f64 = dist2.iter().sum();
-        if total <= f64::EPSILON {
+        let chosen = if total <= f64::EPSILON {
             // All points coincide with existing centroids; duplicate one.
-            centroids.push(points[rng.gen_range(0..points.len())]);
-            continue;
-        }
-        let mut target = rng.gen::<f64>() * total;
-        let mut chosen = points.len() - 1;
-        for (i, d) in dist2.iter().enumerate() {
-            if target <= *d {
-                chosen = i;
-                break;
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, d) in dist2.iter().enumerate() {
+                if target <= *d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
             }
-            target -= d;
+            chosen
+        };
+        let next = points[chosen];
+        centroids.push(next);
+        for (d, p) in dist2.iter_mut().zip(points.iter()) {
+            *d = d.min(p.distance(&next).powi(2));
         }
-        centroids.push(points[chosen]);
     }
 
     // Lloyd iterations.
     let mut assignment = vec![0usize; points.len()];
+    let sums = &mut scratch.sums;
+    let counts = &mut scratch.counts;
     for _ in 0..max_iters {
         let mut changed = false;
         for (i, p) in points.iter().enumerate() {
@@ -102,15 +141,18 @@ pub fn kmeans<R: Rng>(points: &[Point], k: usize, max_iters: usize, rng: &mut R)
                 changed = true;
             }
         }
+        sums.clear();
+        sums.resize(centroids.len(), Point::default());
+        counts.clear();
+        counts.resize(centroids.len(), 0);
+        for (p, a) in points.iter().zip(assignment.iter()) {
+            sums[*a] = sums[*a] + *p;
+            counts[*a] += 1;
+        }
         for (c, centroid_pos) in centroids.iter_mut().enumerate() {
-            let members: Vec<Point> = points
-                .iter()
-                .zip(assignment.iter())
-                .filter(|(_, a)| **a == c)
-                .map(|(p, _)| *p)
-                .collect();
-            if !members.is_empty() {
-                *centroid_pos = centroid(&members);
+            if counts[c] > 0 {
+                *centroid_pos =
+                    Point::new(sums[c].x / counts[c] as f64, sums[c].y / counts[c] as f64);
             }
         }
         if !changed {

@@ -71,11 +71,16 @@ pub fn bisect<R: Rng>(graph: &InteractionGraph, rng: &mut R) -> Bisection {
     }
 
     // --- Coarsening phase -------------------------------------------------
+    // The matching buffers are preallocated once and reused across levels
+    // (they only shrink as the graph contracts).
+    let mut matched: Vec<usize> = Vec::with_capacity(n);
+    let mut order: Vec<usize> = Vec::with_capacity(n);
     let mut levels: Vec<CoarseLevel> = Vec::new();
     let mut current = graph.clone();
     let mut current_weights = vec![1.0; n];
     while current.num_vertices() > COARSEST_SIZE {
-        let (coarse, coarse_of, weights) = coarsen(&current, &current_weights, rng);
+        let (coarse, coarse_of, weights) =
+            coarsen(&current, &current_weights, rng, &mut matched, &mut order);
         if coarse.num_vertices() as f64 > 0.95 * current.num_vertices() as f64 {
             break; // no useful contraction possible
         }
@@ -147,20 +152,25 @@ pub fn recursive_bisection<R: Rng>(
 }
 
 /// Heavy-edge matching coarsening: repeatedly match each unmatched vertex to
-/// its heaviest unmatched neighbour and contract matched pairs.
+/// its heaviest unmatched neighbour and contract matched pairs. `matched` and
+/// `order` are caller-owned scratch reused across levels.
 fn coarsen<R: Rng>(
     graph: &InteractionGraph,
     vertex_weight: &[f64],
     rng: &mut R,
+    matched: &mut Vec<usize>,
+    order: &mut Vec<usize>,
 ) -> (InteractionGraph, Vec<usize>, Vec<f64>) {
     let n = graph.num_vertices();
-    let mut matched = vec![usize::MAX; n];
-    let mut order: Vec<usize> = (0..n).collect();
+    matched.clear();
+    matched.resize(n, usize::MAX);
+    order.clear();
+    order.extend(0..n);
     order.shuffle(rng);
 
     let mut next_coarse = 0usize;
     let mut coarse_of = vec![usize::MAX; n];
-    for &v in &order {
+    for &v in order.iter() {
         if matched[v] != usize::MAX {
             continue;
         }

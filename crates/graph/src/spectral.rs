@@ -35,9 +35,11 @@ pub fn fiedler_vector<R: Rng>(
     let mut x: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
     deflate_and_normalize(&mut x);
 
+    // Double-buffered iterate: `y` is fully overwritten each round, so the
+    // two vectors ping-pong with no per-iteration allocation.
+    let mut y = vec![0.0; n];
     for _ in 0..iterations {
         // y = (shift·I − L) x = shift·x − D·x + A·x
-        let mut y = vec![0.0; n];
         for v in 0..n {
             y[v] = (shift - degrees[v]) * x[v];
         }
@@ -46,7 +48,7 @@ pub fn fiedler_vector<R: Rng>(
             y[*v] += w * x[*u];
         }
         deflate_and_normalize(&mut y);
-        x = y;
+        std::mem::swap(&mut x, &mut y);
     }
     x
 }

@@ -98,6 +98,198 @@ impl<'g> CostModel<'g> {
         positions[vertex] = original;
         after - before
     }
+
+    /// Builds (or rebuilds) the pruning state for `positions`: the per-vertex
+    /// incident-edge index and one bounding box per edge. Must be called once
+    /// before the `*_pruned` evaluators; [`CostModel::note_move`] keeps the
+    /// boxes current as vertices move.
+    pub fn prepare(&self, scratch: &mut CostScratch, positions: &[Point]) {
+        let edges = self.graph.edges();
+        let n = self.graph.num_vertices();
+        scratch.inc_off.clear();
+        scratch.inc_off.resize(n + 1, 0);
+        for (u, v, _) in edges {
+            scratch.inc_off[*u + 1] += 1;
+            scratch.inc_off[*v + 1] += 1;
+        }
+        for i in 0..n {
+            scratch.inc_off[i + 1] += scratch.inc_off[i];
+        }
+        scratch.inc_edge.clear();
+        scratch.inc_edge.resize(scratch.inc_off[n], 0);
+        let mut cursor = scratch.inc_off.clone();
+        for (e, (u, v, _)) in edges.iter().enumerate() {
+            scratch.inc_edge[cursor[*u]] = e;
+            cursor[*u] += 1;
+            scratch.inc_edge[cursor[*v]] = e;
+            cursor[*v] += 1;
+        }
+        scratch.bbox.clear();
+        scratch.bbox.extend(
+            edges
+                .iter()
+                .map(|(u, v, _)| edge_bbox(positions[*u], positions[*v])),
+        );
+    }
+
+    /// Refreshes the bounding boxes of every edge incident to `vertex` after
+    /// its position changed. O(degree).
+    pub fn note_move(&self, scratch: &mut CostScratch, vertex: usize, positions: &[Point]) {
+        let edges = self.graph.edges();
+        let lo = scratch.inc_off[vertex];
+        let hi = scratch.inc_off[vertex + 1];
+        for i in lo..hi {
+            let e = scratch.inc_edge[i];
+            let (u, v, _) = edges[e];
+            scratch.bbox[e] = edge_bbox(positions[u], positions[v]);
+        }
+    }
+
+    /// [`CostModel::total`] with bounding-box rejection in front of every
+    /// segment-intersection test. Requires `scratch` prepared for `positions`
+    /// (see [`CostModel::prepare`]); the returned value is bit-identical to
+    /// [`CostModel::total`] — pruning only skips pairs that provably cannot
+    /// cross.
+    pub fn total_pruned(&self, scratch: &CostScratch, positions: &[Point]) -> f64 {
+        let edges = self.graph.edges();
+        let length: f64 = edges
+            .iter()
+            .map(|(u, v, w)| w * positions[*u].manhattan_distance(&positions[*v]))
+            .sum();
+        let mut crossings = 0usize;
+        for i in 0..edges.len() {
+            let (a, b, _) = edges[i];
+            for (j, (c, d, _)) in edges.iter().enumerate().skip(i + 1) {
+                if a == *c || a == *d || b == *c || b == *d {
+                    continue;
+                }
+                if !boxes_overlap(&scratch.bbox[i], &scratch.bbox[j]) {
+                    continue;
+                }
+                if segments_cross(positions[a], positions[b], positions[*c], positions[*d]) {
+                    crossings += 1;
+                }
+            }
+        }
+        self.weights.edge_length * length + self.weights.crossing * crossings as f64
+    }
+
+    /// [`CostModel::vertex_contribution`], pruned: instead of testing every
+    /// incident edge against every other edge, each other edge is first
+    /// rejected against the bounding box of the moved vertex's whole edge
+    /// star, then against the individual incident edge's box. The star boxes
+    /// are computed from the live `positions` (so a trial position is
+    /// honoured even before [`CostModel::note_move`]); the boxes of all other
+    /// edges come from `scratch`. Bit-identical to the unpruned evaluator.
+    pub fn vertex_contribution_pruned(
+        &self,
+        scratch: &mut CostScratch,
+        vertex: usize,
+        positions: &[Point],
+    ) -> f64 {
+        let nbs = self.graph.neighbors(vertex);
+        let p_v = positions[vertex];
+        let mut length = 0.0;
+        for (nb, w) in nbs {
+            length += w * p_v.manhattan_distance(&positions[*nb]);
+        }
+        let mut crossings = 0usize;
+        if !nbs.is_empty() {
+            // Star bbox + one live box per incident edge.
+            scratch.star.clear();
+            let mut star = [
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+            ];
+            for (nb, _) in nbs {
+                let eb = edge_bbox(p_v, positions[*nb]);
+                star[0] = star[0].min(eb[0]);
+                star[1] = star[1].max(eb[1]);
+                star[2] = star[2].min(eb[2]);
+                star[3] = star[3].max(eb[3]);
+                scratch.star.push(eb);
+            }
+            for (e, (u, v, _)) in self.graph.edges().iter().enumerate() {
+                if *u == vertex || *v == vertex {
+                    continue;
+                }
+                if !boxes_overlap(&scratch.bbox[e], &star) {
+                    continue;
+                }
+                for ((nb, _), eb) in nbs.iter().zip(scratch.star.iter()) {
+                    if *u == *nb || *v == *nb {
+                        continue;
+                    }
+                    if !boxes_overlap(&scratch.bbox[e], eb) {
+                        continue;
+                    }
+                    if segments_cross(p_v, positions[*nb], positions[*u], positions[*v]) {
+                        crossings += 1;
+                    }
+                }
+            }
+        }
+        self.weights.edge_length * length + self.weights.crossing * crossings as f64
+    }
+
+    /// [`CostModel::move_delta`], pruned. Bit-identical to the unpruned
+    /// evaluator.
+    pub fn move_delta_pruned(
+        &self,
+        scratch: &mut CostScratch,
+        vertex: usize,
+        positions: &mut [Point],
+        candidate: Point,
+    ) -> f64 {
+        let before = self.vertex_contribution_pruned(scratch, vertex, positions);
+        let original = positions[vertex];
+        positions[vertex] = candidate;
+        let after = self.vertex_contribution_pruned(scratch, vertex, positions);
+        positions[vertex] = original;
+        after - before
+    }
+}
+
+/// Reusable pruning state for the `*_pruned` evaluators of [`CostModel`]:
+/// per-edge bounding boxes kept in sync with the placement, the per-vertex
+/// incident-edge index used to refresh them in O(degree) per move, and a
+/// small buffer for the moved vertex's star boxes. One scratch serves any
+/// number of refinement runs — buffers only ever grow.
+#[derive(Debug, Clone, Default)]
+pub struct CostScratch {
+    /// Per-edge `[min_x, max_x, min_y, max_y]`.
+    bbox: Vec<[f64; 4]>,
+    /// CSR incidence: edge indices of vertex `v` live in
+    /// `inc_edge[inc_off[v]..inc_off[v + 1]]`.
+    inc_off: Vec<usize>,
+    inc_edge: Vec<usize>,
+    /// Live boxes of the moved vertex's incident edges (one per neighbor).
+    star: Vec<[f64; 4]>,
+}
+
+impl CostScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Axis-aligned bounding box of the segment `(a, b)`.
+fn edge_bbox(a: Point, b: Point) -> [f64; 4] {
+    [a.x.min(b.x), a.x.max(b.x), a.y.min(b.y), a.y.max(b.y)]
+}
+
+/// Inflated by a margin larger than every epsilon inside `segments_cross`, so
+/// a rejected pair can never have been reported as crossing.
+const BOX_MARGIN: f64 = 1e-6;
+
+fn boxes_overlap(a: &[f64; 4], b: &[f64; 4]) -> bool {
+    a[0] <= b[1] + BOX_MARGIN
+        && b[0] <= a[1] + BOX_MARGIN
+        && a[2] <= b[3] + BOX_MARGIN
+        && b[2] <= a[3] + BOX_MARGIN
 }
 
 #[cfg(test)]
@@ -160,5 +352,69 @@ mod tests {
     fn default_weights_prioritise_crossings() {
         let w = CostWeights::default();
         assert!(w.crossing > w.edge_length);
+    }
+
+    /// A denser pseudo-random placement exercising collinear overlaps,
+    /// T-junctions and proper crossings on integer grid coordinates.
+    fn dense_case() -> (InteractionGraph, Vec<Point>) {
+        let n = 12usize;
+        let mut edges = Vec::new();
+        for v in 0..n {
+            edges.push((v, (v + 3) % n, 1.0 + v as f64));
+            edges.push((v, (v + 5) % n, 2.0));
+        }
+        let positions: Vec<Point> = (0..n)
+            .map(|v| Point::new(((v * 7) % 5) as f64, ((v * 3) % 4) as f64))
+            .collect();
+        (InteractionGraph::from_edges(n, edges), positions)
+    }
+
+    #[test]
+    fn pruned_total_is_bit_identical() {
+        let (g, pos) = dense_case();
+        let model = CostModel::new(&g, CostWeights::default());
+        let mut scratch = CostScratch::new();
+        model.prepare(&mut scratch, &pos);
+        assert_eq!(model.total_pruned(&scratch, &pos), model.total(&pos));
+    }
+
+    #[test]
+    fn pruned_contribution_and_delta_are_bit_identical() {
+        let (g, mut pos) = dense_case();
+        let model = CostModel::new(&g, CostWeights::default());
+        let mut scratch = CostScratch::new();
+        model.prepare(&mut scratch, &pos);
+        for v in 0..g.num_vertices() {
+            assert_eq!(
+                model.vertex_contribution_pruned(&mut scratch, v, &pos),
+                model.vertex_contribution(v, &pos),
+                "vertex {v}"
+            );
+            let candidate = Point::new(((v * 2) % 6) as f64, ((v + 1) % 5) as f64);
+            assert_eq!(
+                model.move_delta_pruned(&mut scratch, v, &mut pos, candidate),
+                model.move_delta(v, &mut pos, candidate),
+                "vertex {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn note_move_keeps_boxes_in_sync() {
+        let (g, mut pos) = dense_case();
+        let model = CostModel::new(&g, CostWeights::default());
+        let mut scratch = CostScratch::new();
+        model.prepare(&mut scratch, &pos);
+        // Walk a few vertices around, refreshing incident boxes after each
+        // accepted move; pruned results must keep matching the exact ones.
+        for v in 0..g.num_vertices() {
+            pos[v] = Point::new(((v * 5) % 7) as f64, ((v * 2) % 5) as f64);
+            model.note_move(&mut scratch, v, &pos);
+            assert_eq!(model.total_pruned(&scratch, &pos), model.total(&pos));
+            assert_eq!(
+                model.vertex_contribution_pruned(&mut scratch, v, &pos),
+                model.vertex_contribution(v, &pos),
+            );
+        }
     }
 }

@@ -110,9 +110,35 @@ pub fn dipole_forces(
     strength: f64,
     cutoff: f64,
 ) -> Vec<Point> {
-    let n = graph.num_vertices();
-    let mut forces = vec![Point::default(); n];
     let active = graph.active_vertices();
+    let mut forces = Vec::new();
+    dipole_forces_into(
+        graph,
+        positions,
+        poles,
+        strength,
+        cutoff,
+        &active,
+        &mut forces,
+    );
+    forces
+}
+
+/// [`dipole_forces`] into a caller-owned buffer with a precomputed active
+/// vertex list, so per-sweep callers (the force-directed refinement) avoid
+/// reallocating both. Identical results to [`dipole_forces`].
+pub fn dipole_forces_into(
+    graph: &InteractionGraph,
+    positions: &[Point],
+    poles: &[Pole],
+    strength: f64,
+    cutoff: f64,
+    active: &[usize],
+    forces: &mut Vec<Point>,
+) {
+    let n = graph.num_vertices();
+    forces.clear();
+    forces.resize(n, Point::default());
     for i in 0..active.len() {
         for j in (i + 1)..active.len() {
             let (a, b) = (active[i], active[j]);
@@ -130,7 +156,6 @@ pub fn dipole_forces(
             forces[b] = forces[b] - unit * magnitude;
         }
     }
-    forces
 }
 
 #[cfg(test)]

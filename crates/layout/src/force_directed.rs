@@ -10,17 +10,21 @@
 //! (Louvain communities + KMeans cluster re-joining) periodically perturb the
 //! placement out of local minima.
 
+use std::cell::RefCell;
+
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use msfu_circuit::QubitId;
 use msfu_distill::Factory;
-use msfu_graph::geometry::{centroid, Point};
+use msfu_graph::community::CommunityScratch;
+use msfu_graph::geometry::Point;
+use msfu_graph::kmeans::KMeansScratch;
 use msfu_graph::{community, kmeans, InteractionGraph};
 
-use crate::cost::{CostModel, CostWeights};
-use crate::dipole::{dipole_forces, pole_coloring};
+use crate::cost::{CostModel, CostScratch, CostWeights};
+use crate::dipole::{dipole_forces_into, pole_coloring};
 use crate::{Coord, FactoryMapper, Layout, LinearMapper, Mapping, Result};
 
 /// Tuning knobs of the force-directed annealer.
@@ -101,15 +105,34 @@ impl ForceDirectedMapper {
 
     /// Refines an existing placement of `graph` by force-directed annealing
     /// and returns the best placement found (by total cost).
+    ///
+    /// Move candidates are priced by the delta-cost evaluators of
+    /// [`CostModel`] — only the edges incident to the moved vertex are
+    /// examined, with every other edge rejected against cached bounding boxes
+    /// before any segment-intersection test — over scratch buffers reused
+    /// across sweeps *and* across refinement calls (thread-local). Results
+    /// are byte-identical to the full-recompute
+    /// [`reference`](crate::reference) pipeline; see
+    /// `tests/refine_equivalence.rs`.
     pub fn refine(&self, graph: &InteractionGraph, initial: &Mapping) -> Result<Mapping> {
+        REFINE_SCRATCH.with(|cell| self.refine_with(&mut cell.borrow_mut(), graph, initial))
+    }
+
+    fn refine_with(
+        &self,
+        s: &mut RefineScratch,
+        graph: &InteractionGraph,
+        initial: &Mapping,
+    ) -> Result<Mapping> {
         let cfg = &self.config;
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         let mut mapping = initial.clone();
         let mut positions = mapping.to_points();
         let cost_model = CostModel::new(graph, cfg.weights);
+        cost_model.prepare(&mut s.cost, &positions);
 
         let mut best_mapping = mapping.clone();
-        let mut best_cost = cost_model.total(&positions);
+        let mut best_cost = cost_model.total_pruned(&s.cost, &positions);
 
         let poles = if cfg.dipole > 0.0 {
             Some(pole_coloring(graph))
@@ -117,7 +140,7 @@ impl ForceDirectedMapper {
             None
         };
         let communities = if cfg.use_communities {
-            Some(community::louvain(graph, &mut rng))
+            Some(community::louvain_with(graph, &mut rng, &mut s.community))
         } else {
             None
         };
@@ -126,12 +149,22 @@ impl ForceDirectedMapper {
         let mut temperature = cfg.temperature;
 
         for sweep in 0..cfg.iterations {
-            let forces = self.compute_forces(graph, &positions, poles.as_deref(), &mut rng);
+            self.compute_forces_into(
+                graph,
+                &positions,
+                poles.as_deref(),
+                &mut rng,
+                &active,
+                &mut s.forces,
+                &mut s.dipole,
+            );
 
-            let mut order = active.clone();
-            order.shuffle(&mut rng);
-            for &v in &order {
-                let force = forces[v];
+            s.order.clear();
+            s.order.extend_from_slice(&active);
+            s.order.shuffle(&mut rng);
+            for i in 0..s.order.len() {
+                let v = s.order[i];
+                let force = s.forces[v];
                 let step_row = step(force.y);
                 let step_col = step(force.x);
                 if step_row == 0 && step_col == 0 {
@@ -148,8 +181,8 @@ impl ForceDirectedMapper {
                     continue;
                 }
                 self.try_move(
-                    graph,
                     &cost_model,
+                    &mut s.cost,
                     &mut mapping,
                     &mut positions,
                     v,
@@ -163,9 +196,12 @@ impl ForceDirectedMapper {
             if let Some(comms) = &communities {
                 if cfg.community_interval > 0 && (sweep + 1) % cfg.community_interval == 0 {
                     self.community_moves(
-                        graph,
                         comms,
                         &cost_model,
+                        &mut s.cost,
+                        &mut s.group_pts,
+                        &mut s.sizes,
+                        &mut s.kmeans,
                         &mut mapping,
                         &mut positions,
                         temperature * 2.0,
@@ -175,7 +211,7 @@ impl ForceDirectedMapper {
             }
 
             // Track the best placement by exact cost.
-            let current_cost = cost_model.total(&positions);
+            let current_cost = cost_model.total_pruned(&s.cost, &positions);
             if current_cost < best_cost {
                 best_cost = current_cost;
                 best_mapping = mapping.clone();
@@ -185,17 +221,24 @@ impl ForceDirectedMapper {
         Ok(best_mapping)
     }
 
-    /// Computes the combined force field on every vertex.
-    fn compute_forces(
+    /// Computes the combined force field on every vertex into `forces`
+    /// (`dipole_buf` is the reusable pair-sum accumulator of the dipole
+    /// term).
+    #[allow(clippy::too_many_arguments)]
+    fn compute_forces_into(
         &self,
         graph: &InteractionGraph,
         positions: &[Point],
         poles: Option<&[crate::dipole::Pole]>,
         rng: &mut ChaCha8Rng,
-    ) -> Vec<Point> {
+        active: &[usize],
+        forces: &mut Vec<Point>,
+        dipole_buf: &mut Vec<Point>,
+    ) {
         let cfg = &self.config;
         let n = graph.num_vertices();
-        let mut forces = vec![Point::default(); n];
+        forces.clear();
+        forces.resize(n, Point::default());
 
         // Vertex-vertex attraction towards the neighbourhood centroid.
         if cfg.attraction > 0.0 {
@@ -204,8 +247,15 @@ impl ForceDirectedMapper {
                 if neighbors.is_empty() {
                     continue;
                 }
-                let pts: Vec<Point> = neighbors.iter().map(|(u, _)| positions[*u]).collect();
-                let c = centroid(&pts);
+                // Centroid accumulated inline, in neighbor order (the same
+                // fold `geometry::centroid` performs on a collected list).
+                let mut cx = 0.0;
+                let mut cy = 0.0;
+                for (u, _) in neighbors {
+                    cx += positions[*u].x;
+                    cy += positions[*u].y;
+                }
+                let c = Point::new(cx / neighbors.len() as f64, cy / neighbors.len() as f64);
                 forces[v] = forces[v] + (c - positions[v]) * cfg.attraction;
             }
         }
@@ -240,23 +290,34 @@ impl ForceDirectedMapper {
             }
         }
 
-        // Magnetic-dipole rotation.
+        // Magnetic-dipole rotation: pair sums accumulate in the dedicated
+        // buffer first (same summation order as the standalone
+        // `dipole_forces`), then fold into the force field.
         if let Some(poles) = poles {
-            let dipole = dipole_forces(graph, positions, poles, cfg.dipole, cfg.dipole_cutoff);
+            dipole_forces_into(
+                graph,
+                positions,
+                poles,
+                cfg.dipole,
+                cfg.dipole_cutoff,
+                active,
+                dipole_buf,
+            );
             for v in 0..n {
-                forces[v] = forces[v] + dipole[v];
+                forces[v] = forces[v] + dipole_buf[v];
             }
         }
-        forces
     }
 
     /// Attempts to move vertex `v` to `target` (relocating into a free cell or
     /// swapping with the occupant), accepting by the annealing criterion.
+    /// Deltas come from the pruned evaluators; accepted moves refresh the
+    /// scratch bounding boxes of the affected edge stars.
     #[allow(clippy::too_many_arguments)]
     fn try_move(
         &self,
-        _graph: &InteractionGraph,
         cost_model: &CostModel<'_>,
+        cost_scratch: &mut CostScratch,
         mapping: &mut Mapping,
         positions: &mut [Point],
         v: usize,
@@ -270,12 +331,14 @@ impl ForceDirectedMapper {
         };
         match mapping.occupant(target) {
             None => {
-                let delta = cost_model.move_delta(v, positions, target.to_point());
+                let delta =
+                    cost_model.move_delta_pruned(cost_scratch, v, positions, target.to_point());
                 if accept(delta, rng) {
                     mapping
                         .relocate(qubit, target)
                         .expect("target cell verified free and in bounds");
                     positions[v] = target.to_point();
+                    cost_model.note_move(cost_scratch, v, positions);
                     true
                 } else {
                     false
@@ -285,12 +348,17 @@ impl ForceDirectedMapper {
                 let u = other.index();
                 let pv = positions[v];
                 let pu = positions[u];
-                let before = cost_model.vertex_contribution(v, positions)
-                    + cost_model.vertex_contribution(u, positions);
+                let before = cost_model.vertex_contribution_pruned(cost_scratch, v, positions)
+                    + cost_model.vertex_contribution_pruned(cost_scratch, u, positions);
                 positions[v] = pu;
                 positions[u] = pv;
-                let after = cost_model.vertex_contribution(v, positions)
-                    + cost_model.vertex_contribution(u, positions);
+                // The swapped vertices' edge boxes must track the trial
+                // positions: when pricing u's star, v's edges are "other"
+                // edges looked up from the scratch.
+                cost_model.note_move(cost_scratch, v, positions);
+                cost_model.note_move(cost_scratch, u, positions);
+                let after = cost_model.vertex_contribution_pruned(cost_scratch, v, positions)
+                    + cost_model.vertex_contribution_pruned(cost_scratch, u, positions);
                 let delta = after - before;
                 if accept(delta, rng) {
                     mapping.swap(qubit, other).expect("both qubits are placed");
@@ -298,6 +366,8 @@ impl ForceDirectedMapper {
                 } else {
                     positions[v] = pv;
                     positions[u] = pu;
+                    cost_model.note_move(cost_scratch, v, positions);
+                    cost_model.note_move(cost_scratch, u, positions);
                     false
                 }
             }
@@ -311,9 +381,12 @@ impl ForceDirectedMapper {
     #[allow(clippy::too_many_arguments)]
     fn community_moves(
         &self,
-        graph: &InteractionGraph,
         communities: &community::Communities,
         cost_model: &CostModel<'_>,
+        cost_scratch: &mut CostScratch,
+        group_pts: &mut Vec<Point>,
+        sizes: &mut Vec<usize>,
+        kmeans_scratch: &mut KMeansScratch,
         mapping: &mut Mapping,
         positions: &mut [Point],
         temperature: f64,
@@ -323,14 +396,17 @@ impl ForceDirectedMapper {
             if group.len() < 4 {
                 continue;
             }
-            let pts: Vec<Point> = group.iter().map(|v| positions[*v]).collect();
-            let clustering = kmeans::kmeans(&pts, 2, 20, rng);
+            group_pts.clear();
+            group_pts.extend(group.iter().map(|v| positions[*v]));
+            let clustering = kmeans::kmeans_with(group_pts, 2, 20, rng, kmeans_scratch);
             if clustering.num_clusters() < 2 {
                 continue;
             }
-            let sizes: Vec<usize> = (0..clustering.num_clusters())
-                .map(|c| clustering.members(c).len())
-                .collect();
+            sizes.clear();
+            sizes.resize(clustering.num_clusters(), 0);
+            for a in &clustering.assignment {
+                sizes[*a] += 1;
+            }
             let largest = sizes
                 .iter()
                 .enumerate()
@@ -353,8 +429,8 @@ impl ForceDirectedMapper {
                 );
                 if target != current {
                     self.try_move(
-                        graph,
                         cost_model,
+                        cost_scratch,
                         mapping,
                         positions,
                         vertex,
@@ -368,8 +444,32 @@ impl ForceDirectedMapper {
     }
 }
 
+/// Buffers reused across sweeps and across refinement calls on the same
+/// thread: the force fields, the visit order, the pruned cost model's
+/// bounding-box state, the Louvain aggregation buffers and the k-means
+/// accumulators of the community escape moves.
+#[derive(Debug, Default)]
+struct RefineScratch {
+    cost: CostScratch,
+    forces: Vec<Point>,
+    dipole: Vec<Point>,
+    order: Vec<usize>,
+    group_pts: Vec<Point>,
+    sizes: Vec<usize>,
+    community: CommunityScratch,
+    kmeans: KMeansScratch,
+}
+
+thread_local! {
+    /// One refinement scratch per thread: the registry builds a fresh mapper
+    /// per `Strategy::map`, so per-mapper storage would defeat reuse — sweep
+    /// and search worker threads instead share these arenas across every
+    /// placement they refine.
+    static REFINE_SCRATCH: RefCell<RefineScratch> = RefCell::new(RefineScratch::default());
+}
+
 /// Sign of a force component as a single grid step.
-fn step(component: f64) -> i64 {
+pub(crate) fn step(component: f64) -> i64 {
     if component > 0.25 {
         1
     } else if component < -0.25 {
@@ -380,7 +480,7 @@ fn step(component: f64) -> i64 {
 }
 
 /// Applies a signed step to a coordinate, clamped to `[0, bound)`.
-fn offset(value: usize, step: i64, bound: usize) -> usize {
+pub(crate) fn offset(value: usize, step: i64, bound: usize) -> usize {
     let next = value as i64 + step;
     next.clamp(0, bound.saturating_sub(1) as i64) as usize
 }

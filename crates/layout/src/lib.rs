@@ -53,6 +53,7 @@ mod linear;
 mod mapper;
 mod mapping;
 mod random;
+pub mod reference;
 mod registry;
 mod stitching;
 

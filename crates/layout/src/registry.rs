@@ -407,8 +407,13 @@ pub type MapperBuilder = dyn Fn(&MapperParams) -> Result<Box<dyn FactoryMapper>>
 /// `(name, params)` pair yields a fresh boxed [`FactoryMapper`]. Names are
 /// unique — registering the same name twice is an error, and looking up an
 /// unknown name reports the names that *are* registered.
+///
+/// Builders are reference-counted: [`MapperRegistry::resolve`] hands out a
+/// shared handle to the builder itself, so hot loops (e.g. a portfolio
+/// search expanding one entry into many seeded candidates) look a name up
+/// once and instantiate mappers without re-entering the registry.
 pub struct MapperRegistry {
-    builders: BTreeMap<String, Box<MapperBuilder>>,
+    builders: BTreeMap<String, std::sync::Arc<MapperBuilder>>,
 }
 
 impl fmt::Debug for MapperRegistry {
@@ -494,7 +499,7 @@ impl MapperRegistry {
         if self.builders.contains_key(&name) {
             return Err(LayoutError::DuplicateMapper { name });
         }
-        self.builders.insert(name, Box::new(builder));
+        self.builders.insert(name, std::sync::Arc::new(builder));
         Ok(())
     }
 
@@ -516,14 +521,26 @@ impl MapperRegistry {
     /// error lists the registered names), and propagates parameter errors
     /// from the builder.
     pub fn build(&self, name: &str, params: &MapperParams) -> Result<Box<dyn FactoryMapper>> {
-        let builder = self
-            .builders
+        self.resolve(name)?(params)
+    }
+
+    /// Resolves `name` to a shared handle on its builder, so callers that
+    /// instantiate many parameterisations of one strategy (seed scans,
+    /// parameter ladders) pay the lookup — and any registry lock around it —
+    /// once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::UnknownMapper`] for an unregistered name (the
+    /// error lists the registered names).
+    pub fn resolve(&self, name: &str) -> Result<std::sync::Arc<MapperBuilder>> {
+        self.builders
             .get(name)
+            .cloned()
             .ok_or_else(|| LayoutError::UnknownMapper {
                 name: name.to_string(),
                 known: self.names(),
-            })?;
-        builder(params)
+            })
     }
 }
 

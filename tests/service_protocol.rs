@@ -177,13 +177,17 @@ fn serve_session_results_are_byte_identical_to_the_binaries_and_baselines() {
         "serve result differs from the checked-in baseline"
     );
 
-    // The search response matches its baseline rows too.
+    // The search response matches the serve baseline rows too. (The serve
+    // session embeds its own copy of the search spec; the standalone
+    // `benches/specs/search_smoke.json` has since grown a converging-ladder
+    // entry for the evaluation-cache smoke, so the session's reference is
+    // the serve baseline, not the bench-regression one.)
     let search_rows = response("search")
         .get("result")
         .and_then(|r| r.get("results"))
         .expect("search results payload");
     let search_baseline: Value = serde_json::from_str(
-        &std::fs::read_to_string("benches/baselines/BENCH_search.json").unwrap(),
+        &std::fs::read_to_string("benches/baselines/serve/BENCH_search.json").unwrap(),
     )
     .unwrap();
     assert_eq!(search_rows, search_baseline.get("results").unwrap());
