@@ -145,6 +145,17 @@ impl EvalCache {
         Ok(value)
     }
 
+    /// Whether `key` already holds a published value. Counts as neither hit
+    /// nor miss — the sweep planner uses it to keep cached points out of
+    /// batch lanes without disturbing the accounting that `get_or_compute`
+    /// performs later.
+    pub(crate) fn peek(&self, key: &str) -> bool {
+        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        slots
+            .get(key)
+            .is_some_and(|slot| slot.value.get().is_some())
+    }
+
     fn hit(&self, found: &Evaluation, strategy_name: &str) -> Evaluation {
         self.hits.fetch_add(1, Ordering::Relaxed);
         PROCESS_HITS.fetch_add(1, Ordering::Relaxed);

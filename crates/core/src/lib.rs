@@ -70,7 +70,10 @@ pub use search::{
     TrajectoryPoint,
 };
 pub use strategy::{register_strategy, registered_strategies, ResolvedStrategy, Strategy};
-pub use sweep::{SweepIndex, SweepOutcome, SweepPoint, SweepResults, SweepRow, SweepSpec};
+pub use sweep::{
+    process_batch_stats, BatchStats, SweepIndex, SweepOutcome, SweepPoint, SweepResults, SweepRow,
+    SweepSpec, DEFAULT_LANES,
+};
 
 /// Convenience result alias used by fallible APIs in this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

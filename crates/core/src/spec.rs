@@ -45,7 +45,11 @@
 //! * `grids` may carry a `seeds` array: every strategy of the grid is then
 //!   instantiated once per seed (innermost loop) with its `seed` parameter
 //!   overridden — note the `linear` built-in takes no seed and must live in a
-//!   seedless grid.
+//!   seedless grid. A duplicated seed is a spec error (it would silently
+//!   duplicate every row of the grid).
+//! * `lanes` (optional, default 8) — lane-batching width of the sweep's
+//!   simulation phase; `0` disables batching. Results are byte-identical at
+//!   any width.
 //!
 //! Points are appended in document order: the `points` array first, then
 //! every grid (factories × strategies × seeds). A spec decoded from JSON is
@@ -327,6 +331,9 @@ impl SweepSpec {
         if let Some(cache) = get_bool(root, "cache", ctx)? {
             spec = spec.with_eval_cache(cache);
         }
+        if let Some(lanes) = get_u64(root, "lanes", ctx)? {
+            spec = spec.with_lanes(lanes as usize);
+        }
         if let Some(points) = root.get("points") {
             for (i, point) in as_array(points, "points")?.iter().enumerate() {
                 let ctx = format!("points[{i}]");
@@ -364,16 +371,27 @@ impl SweepSpec {
                     .collect::<Result<_>>()?;
                 let seeds: Option<Vec<u64>> = match grid.get("seeds") {
                     None => None,
-                    Some(v) => Some(
-                        as_array(v, &format!("{ctx}.seeds"))?
+                    Some(v) => {
+                        let seeds: Vec<u64> = as_array(v, &format!("{ctx}.seeds"))?
                             .iter()
                             .map(|s| {
                                 s.as_u64().ok_or_else(|| {
                                     spec_err(format!("{ctx}.seeds: expected non-negative integers"))
                                 })
                             })
-                            .collect::<Result<_>>()?,
-                    ),
+                            .collect::<Result<_>>()?;
+                        // A repeated seed would silently duplicate every row
+                        // of the grid; reject it as a spec error instead.
+                        let mut sorted = seeds.clone();
+                        sorted.sort_unstable();
+                        if let Some(dup) = sorted.windows(2).find(|w| w[0] == w[1]) {
+                            return Err(spec_err(format!(
+                                "{ctx}.seeds: duplicate seed {}",
+                                dup[0]
+                            )));
+                        }
+                        Some(seeds)
+                    }
                 };
                 for factory in &factories {
                     for strategy in &strategies {
@@ -401,6 +419,7 @@ impl SweepSpec {
                     | "collect_breakdowns"
                     | "collect_mapping_metrics"
                     | "cache"
+                    | "lanes"
                     | "points"
                     | "grids"
             ) {
@@ -540,6 +559,34 @@ mod tests {
         for (point, want) in spec.points.iter().zip(expected) {
             assert_eq!(point.strategy, want);
         }
+    }
+
+    #[test]
+    fn lanes_knob_decodes_and_defaults() {
+        let spec = SweepSpec::from_json(r#"{"name": "x", "lanes": 4}"#).unwrap();
+        assert_eq!(spec.lanes, 4);
+        let off = SweepSpec::from_json(r#"{"name": "x", "lanes": 0}"#).unwrap();
+        assert_eq!(off.lanes, 0);
+        let default = SweepSpec::from_json(r#"{"name": "x"}"#).unwrap();
+        assert_eq!(default.lanes, crate::DEFAULT_LANES);
+        assert!(SweepSpec::from_json(r#"{"name": "x", "lanes": "many"}"#).is_err());
+    }
+
+    #[test]
+    fn duplicate_grid_seeds_are_rejected() {
+        let json = r#"{
+            "name": "seeded",
+            "grids": [
+                {"label": "g",
+                 "factories": [{"k": 2}],
+                 "strategies": [{"strategy": "random"}],
+                 "seeds": [1, 2, 1]}
+            ]
+        }"#;
+        let err = SweepSpec::from_json(json).expect_err("duplicate seeds must fail");
+        let msg = err.to_string();
+        assert!(msg.contains("duplicate seed 1"), "{msg}");
+        assert!(msg.contains("grids[0].seeds"), "{msg}");
     }
 
     #[test]

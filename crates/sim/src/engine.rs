@@ -7,6 +7,12 @@
 //! arenas that are reused run after run — a sweep threads one engine through
 //! thousands of simulations without touching the allocator on the hot path.
 //!
+//! The cell-acquisition machinery (static braid-path caching, adaptive
+//! Dijkstra routing, the merge buffers) lives in the [`Router`], shared with
+//! the lane-batched [`crate::batch::BatchEngine`]: the router takes the busy
+//! grid and the per-gate span slots as parameters, so the same code path
+//! serves one run or K lockstep lanes.
+//!
 //! [`Simulator`] is the stateless façade kept for API compatibility: it spins
 //! up a fresh engine per call. The original allocating implementation is
 //! preserved in [`crate::reference`] and the equivalence suite asserts both
@@ -22,24 +28,350 @@ use crate::{GateTiming, Result, RoutingPolicy, SimConfig, SimError, SimResult};
 /// Sentinel span offset meaning "static cell set not yet computed".
 const UNCACHED: u32 = u32::MAX;
 
-/// A slice of the engine's cell pool: one gate's reserved (or cached) cells.
+/// A slice of a [`Router`]'s cell pool: one gate's reserved (or cached)
+/// cells.
 #[derive(Debug, Clone, Copy)]
-struct CellSpan {
-    start: u32,
-    len: u32,
+pub(crate) struct CellSpan {
+    pub(crate) start: u32,
+    pub(crate) len: u32,
 }
 
 impl CellSpan {
-    const EMPTY: CellSpan = CellSpan { start: 0, len: 0 };
+    pub(crate) const EMPTY: CellSpan = CellSpan { start: 0, len: 0 };
     /// Sentinel for "static cell set not yet computed" (real spans never
     /// carry this length).
-    const UNCACHED: CellSpan = CellSpan {
+    pub(crate) const UNCACHED: CellSpan = CellSpan {
         start: UNCACHED,
         len: UNCACHED,
     };
 
-    fn is_cached(self) -> bool {
+    pub(crate) fn is_cached(self) -> bool {
         self.len != UNCACHED
+    }
+}
+
+/// The cell pool and routing scratch shared by [`SimEngine`] and the
+/// lane-batched [`crate::batch::BatchEngine`].
+///
+/// A router owns everything cell acquisition needs that is not per-run
+/// simulation state: the pool backing every [`CellSpan`], the Dijkstra
+/// scratch, the merge buffers and the dedup stamps. The busy grid and the
+/// per-gate span slots are passed in by the caller, so one router can serve
+/// a single run or many lockstep lanes over the same mesh dimensions.
+#[derive(Debug, Default)]
+pub(crate) struct Router {
+    /// Cell pool backing the static and reserved spans.
+    cells: Vec<Coord>,
+    /// Adaptive-routing workspace.
+    dijkstra: DijkstraScratch,
+    /// Cell accumulator for the acquisition attempt in flight.
+    acquire_buf: Vec<Coord>,
+    /// Single-leg path buffer (adaptive routing).
+    leg_buf: Vec<Coord>,
+    /// Dedup stamps per mesh cell for merging braid legs.
+    mark: Vec<u32>,
+    mark_epoch: u32,
+}
+
+impl Router {
+    /// Clears the pool and sizes the merge stamps for an `area`-cell mesh.
+    pub(crate) fn reset(&mut self, area: usize) {
+        self.cells.clear();
+        self.mark.clear();
+        self.mark.resize(area, 0);
+        self.mark_epoch = 0;
+    }
+
+    /// The cell pool indexed by every [`CellSpan`] this router handed out.
+    pub(crate) fn cells(&self) -> &[Coord] {
+        &self.cells
+    }
+
+    /// Attempts to acquire the cells `gate` needs against `busy`. On
+    /// success, `*reserved` names the cells to reserve. Mirrors
+    /// `reference::acquire_cells` exactly: the same attempts fail, in the
+    /// same order, for the same reasons.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn try_acquire(
+        &mut self,
+        gate: &Gate,
+        routing: RoutingPolicy,
+        mapping: &Mapping,
+        hints: &RoutingHints,
+        busy: &[bool],
+        static_cell: &mut CellSpan,
+        reserved: &mut CellSpan,
+    ) -> bool {
+        let width = mapping.width();
+        // Fast path: a busy-state-independent cell set, computed at the
+        // gate's first attempt and re-checked for free cells ever after. This
+        // covers every gate under dimension-ordered routing — where blocked
+        // braids retry their fixed path at every event — plus single-cell
+        // gates and barriers under adaptive routing.
+        if let Some(span) = self.static_span(gate, routing, mapping, hints, static_cell) {
+            let free = self.cells[span.start as usize..(span.start + span.len) as usize]
+                .iter()
+                .all(|c| !busy[c.row * width + c.col]);
+            if free {
+                *reserved = span;
+            }
+            return free;
+        }
+        // Adaptive two-qubit braids: route against the live busy state.
+        self.acquire_adaptive(gate, mapping, hints, busy, reserved)
+    }
+
+    /// Returns the gate's cached static cell set (the caller's `static_cell`
+    /// slot), computing it on first use; `None` when the cell set depends on
+    /// the busy state (adaptive braids).
+    fn static_span(
+        &mut self,
+        gate: &Gate,
+        routing: RoutingPolicy,
+        mapping: &Mapping,
+        hints: &RoutingHints,
+        static_cell: &mut CellSpan,
+    ) -> Option<CellSpan> {
+        if static_cell.is_cached() {
+            return Some(*static_cell);
+        }
+        let span = match gate {
+            Gate::Barrier(_) => CellSpan::EMPTY,
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Z(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::MeasX(q)
+            | Gate::MeasZ(q)
+            | Gate::Init(q) => {
+                let start = self.cells.len() as u32;
+                self.cells.push(pos(mapping, *q));
+                CellSpan { start, len: 1 }
+            }
+            _ if routing == RoutingPolicy::Adaptive => return None,
+            Gate::Cnot { control, target }
+            | Gate::InjectT {
+                raw: control,
+                target,
+            }
+            | Gate::InjectTdg {
+                raw: control,
+                target,
+            } => {
+                let start = self.cells.len() as u32;
+                self.begin_merge();
+                self.push_l_route(
+                    pos(mapping, *control),
+                    pos(mapping, *target),
+                    hints.waypoint(*control, *target),
+                    mapping.width(),
+                );
+                let buf = std::mem::take(&mut self.acquire_buf);
+                self.cells.extend_from_slice(&buf);
+                self.acquire_buf = buf;
+                CellSpan {
+                    start,
+                    len: self.cells.len() as u32 - start,
+                }
+            }
+            Gate::Cxx { control, targets } => {
+                let start = self.cells.len() as u32;
+                let c = pos(mapping, *control);
+                self.begin_merge();
+                self.push_merged(c, mapping.width());
+                for t in targets {
+                    self.push_l_route(
+                        c,
+                        pos(mapping, *t),
+                        hints.waypoint(*control, *t),
+                        mapping.width(),
+                    );
+                }
+                let buf = std::mem::take(&mut self.acquire_buf);
+                self.cells.extend_from_slice(&buf);
+                self.acquire_buf = buf;
+                CellSpan {
+                    start,
+                    len: self.cells.len() as u32 - start,
+                }
+            }
+        };
+        *static_cell = span;
+        Some(span)
+    }
+
+    /// Routes an adaptive two-qubit gate (CNOT, injection, CXX) against the
+    /// live busy state; on success copies the merged cells into the pool and
+    /// records them in the caller's `reserved` slot.
+    fn acquire_adaptive(
+        &mut self,
+        gate: &Gate,
+        mapping: &Mapping,
+        hints: &RoutingHints,
+        busy: &[bool],
+        reserved: &mut CellSpan,
+    ) -> bool {
+        self.begin_merge();
+        let ok = match gate {
+            Gate::Cnot { control, target }
+            | Gate::InjectT {
+                raw: control,
+                target,
+            }
+            | Gate::InjectTdg {
+                raw: control,
+                target,
+            } => self.adaptive_route_pair(
+                pos(mapping, *control),
+                pos(mapping, *target),
+                hints.waypoint(*control, *target),
+                mapping,
+                busy,
+            ),
+            Gate::Cxx { control, targets } => {
+                let c = pos(mapping, *control);
+                self.push_merged(c, mapping.width());
+                targets.iter().all(|t| {
+                    self.adaptive_route_pair(
+                        c,
+                        pos(mapping, *t),
+                        hints.waypoint(*control, *t),
+                        mapping,
+                        busy,
+                    )
+                })
+            }
+            _ => unreachable!("single-cell gates are handled by the static path"),
+        };
+        if !ok {
+            return false;
+        }
+        let start = self.cells.len() as u32;
+        let buf = std::mem::take(&mut self.acquire_buf);
+        self.cells.extend_from_slice(&buf);
+        self.acquire_buf = buf;
+        *reserved = CellSpan {
+            start,
+            len: self.cells.len() as u32 - start,
+        };
+        true
+    }
+
+    /// Adaptive `route_pair`: one or two Dijkstra legs through the optional
+    /// waypoint, merged into the acquisition buffer. Matches
+    /// `reference::route_pair` leg for leg.
+    fn adaptive_route_pair(
+        &mut self,
+        from: Coord,
+        to: Coord,
+        waypoint: Option<Coord>,
+        mapping: &Mapping,
+        busy: &[bool],
+    ) -> bool {
+        match waypoint {
+            None => self.adaptive_leg(from, to, mapping, busy),
+            Some(w) => {
+                self.adaptive_leg(from, w, mapping, busy) && self.adaptive_leg(w, to, mapping, busy)
+            }
+        }
+    }
+
+    /// One adaptive leg: endpoint busy checks, then the scratch-backed
+    /// Dijkstra, then the mark-deduplicated merge.
+    fn adaptive_leg(&mut self, a: Coord, b: Coord, mapping: &Mapping, busy: &[bool]) -> bool {
+        let width = mapping.width();
+        let height = mapping.height();
+        let is_busy = |c: Coord| busy[c.row * width + c.col];
+        if is_busy(a) || is_busy(b) {
+            return false;
+        }
+        // Prefer corridors over cells hosting idle resident qubits: braiding
+        // over a resident tile blocks that qubit's own operations.
+        let occupancy_penalty = |c: Coord| -> u64 {
+            if mapping.occupant(c).is_some() {
+                4
+            } else {
+                0
+            }
+        };
+        self.leg_buf.clear();
+        if !adaptive_path_into(
+            a,
+            b,
+            width,
+            height,
+            &is_busy,
+            &occupancy_penalty,
+            &mut self.dijkstra,
+            &mut self.leg_buf,
+        ) {
+            return false;
+        }
+        let leg = std::mem::take(&mut self.leg_buf);
+        for &c in &leg {
+            self.push_merged(c, width);
+        }
+        self.leg_buf = leg;
+        true
+    }
+
+    /// Opens a fresh merge epoch for the acquisition buffer.
+    fn begin_merge(&mut self) {
+        if self.mark_epoch == u32::MAX {
+            self.mark.fill(0);
+            self.mark_epoch = 0;
+        }
+        self.mark_epoch += 1;
+        self.acquire_buf.clear();
+    }
+
+    /// Appends `c` to the acquisition buffer unless already present this
+    /// epoch (`BraidPath::merge` union semantics).
+    fn push_merged(&mut self, c: Coord, width: usize) {
+        let i = c.row * width + c.col;
+        if self.mark[i] != self.mark_epoch {
+            self.mark[i] = self.mark_epoch;
+            self.acquire_buf.push(c);
+        }
+    }
+
+    /// Merges the dimension-ordered route (through the optional waypoint)
+    /// into the acquisition buffer.
+    fn push_l_route(&mut self, from: Coord, to: Coord, waypoint: Option<Coord>, width: usize) {
+        match waypoint {
+            None => self.push_l_leg(from, to, width),
+            Some(w) => {
+                self.push_l_leg(from, w, width);
+                self.push_l_leg(w, to, width);
+            }
+        }
+    }
+
+    /// Walks the L-shaped path from `from` to `to` (row first, then column),
+    /// merging each cell without materialising the path.
+    fn push_l_leg(&mut self, from: Coord, to: Coord, width: usize) {
+        self.push_merged(from, width);
+        let mut col = from.col;
+        while col != to.col {
+            if col < to.col {
+                col += 1;
+            } else {
+                col -= 1;
+            }
+            self.push_merged(Coord::new(from.row, col), width);
+        }
+        let mut row = from.row;
+        while row != to.row {
+            if row < to.row {
+                row += 1;
+            } else {
+                row -= 1;
+            }
+            self.push_merged(Coord::new(row, to.col), width);
+        }
     }
 }
 
@@ -62,8 +394,6 @@ pub struct SimEngine {
     ready_time: Vec<u64>,
     /// Busy flags per mesh cell.
     busy: Vec<bool>,
-    /// Cell pool backing `static_cells` and `reserved`.
-    cells: Vec<Coord>,
     /// Cached busy-state-independent cell set per gate (all gates under
     /// dimension-ordered routing; single-qubit gates and barriers always).
     static_cells: Vec<CellSpan>,
@@ -73,15 +403,8 @@ pub struct SimEngine {
     wheel: EventWheel,
     /// Gates completing at the current event time (drain buffer).
     completions: Vec<u32>,
-    /// Adaptive-routing workspace.
-    dijkstra: DijkstraScratch,
-    /// Cell accumulator for the acquisition attempt in flight.
-    acquire_buf: Vec<Coord>,
-    /// Single-leg path buffer (adaptive routing).
-    leg_buf: Vec<Coord>,
-    /// Dedup stamps per mesh cell for merging braid legs.
-    mark: Vec<u32>,
-    mark_epoch: u32,
+    /// Cell pool and routing scratch.
+    router: Router,
 }
 
 impl SimEngine {
@@ -177,13 +500,22 @@ impl SimEngine {
                 for i in 0..self.candidates.len() {
                     let g = self.candidates[i] as usize;
                     let gate = &gates[g];
-                    if !self.try_acquire(g, gate, mapping, &layout.hints) {
+                    let acquired = self.router.try_acquire(
+                        gate,
+                        self.config.routing,
+                        mapping,
+                        &layout.hints,
+                        &self.busy,
+                        &mut self.static_cells[g],
+                        &mut self.reserved[g],
+                    );
+                    if !acquired {
                         routing_conflicts += 1;
                         continue;
                     }
                     let span = self.reserved[g];
                     for k in span.start..span.start + span.len {
-                        let c = self.cells[k as usize];
+                        let c = self.router.cells()[k as usize];
                         self.busy[c.row * width + c.col] = true;
                     }
                     let duration = self.config.latency.cycles(gate);
@@ -233,7 +565,7 @@ impl SimEngine {
                 let g = gc as usize;
                 let span = self.reserved[g];
                 for k in span.start..span.start + span.len {
-                    let c = self.cells[k as usize];
+                    let c = self.router.cells()[k as usize];
                     self.busy[c.row * width + c.col] = false;
                 }
                 completed += 1;
@@ -275,13 +607,10 @@ impl SimEngine {
         self.static_cells.resize(n, CellSpan::UNCACHED);
         self.reserved.clear();
         self.reserved.resize(n, CellSpan::EMPTY);
-        self.cells.clear();
         let area = mapping.grid_area();
         self.busy.clear();
         self.busy.resize(area, false);
-        self.mark.clear();
-        self.mark.resize(area, 0);
-        self.mark_epoch = 0;
+        self.router.reset(area);
         let max_duration = circuit
             .gates()
             .iter()
@@ -306,287 +635,10 @@ impl SimEngine {
             }
         }
     }
-
-    /// Attempts to acquire the cells `gate` needs against the current busy
-    /// state. On success, `self.reserved[g]` names the cells to reserve.
-    /// Mirrors `reference::acquire_cells` exactly: the same attempts fail,
-    /// in the same order, for the same reasons.
-    fn try_acquire(
-        &mut self,
-        g: usize,
-        gate: &Gate,
-        mapping: &Mapping,
-        hints: &RoutingHints,
-    ) -> bool {
-        let width = mapping.width();
-        // Fast path: a busy-state-independent cell set, computed at the
-        // gate's first attempt and re-checked for free cells ever after. This
-        // covers every gate under dimension-ordered routing — where blocked
-        // braids retry their fixed path at every event — plus single-cell
-        // gates and barriers under adaptive routing.
-        if let Some(span) = self.static_span(g, gate, mapping, hints) {
-            let free = self.cells[span.start as usize..(span.start + span.len) as usize]
-                .iter()
-                .all(|c| !self.busy[c.row * width + c.col]);
-            if free {
-                self.reserved[g] = span;
-            }
-            return free;
-        }
-        // Adaptive two-qubit braids: route against the live busy state.
-        self.acquire_adaptive(g, gate, mapping, hints)
-    }
-
-    /// Returns the gate's cached static cell set, computing it on first use;
-    /// `None` when the cell set depends on the busy state (adaptive braids).
-    fn static_span(
-        &mut self,
-        g: usize,
-        gate: &Gate,
-        mapping: &Mapping,
-        hints: &RoutingHints,
-    ) -> Option<CellSpan> {
-        let cached = self.static_cells[g];
-        if cached.is_cached() {
-            return Some(cached);
-        }
-        let span = match gate {
-            Gate::Barrier(_) => CellSpan::EMPTY,
-            Gate::H(q)
-            | Gate::X(q)
-            | Gate::Z(q)
-            | Gate::S(q)
-            | Gate::Sdg(q)
-            | Gate::T(q)
-            | Gate::Tdg(q)
-            | Gate::MeasX(q)
-            | Gate::MeasZ(q)
-            | Gate::Init(q) => {
-                let start = self.cells.len() as u32;
-                self.cells.push(pos(mapping, *q));
-                CellSpan { start, len: 1 }
-            }
-            _ if self.config.routing == RoutingPolicy::Adaptive => return None,
-            Gate::Cnot { control, target }
-            | Gate::InjectT {
-                raw: control,
-                target,
-            }
-            | Gate::InjectTdg {
-                raw: control,
-                target,
-            } => {
-                let start = self.cells.len() as u32;
-                self.begin_merge();
-                self.push_l_route(
-                    pos(mapping, *control),
-                    pos(mapping, *target),
-                    hints.waypoint(*control, *target),
-                    mapping.width(),
-                );
-                let buf = std::mem::take(&mut self.acquire_buf);
-                self.cells.extend_from_slice(&buf);
-                self.acquire_buf = buf;
-                CellSpan {
-                    start,
-                    len: self.cells.len() as u32 - start,
-                }
-            }
-            Gate::Cxx { control, targets } => {
-                let start = self.cells.len() as u32;
-                let c = pos(mapping, *control);
-                self.begin_merge();
-                self.push_merged(c, mapping.width());
-                for t in targets {
-                    self.push_l_route(
-                        c,
-                        pos(mapping, *t),
-                        hints.waypoint(*control, *t),
-                        mapping.width(),
-                    );
-                }
-                let buf = std::mem::take(&mut self.acquire_buf);
-                self.cells.extend_from_slice(&buf);
-                self.acquire_buf = buf;
-                CellSpan {
-                    start,
-                    len: self.cells.len() as u32 - start,
-                }
-            }
-        };
-        self.static_cells[g] = span;
-        Some(span)
-    }
-
-    /// Routes an adaptive two-qubit gate (CNOT, injection, CXX) against the
-    /// live busy state; on success copies the merged cells into the pool and
-    /// records them as `self.reserved[g]`.
-    fn acquire_adaptive(
-        &mut self,
-        g: usize,
-        gate: &Gate,
-        mapping: &Mapping,
-        hints: &RoutingHints,
-    ) -> bool {
-        self.begin_merge();
-        let ok = match gate {
-            Gate::Cnot { control, target }
-            | Gate::InjectT {
-                raw: control,
-                target,
-            }
-            | Gate::InjectTdg {
-                raw: control,
-                target,
-            } => self.adaptive_route_pair(
-                pos(mapping, *control),
-                pos(mapping, *target),
-                hints.waypoint(*control, *target),
-                mapping,
-            ),
-            Gate::Cxx { control, targets } => {
-                let c = pos(mapping, *control);
-                self.push_merged(c, mapping.width());
-                targets.iter().all(|t| {
-                    self.adaptive_route_pair(
-                        c,
-                        pos(mapping, *t),
-                        hints.waypoint(*control, *t),
-                        mapping,
-                    )
-                })
-            }
-            _ => unreachable!("single-cell gates are handled by the static path"),
-        };
-        if !ok {
-            return false;
-        }
-        let start = self.cells.len() as u32;
-        let buf = std::mem::take(&mut self.acquire_buf);
-        self.cells.extend_from_slice(&buf);
-        self.acquire_buf = buf;
-        self.reserved[g] = CellSpan {
-            start,
-            len: self.cells.len() as u32 - start,
-        };
-        true
-    }
-
-    /// Adaptive `route_pair`: one or two Dijkstra legs through the optional
-    /// waypoint, merged into the acquisition buffer. Matches
-    /// `reference::route_pair` leg for leg.
-    fn adaptive_route_pair(
-        &mut self,
-        from: Coord,
-        to: Coord,
-        waypoint: Option<Coord>,
-        mapping: &Mapping,
-    ) -> bool {
-        match waypoint {
-            None => self.adaptive_leg(from, to, mapping),
-            Some(w) => self.adaptive_leg(from, w, mapping) && self.adaptive_leg(w, to, mapping),
-        }
-    }
-
-    /// One adaptive leg: endpoint busy checks, then the scratch-backed
-    /// Dijkstra, then the mark-deduplicated merge.
-    fn adaptive_leg(&mut self, a: Coord, b: Coord, mapping: &Mapping) -> bool {
-        let width = mapping.width();
-        let height = mapping.height();
-        let busy = &self.busy;
-        let is_busy = |c: Coord| busy[c.row * width + c.col];
-        if is_busy(a) || is_busy(b) {
-            return false;
-        }
-        // Prefer corridors over cells hosting idle resident qubits: braiding
-        // over a resident tile blocks that qubit's own operations.
-        let occupancy_penalty = |c: Coord| -> u64 {
-            if mapping.occupant(c).is_some() {
-                4
-            } else {
-                0
-            }
-        };
-        self.leg_buf.clear();
-        if !adaptive_path_into(
-            a,
-            b,
-            width,
-            height,
-            &is_busy,
-            &occupancy_penalty,
-            &mut self.dijkstra,
-            &mut self.leg_buf,
-        ) {
-            return false;
-        }
-        let leg = std::mem::take(&mut self.leg_buf);
-        for &c in &leg {
-            self.push_merged(c, width);
-        }
-        self.leg_buf = leg;
-        true
-    }
-
-    /// Opens a fresh merge epoch for the acquisition buffer.
-    fn begin_merge(&mut self) {
-        if self.mark_epoch == u32::MAX {
-            self.mark.fill(0);
-            self.mark_epoch = 0;
-        }
-        self.mark_epoch += 1;
-        self.acquire_buf.clear();
-    }
-
-    /// Appends `c` to the acquisition buffer unless already present this
-    /// epoch (`BraidPath::merge` union semantics).
-    fn push_merged(&mut self, c: Coord, width: usize) {
-        let i = c.row * width + c.col;
-        if self.mark[i] != self.mark_epoch {
-            self.mark[i] = self.mark_epoch;
-            self.acquire_buf.push(c);
-        }
-    }
-
-    /// Merges the dimension-ordered route (through the optional waypoint)
-    /// into the acquisition buffer.
-    fn push_l_route(&mut self, from: Coord, to: Coord, waypoint: Option<Coord>, width: usize) {
-        match waypoint {
-            None => self.push_l_leg(from, to, width),
-            Some(w) => {
-                self.push_l_leg(from, w, width);
-                self.push_l_leg(w, to, width);
-            }
-        }
-    }
-
-    /// Walks the L-shaped path from `from` to `to` (row first, then column),
-    /// merging each cell without materialising the path.
-    fn push_l_leg(&mut self, from: Coord, to: Coord, width: usize) {
-        self.push_merged(from, width);
-        let mut col = from.col;
-        while col != to.col {
-            if col < to.col {
-                col += 1;
-            } else {
-                col -= 1;
-            }
-            self.push_merged(Coord::new(from.row, col), width);
-        }
-        let mut row = from.row;
-        while row != to.row {
-            if row < to.row {
-                row += 1;
-            } else {
-                row -= 1;
-            }
-            self.push_merged(Coord::new(row, to.col), width);
-        }
-    }
 }
 
 /// Looks up a validated qubit position.
-fn pos(mapping: &Mapping, q: QubitId) -> Coord {
+pub(crate) fn pos(mapping: &Mapping, q: QubitId) -> Coord {
     mapping.position(q).expect("validated before simulation")
 }
 

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 mod braid;
 mod config;
 mod engine;
@@ -53,6 +54,7 @@ mod events;
 pub mod reference;
 mod stats;
 
+pub use batch::{BatchEngine, BatchLane, MAX_LANES};
 pub use braid::{
     adaptive_path, adaptive_path_into, dimension_ordered_path, BraidPath, DijkstraScratch,
 };

@@ -1,9 +1,11 @@
 //! The unified `msfu` command-line front end of the service façade.
 //!
 //! ```text
-//! msfu run <REQUEST.json> [--serial] [--progress]
+//! msfu run <REQUEST.json> [--serial] [--progress] [--lanes K]
 //!     Execute one job request and print its JSON response on stdout.
 //!     --progress additionally streams NDJSON progress events on stderr.
+//!     --lanes K overrides a sweep request's lane-batching width (0 or 1
+//!     turns batching off); non-sweep jobs ignore it.
 //!
 //! msfu serve [--serial] [--bench-dir DIR]
 //!     JSON-lines session: one request per stdin line, interleaved NDJSON
@@ -23,18 +25,24 @@ use std::io::Write;
 use std::process::ExitCode;
 use std::sync::Mutex;
 
-use msfu::service::{serve, JobHandle, NdjsonSink, Request, ServeOptions, Service};
+use msfu::service::{serve, Job, JobHandle, NdjsonSink, Request, ServeOptions, Service};
 
-const USAGE: &str = "usage: msfu run <REQUEST.json> [--serial] [--progress]\n       msfu serve [--serial] [--bench-dir DIR]";
+const USAGE: &str = "usage: msfu run <REQUEST.json> [--serial] [--progress] [--lanes K]\n       msfu serve [--serial] [--bench-dir DIR]";
 
 fn run_command(args: &[String]) -> Result<bool, String> {
     let mut request_path: Option<&str> = None;
     let mut serial = false;
     let mut progress = false;
-    for arg in args {
+    let mut lanes: Option<usize> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--serial" | "serial" => serial = true,
             "--progress" => progress = true,
+            "--lanes" => {
+                let v = iter.next().ok_or("--lanes needs a value")?;
+                lanes = Some(v.parse().map_err(|_| format!("bad lane count `{v}`"))?);
+            }
             _ if arg.starts_with("--") => return Err(format!("unknown flag `{arg}`")),
             _ => {
                 if request_path.replace(arg).is_some() {
@@ -48,6 +56,9 @@ fn run_command(args: &[String]) -> Result<bool, String> {
     let response = match Request::from_json(&text) {
         Ok(mut request) => {
             request.serial = request.serial || serial;
+            if let (Some(lanes), Job::Sweep { spec }) = (lanes, &mut request.job) {
+                spec.lanes = lanes;
+            }
             let handle = JobHandle::new();
             if progress {
                 let stderr = Mutex::new(std::io::stderr());
