@@ -20,6 +20,11 @@
 //!   more than that fraction. Use a generous value when baseline and current
 //!   come from different machines.
 //!
+//! Perf fields outside the gated set are observability-only and ignored —
+//! e.g. `perf.cluster` (stamped by `msfu serve --workers N`) never affects a
+//! comparison, which is what lets the CI `cluster-smoke` job diff sharded
+//! runs against serial baselines at `--tolerance 0.0`.
+//!
 //! Exit status: 0 when clean, 1 on any regression, 2 on usage/IO errors.
 
 use std::path::{Path, PathBuf};

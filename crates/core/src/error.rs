@@ -18,6 +18,19 @@ pub enum CoreError {
         /// Explanation of the problem (field path and what was expected).
         reason: String,
     },
+    /// A remote worker failed, or its payload could not be decoded.
+    ///
+    /// `code` carries the service-level error-code string reported by (or
+    /// assigned to) the failure, opaque to this crate; the service layer maps
+    /// known codes back onto their original identity so a clustered run
+    /// reports the same code a serial run would. `Display` prints only the
+    /// message, for the same reason.
+    Remote {
+        /// Stable error-code string of the underlying failure.
+        code: String,
+        /// Human-readable explanation (the remote error's own message).
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -27,6 +40,7 @@ impl fmt::Display for CoreError {
             CoreError::Layout(e) => write!(f, "qubit placement failed: {e}"),
             CoreError::Sim(e) => write!(f, "braid simulation failed: {e}"),
             CoreError::Spec { reason } => write!(f, "invalid specification: {reason}"),
+            CoreError::Remote { message, .. } => write!(f, "{message}"),
         }
     }
 }
@@ -37,7 +51,7 @@ impl std::error::Error for CoreError {
             CoreError::Distill(e) => Some(e),
             CoreError::Layout(e) => Some(e),
             CoreError::Sim(e) => Some(e),
-            CoreError::Spec { .. } => None,
+            CoreError::Spec { .. } | CoreError::Remote { .. } => None,
         }
     }
 }

@@ -57,6 +57,7 @@ pub mod spec;
 mod strategy;
 pub mod sweep;
 pub mod throughput;
+pub mod wire;
 
 pub use cache::{process_cache_stats, CacheStats, EvalCache};
 pub use error::CoreError;

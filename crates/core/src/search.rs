@@ -362,6 +362,52 @@ impl SearchSpec {
             .map(|entry| entry.template.resolve())
             .collect::<Result<_>>()?;
         let cache = self.use_eval_cache.then(EvalCache::new);
+        let mut outcome = self.run_with_evaluator(ctrl, |batch| {
+            let evaluate = |(g, s): &(usize, Strategy)| {
+                self.evaluate_candidate(
+                    &resolved[g % self.portfolio.len()],
+                    s,
+                    &factory,
+                    cache.as_ref(),
+                )
+            };
+            Ok(if serial {
+                batch.iter().map(evaluate).collect()
+            } else {
+                batch.par_iter().map(evaluate).collect()
+            })
+        })?;
+        outcome.cache = cache.map(|c| c.stats()).unwrap_or_default();
+        Ok(outcome)
+    }
+
+    /// The search fold with candidate evaluation delegated to a caller
+    /// closure: the batch-building, incumbent-tracking and stopping logic of
+    /// [`SearchSpec::run_with`], with each batch of `(position, candidate)`
+    /// pairs handed to `evaluate_batch` instead of being evaluated locally.
+    ///
+    /// This is the hook a cluster coordinator uses to fan candidate batches
+    /// out to remote workers while keeping the fold — and therefore the
+    /// report, trajectory and stop reason — byte-identical to a serial run.
+    /// The closure must return exactly one `Result<Evaluation>` per
+    /// candidate, in batch order; a batch-level failure (`Err` on the outer
+    /// `Result`) aborts the search. The returned outcome carries default
+    /// (all-zero) cache counters, since this fold never sees a cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a spec error for an empty portfolio or zero budget/batch
+    /// size, and propagates the first (in candidate order) evaluation error
+    /// the closure reports.
+    pub fn run_with_evaluator<F>(
+        &self,
+        ctrl: &RunControl<'_>,
+        mut evaluate_batch: F,
+    ) -> Result<SearchOutcome>
+    where
+        F: FnMut(&[(usize, Strategy)]) -> Result<Vec<Result<Evaluation>>>,
+    {
+        self.validate()?;
 
         // Positions in the stream beyond an entry's distinct-candidate count
         // are skipped, so the effective budget is capped by the number of
@@ -413,19 +459,18 @@ impl SearchSpec {
                 stop = exhausted(evaluated);
                 break;
             }
-            let evaluate = |(g, s): &(usize, Strategy)| {
-                self.evaluate_candidate(
-                    &resolved[g % self.portfolio.len()],
-                    s,
-                    &factory,
-                    cache.as_ref(),
-                )
-            };
-            let evaluations: Vec<Result<Evaluation>> = if serial {
-                batch.iter().map(evaluate).collect()
-            } else {
-                batch.par_iter().map(evaluate).collect()
-            };
+            let evaluations = evaluate_batch(&batch)?;
+            if evaluations.len() != batch.len() {
+                return Err(CoreError::Remote {
+                    code: "E_REMOTE".to_string(),
+                    message: format!(
+                        "search `{}`: evaluator returned {} evaluations for a batch of {}",
+                        self.name,
+                        evaluations.len(),
+                        batch.len()
+                    ),
+                });
+            }
 
             let mut improved = false;
             for ((g, strategy), evaluation) in batch.iter().zip(evaluations) {
@@ -484,7 +529,7 @@ impl SearchSpec {
 
         Ok(SearchOutcome {
             interrupted: stop == StopReason::Cancelled,
-            cache: cache.map(|c| c.stats()).unwrap_or_default(),
+            cache: CacheStats::default(),
             report: SearchReport {
                 name: self.name.clone(),
                 objective: self.objective,

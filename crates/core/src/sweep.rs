@@ -362,6 +362,22 @@ impl SweepSpec {
         self
     }
 
+    /// The sub-sweep covering `points[range]` — the shard a cluster
+    /// coordinator dispatches to one worker. Every other knob (eval config,
+    /// cache, lanes, collection flags, name) is carried unchanged, so
+    /// concatenating the rows of the slices `0..a`, `a..b`, …, `z..len` in
+    /// order reproduces the full sweep's rows byte-for-byte: each row is a
+    /// pure function of its point and the shared configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds, like slice indexing.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> SweepSpec {
+        let mut shard = self.clone();
+        shard.points = self.points[range].to_vec();
+        shard
+    }
+
     /// Appends one point (builder style).
     pub fn point(
         mut self,

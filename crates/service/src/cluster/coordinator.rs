@@ -1,0 +1,961 @@
+//! The coordinator: shard fan-out, deterministic merge, fault recovery.
+//!
+//! A coordinated job never changes *what* is computed — only *where*. The
+//! shard plan is a pure function of the spec and the configured pool size
+//! (see [`shard_ranges`]), each shard is an ordinary serve-protocol sweep
+//! request a worker executes with the normal engine, and merging walks the
+//! shards in plan order — so the merged rows, incumbents and error codes are
+//! byte-identical to a serial run whatever order shards actually finish in,
+//! and whichever workers they land on.
+//!
+//! Fault handling: a worker whose output closes mid-shard is marked dead and
+//! its shard is re-dispatched to the next idle worker (`shards_retried` in
+//! the response's `perf.cluster` stamp counts these). Only when *every*
+//! worker is gone with work still queued does the job fail, with
+//! [`E_WORKER_LOST`]. Cancellation and deadlines fan out: the coordinator
+//! forwards a cancel line for every in-flight shard and skips the queued
+//! ones, then merges the longest completed prefix exactly like a serial
+//! cancelled run.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::ops::Range;
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+use serde_json::Value;
+
+use msfu_core::wire;
+use msfu_core::{CoreError, ProgressEvent, ProgressSink, RunControl, SweepResults, SweepRow};
+use msfu_core::{SearchSpec, SweepSpec};
+
+use crate::cluster::comm::{self, ClusterBackend, WorkerEvent, WorkerFault, WorkerTx};
+use crate::cluster::planner::shard_ranges;
+use crate::error_code::{error_code, E_REMOTE, E_WORKER_LOST};
+use crate::ndjson::progress_to_value;
+use crate::protocol::{
+    ClusterPerf, Job, Payload, Request, Response, ResponsePerf, ServiceError, PROTOCOL_VERSION,
+};
+use crate::service::{JobHandle, Service};
+
+/// How long the event loop waits for worker output before re-checking
+/// cancellation, deadlines and worker health.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// A connected worker pool, reusable across the jobs of a serve session.
+///
+/// Workers are connected once and kept until the pool is dropped; a worker
+/// that dies stays dead (its shards re-dispatch to the survivors), and the
+/// shard *plan* always uses the configured pool size, so results do not
+/// depend on which workers happen to be alive.
+pub struct Cluster {
+    workers: Vec<WorkerSlot>,
+    events: mpsc::Receiver<WorkerEvent>,
+    /// Keeps the event channel open even while no worker holds a sender, so
+    /// `recv_timeout` reports timeouts, never disconnection.
+    _keepalive: mpsc::Sender<WorkerEvent>,
+    backend_name: &'static str,
+}
+
+struct WorkerSlot {
+    tx: Box<dyn WorkerTx>,
+    alive: bool,
+    /// Index (into the current shard set) of the in-flight shard.
+    busy: Option<usize>,
+    busy_since: Option<Instant>,
+}
+
+impl Cluster {
+    /// Connects a pool of `workers` workers (at least one) over `backend`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a child worker process cannot be spawned; the
+    /// [`ClusterBackend::LocalThreads`] backend is infallible.
+    pub fn connect(
+        backend: &ClusterBackend,
+        workers: usize,
+        fault: Option<WorkerFault>,
+    ) -> io::Result<Cluster> {
+        let (tx, rx) = mpsc::channel();
+        let txs = comm::connect(backend, workers.max(1), fault, &tx)?;
+        Ok(Cluster {
+            workers: txs
+                .into_iter()
+                .map(|tx| WorkerSlot {
+                    tx,
+                    alive: true,
+                    busy: None,
+                    busy_since: None,
+                })
+                .collect(),
+            events: rx,
+            _keepalive: tx,
+            backend_name: backend.name(),
+        })
+    }
+
+    /// The configured pool size (dead workers included — the shard plan
+    /// never shrinks with the pool).
+    pub fn world(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("backend", &self.backend_name)
+            .field("workers", &self.workers.len())
+            .field("alive", &self.workers.iter().filter(|w| w.alive).count())
+            .finish()
+    }
+}
+
+/// One planned shard: a sub-range of the job, as a ready-to-send request.
+struct ShardSpec {
+    id: String,
+    range: Range<usize>,
+    body: Value,
+}
+
+/// How one shard ended.
+enum ShardDone {
+    /// The worker responded with rows (possibly a cancelled partial prefix).
+    Rows {
+        rows: Vec<SweepRow>,
+        cancelled: bool,
+    },
+    /// The worker responded with a typed error.
+    Failed { code: String, message: String },
+    /// The shard never completed: skipped after a cancel/deadline, or
+    /// abandoned because every worker died.
+    Skipped,
+}
+
+/// What the shard executor tells the caller as the job unfolds.
+enum ShardSignal<'a> {
+    /// A progress line from the shard's worker (verbatim, shard-local ids
+    /// and indices).
+    Progress(&'a Value),
+    /// The shard finished.
+    Done(&'a ShardDone),
+}
+
+/// Dispatch/occupancy counters accumulated across one job's shard sets.
+#[derive(Default)]
+struct ShardStats {
+    dispatched: u64,
+    retried: u64,
+    busy_seconds: f64,
+}
+
+impl ShardStats {
+    fn perf(&self, backend: &'static str, workers: usize, wall_seconds: f64) -> ClusterPerf {
+        let pool = workers.max(1) as f64;
+        let ideal = self.busy_seconds / pool;
+        ClusterPerf {
+            backend,
+            workers,
+            shards: self.dispatched,
+            shards_retried: self.retried,
+            occupancy: if wall_seconds > 0.0 {
+                (self.busy_seconds / (wall_seconds * pool)).min(1.0)
+            } else {
+                0.0
+            },
+            coordinator_seconds: (wall_seconds - ideal).max(0.0),
+        }
+    }
+}
+
+/// Cancellation/deadline source of the job being coordinated.
+struct Interrupt<'a> {
+    handle: &'a JobHandle,
+    deadline: Option<Instant>,
+}
+
+impl Interrupt<'_> {
+    fn triggered(&self) -> bool {
+        self.handle.is_cancelled() || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Milliseconds left until the deadline (saturating at zero), if any.
+    fn remaining_ms(&self) -> Option<u64> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()).as_millis() as u64)
+    }
+}
+
+/// Executes one request against the pool, streaming merged progress lines
+/// to `progress` (when given) and returning the merged response.
+///
+/// Sweeps are sharded directly; searches run their deterministic fold on
+/// the coordinator and shard each candidate batch. `Evaluate` jobs are a
+/// single bounded simulation — they run in-process, exactly like an
+/// uncoordinated serve session would run them.
+pub fn run_clustered<W: Write>(
+    cluster: &mut Cluster,
+    request: &Request,
+    handle: &JobHandle,
+    progress: Option<&Mutex<W>>,
+) -> Response {
+    let start = Instant::now();
+    match &request.job {
+        Job::Sweep { spec } => run_sweep(cluster, request, spec, handle, progress, start),
+        Job::Search { spec } => run_search(cluster, request, spec, handle, progress, start),
+        _ => {
+            let sink = OptionalSink {
+                id: &request.id,
+                out: progress,
+            };
+            Service::new().run(request, handle, &sink)
+        }
+    }
+}
+
+fn run_sweep<W: Write>(
+    cluster: &mut Cluster,
+    request: &Request,
+    spec: &SweepSpec,
+    handle: &JobHandle,
+    progress: Option<&Mutex<W>>,
+    start: Instant,
+) -> Response {
+    let total = spec.points.len();
+    let world = cluster.world();
+    let backend = cluster.backend_name;
+    let shards: Vec<ShardSpec> = shard_ranges(total, world)
+        .into_iter()
+        .enumerate()
+        .map(|(k, range)| {
+            let id = format!("{}#s{k}", request.id);
+            let body = shard_request(
+                &id,
+                request.serial,
+                wire::sweep_spec_to_value(&spec.slice(range.clone())),
+            );
+            ShardSpec { id, range, body }
+        })
+        .collect();
+    let interrupt = Interrupt {
+        handle,
+        deadline: request
+            .deadline_ms
+            .map(|ms| start + Duration::from_millis(ms)),
+    };
+    let offsets: Vec<usize> = shards.iter().map(|s| s.range.start).collect();
+    let mut stats = ShardStats::default();
+    let mut completed = 0usize;
+    let outcome = execute_shards(
+        cluster,
+        &shards,
+        Some(&interrupt),
+        &mut stats,
+        |shard, signal| match signal {
+            // Worker row events pass through with the parent id and the
+            // global index/total. They appear as workers produce them, so
+            // (unlike single-process runs) global index order is not
+            // guaranteed across shards — each line is still exact.
+            ShardSignal::Progress(value) => {
+                if let Some(text) = patch_row_line(value, &request.id, offsets[shard], total) {
+                    emit_line(progress, &text);
+                }
+            }
+            // Worker batch events are dropped (their totals are
+            // shard-local); the coordinator emits its own merged
+            // `batch_finished` as each shard lands.
+            ShardSignal::Done(done) => {
+                if let ShardDone::Rows { rows, .. } = done {
+                    completed += rows.len();
+                    let event = ProgressEvent::BatchFinished {
+                        name: &spec.name,
+                        completed,
+                        total,
+                    };
+                    if let Ok(text) = serde_json::to_string(&progress_to_value(&request.id, &event))
+                    {
+                        emit_line(progress, &text);
+                    }
+                }
+            }
+        },
+    );
+
+    let wall = start.elapsed().as_secs_f64();
+    let perf =
+        ResponsePerf::new(wall, request.serial).with_cluster(stats.perf(backend, world, wall));
+    if let Some(message) = outcome.fatal {
+        return Response::new(
+            request.id.clone(),
+            "sweep",
+            false,
+            perf,
+            Err(ServiceError::new(E_WORKER_LOST, message)),
+        );
+    }
+    // The lowest failed shard wins: it contains the lowest failing point,
+    // which is the error a serial run would have stopped at.
+    for done in &outcome.done {
+        if let ShardDone::Failed { code, message } = done {
+            let error = ServiceError::from_core(&CoreError::Remote {
+                code: code.clone(),
+                message: message.clone(),
+            });
+            return Response::new(request.id.clone(), "sweep", false, perf, Err(error));
+        }
+    }
+    // Merge in shard (= point) order, stopping at the first incomplete
+    // shard so a cancelled job reports a clean prefix, like a serial run.
+    let mut rows: Vec<SweepRow> = Vec::with_capacity(total);
+    let mut cancelled = outcome.interrupted;
+    for done in outcome.done {
+        match done {
+            ShardDone::Rows {
+                rows: mut shard_rows,
+                cancelled: shard_cancelled,
+            } => {
+                rows.append(&mut shard_rows);
+                if shard_cancelled {
+                    cancelled = true;
+                    break;
+                }
+            }
+            ShardDone::Skipped => {
+                cancelled = true;
+                break;
+            }
+            ShardDone::Failed { .. } => unreachable!("failed shards returned above"),
+        }
+    }
+    Response::new(
+        request.id.clone(),
+        "sweep",
+        cancelled,
+        perf,
+        Ok(Payload::Sweep(SweepResults {
+            name: spec.name.clone(),
+            rows,
+        })),
+    )
+}
+
+fn run_search<W: Write>(
+    cluster: &mut Cluster,
+    request: &Request,
+    spec: &SearchSpec,
+    handle: &JobHandle,
+    progress: Option<&Mutex<W>>,
+    start: Instant,
+) -> Response {
+    let world = cluster.world();
+    let backend = cluster.backend_name;
+    let sink = OptionalSink {
+        id: &request.id,
+        out: progress,
+    };
+    let mut ctrl = RunControl::default()
+        .with_progress(&sink)
+        .with_cancel(handle.token());
+    if let Some(ms) = request.deadline_ms {
+        ctrl = ctrl.with_deadline(start + Duration::from_millis(ms));
+    }
+    let mut stats = ShardStats::default();
+    let mut batch_seq = 0usize;
+    // The deterministic fold (candidate stream, incumbents, stop reasons)
+    // runs right here on the coordinator; only the batch evaluations fan
+    // out, as ordinary sweep requests over the batch's candidates. That is
+    // exactly the serial fold with a different evaluator, so the report is
+    // byte-identical to a serial run.
+    let result = spec.run_with_evaluator(&ctrl, |batch| {
+        batch_seq += 1;
+        let shards: Vec<ShardSpec> = shard_ranges(batch.len(), world)
+            .into_iter()
+            .enumerate()
+            .map(|(k, range)| {
+                let mut sub = SweepSpec::new(spec.name.clone(), spec.eval);
+                sub.use_eval_cache = spec.use_eval_cache;
+                for (g, strategy) in &batch[range.clone()] {
+                    sub = sub.point(format!("c{g}"), spec.factory, strategy.clone());
+                }
+                let id = format!("{}#b{batch_seq}s{k}", request.id);
+                let body = shard_request(&id, request.serial, wire::sweep_spec_to_value(&sub));
+                ShardSpec { id, range, body }
+            })
+            .collect();
+        // No interrupt here: like a serial run, an in-flight batch always
+        // completes — the fold honours cancellation and deadlines between
+        // batches. Sub-request progress stays internal (shard-local labels
+        // would only confuse a client); search progress comes from the fold.
+        let outcome = execute_shards(cluster, &shards, None, &mut stats, |_, _| {});
+        if let Some(message) = outcome.fatal {
+            return Err(CoreError::Remote {
+                code: E_WORKER_LOST.to_string(),
+                message,
+            });
+        }
+        // Exactly one evaluation per candidate, in stream order. A failed
+        // shard fails each of its candidates with the shard's error, so the
+        // fold surfaces the lowest failing candidate — the error a serial
+        // run would report.
+        let mut evaluations = Vec::with_capacity(batch.len());
+        for (k, done) in outcome.done.into_iter().enumerate() {
+            let len = shards[k].range.len();
+            match done {
+                ShardDone::Rows {
+                    rows,
+                    cancelled: false,
+                } if rows.len() == len => {
+                    evaluations.extend(rows.into_iter().map(|row| Ok(row.evaluation)));
+                }
+                ShardDone::Rows { .. } => {
+                    for _ in 0..len {
+                        evaluations.push(Err(CoreError::Remote {
+                            code: E_REMOTE.to_string(),
+                            message: format!(
+                                "search `{}`: a worker returned a partial shard",
+                                spec.name
+                            ),
+                        }));
+                    }
+                }
+                ShardDone::Failed { code, message } => {
+                    for _ in 0..len {
+                        evaluations.push(Err(CoreError::Remote {
+                            code: code.clone(),
+                            message: message.clone(),
+                        }));
+                    }
+                }
+                ShardDone::Skipped => {
+                    for _ in 0..len {
+                        evaluations.push(Err(CoreError::Remote {
+                            code: E_WORKER_LOST.to_string(),
+                            message: "a worker was lost before its shard completed".to_string(),
+                        }));
+                    }
+                }
+            }
+        }
+        Ok(evaluations)
+    });
+
+    let wall = start.elapsed().as_secs_f64();
+    let perf =
+        ResponsePerf::new(wall, request.serial).with_cluster(stats.perf(backend, world, wall));
+    match result {
+        Ok(outcome) => Response::new(
+            request.id.clone(),
+            "search",
+            outcome.interrupted,
+            perf,
+            Ok(Payload::Search(Box::new(outcome.report))),
+        ),
+        Err(e) => Response::new(
+            request.id.clone(),
+            "search",
+            false,
+            perf,
+            Err(ServiceError::from_core(&e)),
+        ),
+    }
+}
+
+/// Outcome of one shard set.
+struct ShardSetOutcome {
+    /// One entry per shard, in shard order.
+    done: Vec<ShardDone>,
+    /// Whether a cancel/deadline interrupted the set.
+    interrupted: bool,
+    /// Set when every worker died with work still outstanding.
+    fatal: Option<String>,
+}
+
+/// Runs one set of shards over the pool: at most one in-flight shard per
+/// worker, re-dispatching on worker death, forwarding cancellation when an
+/// `interrupt` is given, and reporting shard events through `on_signal`.
+fn execute_shards(
+    cluster: &mut Cluster,
+    shards: &[ShardSpec],
+    interrupt: Option<&Interrupt<'_>>,
+    stats: &mut ShardStats,
+    mut on_signal: impl FnMut(usize, ShardSignal<'_>),
+) -> ShardSetOutcome {
+    let mut done: Vec<Option<ShardDone>> = shards.iter().map(|_| None).collect();
+    let mut queue: VecDeque<usize> = (0..shards.len()).collect();
+    let mut interrupted = false;
+    let mut fatal = None;
+
+    loop {
+        // Cancellation/deadline: drop what has not started, tell every busy
+        // worker to stop its shard at the next batch boundary, then keep
+        // looping to collect the (partial) in-flight responses.
+        if !interrupted && interrupt.is_some_and(Interrupt::triggered) {
+            interrupted = true;
+            while let Some(shard) = queue.pop_front() {
+                done[shard] = Some(ShardDone::Skipped);
+            }
+            for slot in cluster.workers.iter_mut() {
+                if slot.alive {
+                    if let Some(shard) = slot.busy {
+                        let _ = slot.tx.send_line(&cancel_line(&shards[shard].id));
+                    }
+                }
+            }
+        }
+
+        if done.iter().all(Option::is_some) {
+            break;
+        }
+
+        // Fill idle workers from the queue.
+        for rank in 0..cluster.workers.len() {
+            if queue.is_empty() {
+                break;
+            }
+            let line = {
+                let slot = &cluster.workers[rank];
+                if !slot.alive || slot.busy.is_some() {
+                    continue;
+                }
+                let shard = *queue.front().expect("queue checked non-empty");
+                dispatch_line(&shards[shard], interrupt)
+            };
+            let shard = queue.pop_front().expect("queue checked non-empty");
+            let slot = &mut cluster.workers[rank];
+            match slot.tx.send_line(&line) {
+                Ok(()) => {
+                    slot.busy = Some(shard);
+                    slot.busy_since = Some(Instant::now());
+                }
+                Err(_) => {
+                    // Found out the worker is gone at send time; its Closed
+                    // event (if any) is still coming, but the shard goes
+                    // back to the front of the queue right away.
+                    slot.alive = false;
+                    queue.push_front(shard);
+                }
+            }
+        }
+
+        if cluster.workers.iter().all(|slot| !slot.alive) && done.iter().any(Option::is_none) {
+            fatal = Some(format!(
+                "all {} workers exited with shards outstanding",
+                cluster.workers.len()
+            ));
+            for slot in done.iter_mut() {
+                if slot.is_none() {
+                    *slot = Some(ShardDone::Skipped);
+                }
+            }
+            break;
+        }
+
+        match cluster.events.recv_timeout(POLL_INTERVAL) {
+            Ok(WorkerEvent::Line(rank, line)) => {
+                let Some(shard) = cluster.workers[rank].busy else {
+                    continue; // stray output from an idle worker
+                };
+                let Ok(value) = serde_json::from_str(&line) else {
+                    continue;
+                };
+                if value.get("id").and_then(Value::as_str) != Some(shards[shard].id.as_str()) {
+                    continue;
+                }
+                match value.get("type").and_then(Value::as_str) {
+                    Some("progress") => on_signal(shard, ShardSignal::Progress(&value)),
+                    Some("response") => {
+                        let slot = &mut cluster.workers[rank];
+                        slot.busy = None;
+                        if let Some(since) = slot.busy_since.take() {
+                            stats.busy_seconds += since.elapsed().as_secs_f64();
+                        }
+                        stats.dispatched += 1;
+                        let outcome = decode_response(&value);
+                        on_signal(shard, ShardSignal::Done(&outcome));
+                        done[shard] = Some(outcome);
+                    }
+                    _ => {}
+                }
+            }
+            Ok(WorkerEvent::Closed(rank)) => {
+                let slot = &mut cluster.workers[rank];
+                slot.alive = false;
+                slot.busy_since = None;
+                if let Some(shard) = slot.busy.take() {
+                    if interrupted {
+                        let outcome = ShardDone::Skipped;
+                        on_signal(shard, ShardSignal::Done(&outcome));
+                        done[shard] = Some(outcome);
+                    } else {
+                        // The crash recovery path: the worker died mid-shard,
+                        // so the shard re-dispatches to a surviving worker.
+                        stats.retried += 1;
+                        queue.push_back(shard);
+                    }
+                }
+            }
+            // Timeout: loop back around to re-check interrupts and health.
+            // Disconnection cannot happen (the cluster holds a keepalive
+            // sender), but treat it like a timeout if it ever did.
+            Err(_) => {}
+        }
+    }
+
+    ShardSetOutcome {
+        done: done
+            .into_iter()
+            .map(|d| d.expect("loop exits only once every shard is done"))
+            .collect(),
+        interrupted,
+        fatal,
+    }
+}
+
+/// Builds a shard's sweep request object (without a deadline; the remaining
+/// deadline is attached per dispatch).
+fn shard_request(id: &str, serial: bool, sweep: Value) -> Value {
+    Value::Object(vec![
+        (
+            "protocol_version".to_string(),
+            Value::UInt(PROTOCOL_VERSION),
+        ),
+        ("id".to_string(), Value::Str(id.to_string())),
+        ("kind".to_string(), Value::Str("sweep".to_string())),
+        ("serial".to_string(), Value::Bool(serial)),
+        ("sweep".to_string(), sweep),
+    ])
+}
+
+/// Renders a shard's dispatch line, attaching the job's remaining deadline
+/// so a re-dispatched shard never outlives the job's budget.
+fn dispatch_line(shard: &ShardSpec, interrupt: Option<&Interrupt<'_>>) -> String {
+    let mut body = shard.body.clone();
+    if let Some(ms) = interrupt.and_then(Interrupt::remaining_ms) {
+        if let Value::Object(entries) = &mut body {
+            entries.push(("deadline_ms".to_string(), Value::UInt(ms)));
+        }
+    }
+    serde_json::to_string(&body).expect("request values serialise")
+}
+
+fn cancel_line(id: &str) -> String {
+    serde_json::to_string(&Value::Object(vec![
+        (
+            "protocol_version".to_string(),
+            Value::UInt(PROTOCOL_VERSION),
+        ),
+        ("cancel".to_string(), Value::Str(id.to_string())),
+    ]))
+    .expect("cancel lines serialise")
+}
+
+/// Decodes a worker's response line into the shard's outcome.
+fn decode_response(value: &Value) -> ShardDone {
+    let cancelled = matches!(value.get("cancelled"), Some(Value::Bool(true)));
+    match value.get("status").and_then(Value::as_str) {
+        Some("ok") => match value
+            .get("result")
+            .and_then(|r| r.get("results"))
+            .map(wire::sweep_results_from_value)
+        {
+            Some(Ok(results)) => ShardDone::Rows {
+                rows: results.rows,
+                cancelled,
+            },
+            Some(Err(e)) => ShardDone::Failed {
+                code: remote_code(&e),
+                message: e.to_string(),
+            },
+            None => ShardDone::Failed {
+                code: E_REMOTE.to_string(),
+                message: "worker response carried no sweep results".to_string(),
+            },
+        },
+        Some("error") => {
+            let field = |key: &str| {
+                value
+                    .get("error")
+                    .and_then(|e| e.get(key))
+                    .and_then(Value::as_str)
+            };
+            ShardDone::Failed {
+                code: field("code").unwrap_or(E_REMOTE).to_string(),
+                message: field("message")
+                    .unwrap_or("worker reported an error")
+                    .to_string(),
+            }
+        }
+        _ => ShardDone::Failed {
+            code: E_REMOTE.to_string(),
+            message: "worker response carried no status".to_string(),
+        },
+    }
+}
+
+fn remote_code(error: &CoreError) -> String {
+    match error {
+        CoreError::Remote { code, .. } => code.clone(),
+        other => error_code(other).to_string(),
+    }
+}
+
+/// Re-tags a worker's `row_completed` line with the parent job's id and the
+/// point's global index/total. Other progress lines map to `None`.
+fn patch_row_line(value: &Value, id: &str, offset: usize, total: usize) -> Option<String> {
+    if value.get("event").and_then(Value::as_str) != Some("row_completed") {
+        return None;
+    }
+    let Value::Object(entries) = value else {
+        return None;
+    };
+    let patched: Vec<(String, Value)> = entries
+        .iter()
+        .map(|(key, v)| {
+            let v = match key.as_str() {
+                "id" => Value::Str(id.to_string()),
+                "index" => Value::UInt(v.as_u64().unwrap_or(0) + offset as u64),
+                "total" => Value::UInt(total as u64),
+                _ => v.clone(),
+            };
+            (key.clone(), v)
+        })
+        .collect();
+    serde_json::to_string(&Value::Object(patched)).ok()
+}
+
+/// Writes one NDJSON line, flushing immediately (the serve-session
+/// guarantee: lines are visible the moment their event happens).
+fn emit_line<W: Write>(out: Option<&Mutex<W>>, text: &str) {
+    if let Some(out) = out {
+        let mut out = out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(out, "{text}");
+        let _ = out.flush();
+    }
+}
+
+/// A [`ProgressSink`] over an optional shared writer: the coordinator's
+/// local search fold streams through this, and `msfu run --workers` without
+/// `--progress` passes `None`.
+struct OptionalSink<'a, W: Write> {
+    id: &'a str,
+    out: Option<&'a Mutex<W>>,
+}
+
+impl<W: Write> ProgressSink for OptionalSink<'_, W> {
+    fn emit(&self, event: &ProgressEvent<'_>) {
+        if let Ok(text) = serde_json::to_string(&progress_to_value(self.id, event)) {
+            emit_line(self.out, &text);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::{serve, ServeOptions};
+
+    /// Runs one serve session over the given lines and returns its parsed
+    /// output lines.
+    fn session(options: &ServeOptions, lines: &str) -> Vec<Value> {
+        let mut output: Vec<u8> = Vec::new();
+        let input = std::io::Cursor::new(lines.to_string().into_bytes());
+        serve(input, &mut output, options).unwrap();
+        String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("output lines are JSON"))
+            .collect()
+    }
+
+    fn response_of<'a>(values: &'a [Value], id: &str) -> &'a Value {
+        values
+            .iter()
+            .find(|v| {
+                v.get("type").and_then(Value::as_str) == Some("response")
+                    && v.get("id").and_then(Value::as_str) == Some(id)
+            })
+            .expect("session produced the response")
+    }
+
+    /// The fields of a response that must be byte-identical between serial
+    /// and sharded execution (everything except the perf stamp).
+    fn stable_fields(response: &Value) -> String {
+        let stripped: Vec<(String, Value)> = match response {
+            Value::Object(entries) => entries
+                .iter()
+                .filter(|(k, _)| k != "perf")
+                .cloned()
+                .collect(),
+            _ => panic!("responses are objects"),
+        };
+        serde_json::to_string(&Value::Object(stripped)).unwrap()
+    }
+
+    fn cluster_perf_of<'a>(response: &'a Value, key: &str) -> &'a Value {
+        response
+            .get("perf")
+            .and_then(|p| p.get("cluster"))
+            .and_then(|c| c.get(key))
+            .expect("clustered responses carry perf.cluster")
+    }
+
+    const SWEEP_LINE: &str = concat!(
+        r#"{"protocol_version": 1, "id": "j", "kind": "sweep", "sweep": {"name": "t", "points": ["#,
+        r#"{"label": "p0", "factory": {"k": 2}, "strategy": {"strategy": "linear"}},"#,
+        r#"{"label": "p1", "factory": {"k": 2}, "strategy": {"strategy": "random", "seed": 1}},"#,
+        r#"{"label": "p2", "factory": {"k": 3}, "strategy": {"strategy": "random", "seed": 2, "expansion": 1.5}},"#,
+        r#"{"label": "p3", "factory": {"k": 2, "reuse": "NR"}, "strategy": {"strategy": "linear"}},"#,
+        r#"{"label": "p4", "factory": {"k": 2}, "strategy": {"strategy": "graph_partition", "seed": 3}}]}}"#,
+        "\n",
+    );
+
+    const SEARCH_LINE: &str = concat!(
+        r#"{"protocol_version": 1, "id": "s", "kind": "search", "search": {"#,
+        r#""name": "srch", "factory": {"k": 2}, "budget": 10, "batch_size": 4, "seed": 7,"#,
+        r#""portfolio": [{"strategy": {"strategy": "random"}, "seeded": true},"#,
+        r#"{"strategy": {"strategy": "linear"}, "seeded": false}]}}"#,
+        "\n",
+    );
+
+    #[test]
+    fn sharded_sweep_is_byte_identical_to_serial_at_any_worker_count() {
+        let serial = session(&ServeOptions::new(), SWEEP_LINE);
+        let reference = stable_fields(response_of(&serial, "j"));
+        assert!(reference.contains(r#""status":"ok""#), "{reference}");
+        for workers in [1, 2, 4, 7] {
+            let clustered = session(&ServeOptions::new().with_workers(workers), SWEEP_LINE);
+            let response = response_of(&clustered, "j");
+            assert_eq!(
+                stable_fields(response),
+                reference,
+                "workers={workers} diverged"
+            );
+            assert_eq!(
+                cluster_perf_of(response, "workers"),
+                &Value::UInt(workers as u64)
+            );
+            assert_eq!(cluster_perf_of(response, "shards_retried"), &Value::UInt(0));
+        }
+    }
+
+    #[test]
+    fn sharded_search_is_byte_identical_to_serial_at_any_worker_count() {
+        let serial = session(&ServeOptions::new(), SEARCH_LINE);
+        let reference = stable_fields(response_of(&serial, "s"));
+        assert!(reference.contains(r#""incumbent""#), "{reference}");
+        for workers in [1, 2, 4] {
+            let clustered = session(&ServeOptions::new().with_workers(workers), SEARCH_LINE);
+            assert_eq!(
+                stable_fields(response_of(&clustered, "s")),
+                reference,
+                "workers={workers} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_sweep_streams_patched_row_progress_and_merged_batches() {
+        let clustered = session(&ServeOptions::new().with_workers(2), SWEEP_LINE);
+        let rows: Vec<&Value> = clustered
+            .iter()
+            .filter(|v| v.get("event").and_then(Value::as_str) == Some("row_completed"))
+            .collect();
+        assert_eq!(rows.len(), 5, "one row event per point");
+        let mut indices: Vec<u64> = rows
+            .iter()
+            .map(|v| {
+                assert_eq!(v.get("id").and_then(Value::as_str), Some("j"));
+                assert_eq!(v.get("total").and_then(Value::as_u64), Some(5));
+                v.get("index").and_then(Value::as_u64).unwrap()
+            })
+            .collect();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4], "global indices, each once");
+        let last_batch = clustered
+            .iter()
+            .rfind(|v| v.get("event").and_then(Value::as_str) == Some("batch_finished"))
+            .expect("coordinator emits merged batch events");
+        assert_eq!(last_batch.get("completed").and_then(Value::as_u64), Some(5));
+        assert_eq!(last_batch.get("total").and_then(Value::as_u64), Some(5));
+    }
+
+    #[test]
+    fn a_worker_crash_re_dispatches_its_shard_and_rows_are_identical() {
+        let serial = session(&ServeOptions::new(), SWEEP_LINE);
+        let reference = stable_fields(response_of(&serial, "j"));
+        // Rank 1 dies upon receiving its first request, so its shard must
+        // be re-dispatched to rank 0.
+        let options = ServeOptions::new().with_workers(2).with_fault(1, 0);
+        let faulted = session(&options, SWEEP_LINE);
+        let response = response_of(&faulted, "j");
+        assert_eq!(stable_fields(response), reference, "recovered run diverged");
+        let retried = cluster_perf_of(response, "shards_retried")
+            .as_u64()
+            .unwrap();
+        assert!(retried >= 1, "the lost shard counts as retried");
+    }
+
+    #[test]
+    fn losing_every_worker_yields_a_typed_error() {
+        // The whole pool is one worker, and it dies on its first request.
+        let options = ServeOptions::new().with_workers(1).with_fault(0, 0);
+        let values = session(&options, SWEEP_LINE);
+        let response = response_of(&values, "j");
+        assert_eq!(
+            response.get("status").and_then(Value::as_str),
+            Some("error")
+        );
+        assert_eq!(
+            response
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_str),
+            Some(E_WORKER_LOST)
+        );
+    }
+
+    #[test]
+    fn pre_cancel_and_zero_deadline_reach_the_whole_pool() {
+        let pre_cancel = concat!(
+            r#"{"protocol_version": 1, "cancel": "j"}"#,
+            "\n",
+            r#"{"protocol_version": 1, "id": "j", "kind": "sweep", "sweep": {"name": "t", "points": [{"label": "p", "factory": {"k": 2}, "strategy": {"strategy": "linear"}}]}}"#,
+            "\n",
+        );
+        let values = session(&ServeOptions::new().with_workers(2), pre_cancel);
+        let response = response_of(&values, "j");
+        assert_eq!(response.get("cancelled"), Some(&Value::Bool(true)));
+        let rows = response
+            .get("result")
+            .and_then(|r| r.get("results"))
+            .and_then(|r| r.get("rows"))
+            .and_then(Value::as_array)
+            .expect("cancelled sweeps report partial rows");
+        assert!(rows.is_empty(), "nothing ran before the cancel");
+
+        let deadline = concat!(
+            r#"{"protocol_version": 1, "id": "d", "kind": "sweep", "deadline_ms": 0, "sweep": {"name": "t", "points": [{"label": "p", "factory": {"k": 2}, "strategy": {"strategy": "linear"}}]}}"#,
+            "\n",
+        );
+        let values = session(&ServeOptions::new().with_workers(2), deadline);
+        let response = response_of(&values, "d");
+        assert_eq!(response.get("cancelled"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn errors_keep_their_serial_codes_and_messages_across_the_cluster() {
+        // k=0 fails factory validation inside a worker; the coordinator
+        // must surface the exact serial code and message.
+        let line = concat!(
+            r#"{"protocol_version": 1, "id": "bad", "kind": "sweep", "sweep": {"name": "t", "points": [{"label": "p", "factory": {"capacity": 0}, "strategy": {"strategy": "linear"}}]}}"#,
+            "\n",
+        );
+        let serial = session(&ServeOptions::new(), line);
+        let clustered = session(&ServeOptions::new().with_workers(2), line);
+        assert_eq!(
+            stable_fields(response_of(&serial, "bad")),
+            stable_fields(response_of(&clustered, "bad"))
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Multi-worker coordination: sharded sweeps and searches with a
+//! deterministic merge.
+//!
+//! `msfu serve --workers N` (and `msfu run --workers N`) turns one process
+//! into a *coordinator* over a pool of N workers, each an ordinary serve
+//! session reached through a [`ClusterBackend`]:
+//!
+//! ```text
+//!             requests / cancels (NDJSON)
+//!   client ──────────► coordinator ──┬──► worker 0  (serve loop)
+//!                      │   ▲         ├──► worker 1  (serve loop)
+//!                      │   └─────────┴──── lines + Closed events
+//!                      ▼
+//!             merged progress + one response per request
+//! ```
+//!
+//! The layering mirrors MPI launchers: [`planner`](self) decides *what* the
+//! shards are (a pure function of spec and pool size), `comm` decides *how*
+//! bytes reach a worker (in-process threads or child processes today; a TCP
+//! backend would slot in beside them), and the coordinator in between owns
+//! scheduling, re-dispatch after worker death, cancellation fan-out and the
+//! order-preserving merge. Because workers run the exact single-process
+//! engine on exact sub-specs and the merge walks shards in plan order, a
+//! coordinated job's rows, incumbents and error codes are byte-identical to
+//! a serial run — `perf` is the only field allowed to differ.
+
+mod comm;
+mod coordinator;
+mod planner;
+
+pub use comm::{ClusterBackend, WorkerEvent, WorkerFault, WorkerTx, ENV_EXIT_AFTER_JOBS};
+pub use coordinator::{run_clustered, Cluster};
+pub use planner::shard_ranges;

@@ -1,0 +1,87 @@
+//! Deterministic shard planning.
+//!
+//! A plan is a pure function of `(total, workers)` — never of runtime timing
+//! or of which workers happen to be alive — so the *set* of shards (and
+//! therefore the merged output) is identical run to run for a given
+//! `--workers` value. Scheduling (which worker runs which shard, in what
+//! order) is free to vary; merging happens in shard order, not completion
+//! order.
+
+use std::ops::Range;
+
+/// Splits `0..total` into at most `workers` contiguous, non-empty,
+/// balanced ranges covering every index exactly once.
+///
+/// The first `total % shards` ranges get one extra element, so range sizes
+/// differ by at most one. With more workers than items, each item gets its
+/// own one-element range (never an empty one). `total == 0` or
+/// `workers == 0` yields no ranges.
+pub fn shard_ranges(total: usize, workers: usize) -> Vec<Range<usize>> {
+    if total == 0 || workers == 0 {
+        return Vec::new();
+    }
+    let shards = workers.min(total);
+    let base = total / shards;
+    let extra = total % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, total);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every plan covers `0..total` exactly once, in order, with no empty
+    /// shard and balanced sizes.
+    fn check(total: usize, workers: usize) -> Vec<Range<usize>> {
+        let ranges = shard_ranges(total, workers);
+        let mut next = 0;
+        for r in &ranges {
+            assert_eq!(r.start, next, "contiguous coverage ({total}/{workers})");
+            assert!(!r.is_empty(), "no empty shards ({total}/{workers})");
+            next = r.end;
+        }
+        assert_eq!(next, total, "full coverage ({total}/{workers})");
+        if let (Some(max), Some(min)) = (
+            ranges.iter().map(Range::len).max(),
+            ranges.iter().map(Range::len).min(),
+        ) {
+            assert!(max - min <= 1, "balanced ({total}/{workers})");
+        }
+        ranges
+    }
+
+    #[test]
+    fn plans_cover_balance_and_never_produce_empty_shards() {
+        for total in 0..=17 {
+            for workers in 1..=9 {
+                check(total, workers);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_depends_only_on_total_and_workers() {
+        assert_eq!(shard_ranges(10, 3), shard_ranges(10, 3));
+        assert_eq!(shard_ranges(10, 3), vec![0..4, 4..7, 7..10]);
+        assert_eq!(shard_ranges(4, 2), vec![0..2, 2..4]);
+    }
+
+    #[test]
+    fn more_workers_than_items_yields_one_item_shards() {
+        assert_eq!(shard_ranges(3, 8), vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn degenerate_plans_are_empty() {
+        assert!(shard_ranges(0, 4).is_empty());
+        assert!(shard_ranges(4, 0).is_empty());
+    }
+}

@@ -28,6 +28,12 @@ pub const E_SPEC_PARSE: &str = "E_SPEC_PARSE";
 /// Fallback for pipeline errors introduced after this build (the wrapped
 /// error enums are `#[non_exhaustive]`).
 pub const E_INTERNAL: &str = "E_INTERNAL";
+/// A cluster worker returned a payload the coordinator could not decode, or
+/// failed with a code this build does not recognise.
+pub const E_REMOTE: &str = "E_REMOTE";
+/// A cluster worker process (or thread) exited before completing its shard
+/// and the shard could not be re-dispatched (no workers left).
+pub const E_WORKER_LOST: &str = "E_WORKER_LOST";
 
 /// Every code the service can emit, sorted. The golden test below asserts
 /// this exact list, so adding a code is an additive protocol change reviewed
@@ -48,12 +54,14 @@ pub const ALL_ERROR_CODES: &[&str] = &[
     "E_LAYOUT_UNMAPPED_QUBIT",
     "E_LAYOUT_UNSUPPORTED_FACTORY",
     "E_PROTOCOL_VERSION",
+    "E_REMOTE",
     "E_REQUEST_PARSE",
     "E_SIM_CYCLE_LIMIT",
     "E_SIM_EMPTY_GRID",
     "E_SIM_UNMAPPED_QUBIT",
     "E_SPEC_PARSE",
     "E_UNKNOWN_STRATEGY",
+    "E_WORKER_LOST",
 ];
 
 /// The stable code for a pipeline error.
@@ -63,6 +71,14 @@ pub fn error_code(error: &CoreError) -> &'static str {
         CoreError::Distill(e) => distill_code(e),
         CoreError::Layout(e) => layout_code(e),
         CoreError::Sim(e) => sim_code(e),
+        // A remote worker's failure keeps its original identity when the
+        // code is one this build speaks (so a clustered run reports the same
+        // code a serial run would), and degrades to E_REMOTE otherwise.
+        CoreError::Remote { code, .. } => ALL_ERROR_CODES
+            .iter()
+            .find(|known| **known == code.as_str())
+            .copied()
+            .unwrap_or(E_REMOTE),
         _ => E_INTERNAL,
     }
 }
@@ -207,6 +223,27 @@ mod tests {
                 "E_SIM_CYCLE_LIMIT",
             ),
             (CoreError::Sim(SimError::EmptyGrid), "E_SIM_EMPTY_GRID"),
+            (
+                CoreError::Remote {
+                    code: "E_WORKER_LOST".into(),
+                    message: "worker exited".into(),
+                },
+                "E_WORKER_LOST",
+            ),
+            (
+                CoreError::Remote {
+                    code: "E_SIM_CYCLE_LIMIT".into(),
+                    message: "relayed".into(),
+                },
+                "E_SIM_CYCLE_LIMIT",
+            ),
+            (
+                CoreError::Remote {
+                    code: "E_FROM_THE_FUTURE".into(),
+                    message: "unknown remote code".into(),
+                },
+                "E_REMOTE",
+            ),
         ]
     }
 
@@ -239,12 +276,14 @@ mod tests {
             "E_LAYOUT_UNMAPPED_QUBIT",
             "E_LAYOUT_UNSUPPORTED_FACTORY",
             "E_PROTOCOL_VERSION",
+            "E_REMOTE",
             "E_REQUEST_PARSE",
             "E_SIM_CYCLE_LIMIT",
             "E_SIM_EMPTY_GRID",
             "E_SIM_UNMAPPED_QUBIT",
             "E_SPEC_PARSE",
             "E_UNKNOWN_STRATEGY",
+            "E_WORKER_LOST",
         ];
         assert_eq!(ALL_ERROR_CODES, &expected, "the code table drifted");
     }

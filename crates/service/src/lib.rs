@@ -17,6 +17,11 @@
 //!   progress events and responses out) serving any number of jobs from one
 //!   process, with per-worker simulator engines reused across jobs and
 //!   in-flight jobs cancellable by a `{"cancel": <id>}` line.
+//! * [`cluster`] — the multi-worker coordinator behind `--workers N`:
+//!   sweeps/searches shard deterministically across a pool of worker serve
+//!   sessions (in-process threads or child processes), with crash
+//!   re-dispatch, cancellation fan-out, and a merge that keeps results
+//!   byte-identical to a single-process run.
 //!
 //! # Example
 //!
@@ -39,17 +44,19 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cluster;
 pub mod error_code;
 pub mod ndjson;
 pub mod protocol;
 mod serve;
 mod service;
 
+pub use cluster::{run_clustered, shard_ranges, Cluster, ClusterBackend, WorkerEvent, WorkerFault};
 pub use error_code::{error_code, ALL_ERROR_CODES};
 pub use ndjson::NdjsonSink;
 pub use protocol::{
-    Job, Payload, Request, RequestError, Response, ResponsePerf, ServiceError, SessionLine,
-    PROTOCOL_VERSION,
+    ClusterPerf, Job, Payload, Request, RequestError, Response, ResponsePerf, ServiceError,
+    SessionLine, PROTOCOL_VERSION,
 };
 pub use serve::{serve, ServeOptions, ServeSummary};
 pub use service::{JobHandle, Service};

@@ -405,6 +405,47 @@ impl SessionLine {
     }
 }
 
+/// Cluster execution stamp of one coordinated (multi-worker) job, rendered
+/// under `perf.cluster` of the response. All fields are observability-only:
+/// the merged rows/incumbents are byte-identical to serial regardless.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct ClusterPerf {
+    /// The communicator backend (`"local-threads"` or `"child-process"`).
+    pub backend: &'static str,
+    /// Worker pool size the job was coordinated over.
+    pub workers: usize,
+    /// Shard dispatches that completed (re-dispatches included).
+    pub shards: u64,
+    /// Shards re-dispatched after their worker died mid-shard.
+    pub shards_retried: u64,
+    /// Mean fraction of the pool busy over the job's wall time:
+    /// `Σ shard wall / (job wall × workers)`.
+    pub occupancy: f64,
+    /// Coordinator overhead: job wall time minus ideal parallel shard time
+    /// (`Σ shard wall / workers`), clamped at zero.
+    pub coordinator_seconds: f64,
+}
+
+impl ClusterPerf {
+    fn to_value(self) -> Value {
+        Value::Object(vec![
+            ("backend".to_string(), Value::Str(self.backend.to_string())),
+            ("workers".to_string(), Value::UInt(self.workers as u64)),
+            ("shards".to_string(), Value::UInt(self.shards)),
+            (
+                "shards_retried".to_string(),
+                Value::UInt(self.shards_retried),
+            ),
+            ("occupancy".to_string(), Value::Float(self.occupancy)),
+            (
+                "coordinator_seconds".to_string(),
+                Value::Float(self.coordinator_seconds),
+            ),
+        ])
+    }
+}
+
 /// Wall-time stamp of one served job.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
@@ -413,6 +454,8 @@ pub struct ResponsePerf {
     pub wall_seconds: f64,
     /// Whether the job ran serially.
     pub serial: bool,
+    /// Cluster stamp, present when the job was coordinated across workers.
+    pub cluster: Option<ClusterPerf>,
 }
 
 impl ResponsePerf {
@@ -421,14 +464,25 @@ impl ResponsePerf {
         ResponsePerf {
             wall_seconds,
             serial,
+            cluster: None,
         }
     }
 
-    fn to_value(self) -> Value {
-        Value::Object(vec![
+    /// Attaches a cluster stamp (builder style).
+    pub fn with_cluster(mut self, cluster: ClusterPerf) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    pub(crate) fn to_value(self) -> Value {
+        let mut entries = vec![
             ("wall_seconds".to_string(), Value::Float(self.wall_seconds)),
             ("serial".to_string(), Value::Bool(self.serial)),
-        ])
+        ];
+        if let Some(cluster) = self.cluster {
+            entries.push(("cluster".to_string(), cluster.to_value()));
+        }
+        Value::Object(entries)
     }
 }
 

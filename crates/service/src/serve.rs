@@ -12,6 +12,17 @@
 //! Per-thread simulator engines are reused across every job of the session
 //! (see `msfu_core::evaluate`), so arenas are allocated once per worker, not
 //! once per job.
+//!
+//! **Flush guarantee.** Every NDJSON line — progress event or response — is
+//! flushed to the output the moment it is written. A client reading the
+//! pipe sees each line as soon as its event happens; buffering never delays
+//! or batches session output. This holds for coordinated (`workers > 0`)
+//! sessions too: merged progress lines flush as worker events arrive.
+//!
+//! With [`ServeOptions::workers`] set, sweep and search jobs are sharded
+//! across a worker pool (see [`crate::cluster`]) that is connected lazily on
+//! the first such job and reused for the rest of the session; merged
+//! results are byte-identical to a single-process run.
 
 use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, Write};
@@ -23,8 +34,10 @@ use serde_json::Value;
 
 use msfu_core::CancelToken;
 
+use crate::cluster::{self, Cluster, ClusterBackend, WorkerFault};
+use crate::error_code::E_WORKER_LOST;
 use crate::ndjson::NdjsonSink;
-use crate::protocol::{Payload, Request, RequestError, Response};
+use crate::protocol::{Job, Payload, Request, RequestError, Response, ResponsePerf, ServiceError};
 use crate::service::{JobHandle, Service};
 
 /// Options of a serve session.
@@ -38,6 +51,21 @@ pub struct ServeOptions {
     /// written as `BENCH_<name>.json` under this directory, in the shape the
     /// `bench-diff` regression gate compares.
     pub bench_dir: Option<PathBuf>,
+    /// Coordinate sweep/search jobs across this many workers (`0` = run
+    /// everything in-process, no pool). The pool connects lazily on the
+    /// first coordinated job and is reused for the rest of the session.
+    pub workers: usize,
+    /// How coordinated jobs reach their workers (ignored when `workers` is
+    /// `0`).
+    pub backend: ClusterBackend,
+    /// Fault injection for crash-recovery tests: kill one worker rank after
+    /// it has served a given number of shards (see [`WorkerFault`]).
+    pub fault: Option<WorkerFault>,
+    /// Worker-side fault hook: serve this many requests normally, then exit
+    /// *without responding* upon receiving the next one — a crash landing
+    /// mid-job, as the coordinator's re-dispatch path sees it. `None`
+    /// serves until EOF.
+    pub exit_after_jobs: Option<usize>,
 }
 
 impl ServeOptions {
@@ -55,6 +83,25 @@ impl ServeOptions {
     /// Writes `BENCH_<name>.json` reports under `dir` (builder style).
     pub fn with_bench_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.bench_dir = Some(dir.into());
+        self
+    }
+
+    /// Coordinates sweeps/searches across `workers` workers (builder style).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Selects the worker communicator backend (builder style).
+    pub fn with_backend(mut self, backend: ClusterBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Injects a worker fault: `rank` exits without responding upon
+    /// receiving its `after_jobs + 1`-th request (builder style).
+    pub fn with_fault(mut self, rank: usize, after_jobs: usize) -> Self {
+        self.fault = Some(WorkerFault { rank, after_jobs });
         self
     }
 }
@@ -78,6 +125,10 @@ pub struct ServeSummary {
 /// and unsupported protocol versions produce typed error responses and the
 /// session keeps serving. A `{"cancel": "<id>"}` line cancels the job with
 /// that id whether it is currently running or still queued.
+///
+/// Every output line is flushed as soon as it is written (see the module
+/// docs): a client reading the pipe observes each progress event and
+/// response the moment it happens, never delayed by buffering.
 ///
 /// # Errors
 ///
@@ -128,18 +179,48 @@ where
         }
     });
 
+    let mut cluster: Option<Cluster> = None;
+    let mut jobs_received = 0usize;
     for message in rx {
         let response = match message {
             Err(error) => Response::for_request_error(error),
             Ok(mut request) => {
+                if options
+                    .exit_after_jobs
+                    .is_some_and(|limit| jobs_received >= limit)
+                {
+                    // Simulated crash (worker-fault hook): exit without
+                    // responding, so from the client's point of view this
+                    // session died mid-job.
+                    break;
+                }
+                jobs_received += 1;
                 request.serial = request.serial || options.serial;
                 let handle = JobHandle::new();
                 state
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
                     .start(&request.id, &handle);
-                let sink = NdjsonSink::new(&request.id, &out);
-                let response = service.run(&request, &handle, &sink);
+                let clustered = options.workers > 0
+                    && matches!(request.job, Job::Sweep { .. } | Job::Search { .. });
+                let response = if clustered {
+                    match ensure_cluster(&mut cluster, options) {
+                        Ok(pool) => cluster::run_clustered(pool, &request, &handle, Some(&out)),
+                        Err(error) => Response::new(
+                            request.id.clone(),
+                            request.job.kind(),
+                            false,
+                            ResponsePerf::new(0.0, request.serial),
+                            Err(ServiceError::new(
+                                E_WORKER_LOST,
+                                format!("cannot connect the worker pool: {error}"),
+                            )),
+                        ),
+                    }
+                } else {
+                    let sink = NdjsonSink::new(&request.id, &out);
+                    service.run(&request, &handle, &sink)
+                };
                 state
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
@@ -162,6 +243,21 @@ where
         out.flush()?;
     }
     Ok(summary)
+}
+
+/// Connects the session's worker pool on first use, reusing it afterwards.
+fn ensure_cluster<'a>(
+    cluster: &'a mut Option<Cluster>,
+    options: &ServeOptions,
+) -> std::io::Result<&'a mut Cluster> {
+    if cluster.is_none() {
+        *cluster = Some(Cluster::connect(
+            &options.backend,
+            options.workers,
+            options.fault,
+        )?);
+    }
+    Ok(cluster.as_mut().expect("pool was just connected"))
 }
 
 /// Cancellation bookkeeping of one session, under a single lock so the
@@ -220,16 +316,10 @@ fn write_bench_report(dir: &std::path::Path, response: &Response) -> std::io::Re
     use serde::Serialize;
     let mut entries = vec![
         ("name".to_string(), Value::Str(name.to_string())),
-        (
-            "perf".to_string(),
-            Value::Object(vec![
-                (
-                    "wall_seconds".to_string(),
-                    Value::Float(response.perf.wall_seconds),
-                ),
-                ("serial".to_string(), Value::Bool(response.perf.serial)),
-            ]),
-        ),
+        // The full perf stamp, `perf.cluster` included for coordinated
+        // jobs; bench-diff gates rows and the named wall-time paths only,
+        // so extra perf observability never trips the gate.
+        ("perf".to_string(), response.perf.to_value()),
     ];
     match payload {
         Payload::Sweep(results) => {

@@ -1,20 +1,33 @@
 //! The unified `msfu` command-line front end of the service façade.
 //!
 //! ```text
-//! msfu run <REQUEST.json> [--serial] [--progress] [--lanes K]
+//! msfu run <REQUEST.json> [--serial] [--progress] [--lanes K] [--workers N]
 //!     Execute one job request and print its JSON response on stdout.
 //!     --progress additionally streams NDJSON progress events on stderr.
 //!     --lanes K overrides a sweep request's lane-batching width (0 or 1
-//!     turns batching off); non-sweep jobs ignore it.
+//!     turns batching off); non-sweep jobs ignore it. --workers N shards
+//!     the sweep/search across N child `msfu serve` worker processes; the
+//!     merged response is byte-identical to a single-process run (only the
+//!     perf stamp differs, gaining a perf.cluster section).
 //!
-//! msfu serve [--serial] [--bench-dir DIR]
+//! msfu serve [--serial] [--bench-dir DIR] [--workers N]
 //!     JSON-lines session: one request per stdin line, interleaved NDJSON
-//!     progress events and responses on stdout, until EOF. A line of
+//!     progress events and responses on stdout, until EOF. Every output
+//!     line is flushed as soon as it is written. A line of
 //!     {"protocol_version": 1, "cancel": "<id>"} cancels the in-flight or
-//!     queued job with that id. --bench-dir additionally writes each
-//!     completed sweep/search response as BENCH_<name>.json under DIR, in
-//!     the shape the bench-diff regression gate compares.
+//!     queued job with that id (with --workers, the cancel fans out to all
+//!     workers). --bench-dir additionally writes each completed
+//!     sweep/search response as BENCH_<name>.json under DIR, in the shape
+//!     the bench-diff regression gate compares. --workers N shards
+//!     sweep/search jobs across a pool of N child worker processes that is
+//!     connected on the first such job and reused for the session.
 //! ```
+//!
+//! Fault-injection environment hooks (CI crash-recovery tests only):
+//! `MSFU_FAULT_WORKER_RANK` + `MSFU_FAULT_AFTER_JOBS` make the coordinator
+//! kill that worker rank after it served that many shards, and
+//! `MSFU_SERVE_EXIT_AFTER_JOBS` makes a `serve` process exit without
+//! responding upon receiving the following request.
 //!
 //! Request/response schemas are documented in `msfu::service::protocol` and
 //! the README's "Service protocol" section. Exit status: 0 when every
@@ -25,15 +38,48 @@ use std::io::Write;
 use std::process::ExitCode;
 use std::sync::Mutex;
 
-use msfu::service::{serve, Job, JobHandle, NdjsonSink, Request, ServeOptions, Service};
+use msfu::service::cluster::{WorkerFault, ENV_EXIT_AFTER_JOBS};
+use msfu::service::{
+    run_clustered, serve, Cluster, ClusterBackend, Job, JobHandle, NdjsonSink, Request,
+    ServeOptions, Service,
+};
 
-const USAGE: &str = "usage: msfu run <REQUEST.json> [--serial] [--progress] [--lanes K]\n       msfu serve [--serial] [--bench-dir DIR]";
+const USAGE: &str = "usage: msfu run <REQUEST.json> [--serial] [--progress] [--lanes K] [--workers N]\n       msfu serve [--serial] [--bench-dir DIR] [--workers N]";
+
+/// Reads the coordinator-side fault-injection hook (CI crash tests).
+fn fault_from_env() -> Result<Option<WorkerFault>, String> {
+    let rank = std::env::var("MSFU_FAULT_WORKER_RANK").ok();
+    let after = std::env::var("MSFU_FAULT_AFTER_JOBS").ok();
+    match (rank, after) {
+        (Some(rank), Some(after)) => {
+            let rank = rank
+                .parse()
+                .map_err(|_| format!("bad MSFU_FAULT_WORKER_RANK `{rank}`"))?;
+            let after_jobs = after
+                .parse()
+                .map_err(|_| format!("bad MSFU_FAULT_AFTER_JOBS `{after}`"))?;
+            Ok(Some(WorkerFault { rank, after_jobs }))
+        }
+        (None, None) => Ok(None),
+        _ => {
+            Err("MSFU_FAULT_WORKER_RANK and MSFU_FAULT_AFTER_JOBS must be set together".to_string())
+        }
+    }
+}
+
+/// The child-process backend spawning this very executable as workers.
+fn child_backend() -> Result<ClusterBackend, String> {
+    let exe =
+        std::env::current_exe().map_err(|e| format!("cannot locate the msfu executable: {e}"))?;
+    Ok(ClusterBackend::ChildProcess { exe })
+}
 
 fn run_command(args: &[String]) -> Result<bool, String> {
     let mut request_path: Option<&str> = None;
     let mut serial = false;
     let mut progress = false;
     let mut lanes: Option<usize> = None;
+    let mut workers = 0usize;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -42,6 +88,10 @@ fn run_command(args: &[String]) -> Result<bool, String> {
             "--lanes" => {
                 let v = iter.next().ok_or("--lanes needs a value")?;
                 lanes = Some(v.parse().map_err(|_| format!("bad lane count `{v}`"))?);
+            }
+            "--workers" => {
+                let v = iter.next().ok_or("--workers needs a count")?;
+                workers = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
             }
             _ if arg.starts_with("--") => return Err(format!("unknown flag `{arg}`")),
             _ => {
@@ -60,7 +110,16 @@ fn run_command(args: &[String]) -> Result<bool, String> {
                 spec.lanes = lanes;
             }
             let handle = JobHandle::new();
-            if progress {
+            let clustered =
+                workers > 0 && matches!(request.job, Job::Sweep { .. } | Job::Search { .. });
+            if clustered {
+                // One-shot pool of child `msfu serve` workers; dropped (and
+                // reaped) as soon as the merged response is in.
+                let mut pool = Cluster::connect(&child_backend()?, workers, fault_from_env()?)
+                    .map_err(|e| format!("cannot connect the worker pool: {e}"))?;
+                let stderr = Mutex::new(std::io::stderr());
+                run_clustered(&mut pool, &request, &handle, progress.then_some(&stderr))
+            } else if progress {
                 let stderr = Mutex::new(std::io::stderr());
                 let sink = NdjsonSink::new(&request.id, &stderr);
                 Service::new().run(&request, &handle, &sink)
@@ -88,8 +147,26 @@ fn serve_command(args: &[String]) -> Result<bool, String> {
                 let dir = iter.next().ok_or("--bench-dir needs a directory")?;
                 options = options.with_bench_dir(dir);
             }
+            "--workers" => {
+                let v = iter.next().ok_or("--workers needs a count")?;
+                let workers = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
+                options = options.with_workers(workers);
+            }
             _ => return Err(format!("unknown argument `{arg}`")),
         }
+    }
+    if options.workers > 0 {
+        options = options.with_backend(child_backend()?);
+        if let Some(fault) = fault_from_env()? {
+            options = options.with_fault(fault.rank, fault.after_jobs);
+        }
+    }
+    if let Ok(v) = std::env::var(ENV_EXIT_AFTER_JOBS) {
+        // Worker-side crash hook, set by a coordinator's fault injection.
+        let after = v
+            .parse()
+            .map_err(|_| format!("bad {ENV_EXIT_AFTER_JOBS} `{v}`"))?;
+        options.exit_after_jobs = Some(after);
     }
     // StdinLock is not Send (the reader runs on a dedicated thread), so wrap
     // the unlocked handle instead.
