@@ -23,7 +23,11 @@
 //! Perf fields outside the gated set are observability-only and ignored —
 //! e.g. `perf.cluster` (stamped by `msfu serve --workers N`) never affects a
 //! comparison, which is what lets the CI `cluster-smoke` job diff sharded
-//! runs against serial baselines at `--tolerance 0.0`.
+//! runs against serial baselines at `--tolerance 0.0`. One structural
+//! exception: a *current* report carrying a `perf.cache` stamp is validated
+//! for internal consistency (`hits`/`misses` present and finite,
+//! `disk_hits <= hits`) so a corrupted cache stamp fails loudly; baselines
+//! predating the stamp are untouched.
 //!
 //! Exit status: 0 when clean, 1 on any regression, 2 on usage/IO errors.
 
@@ -238,6 +242,45 @@ fn gate_cell(
     Ok(())
 }
 
+/// Validates the `perf.cache` stamp of a *current* report, when present.
+///
+/// The eval-cache counters are observability-only and never compared against
+/// a baseline (old baselines predate the stamp entirely), but a report that
+/// does carry one must be internally consistent: `hits` and `misses` present
+/// and finite, and `disk_hits` (disk-served hits are a subset of all hits)
+/// never exceeding `hits`. A violated invariant means the stamp — the very
+/// signal the warm-start CI gate greps — is corrupt.
+fn check_cache_stamp(name: &str, current: &Value) -> Result<(), String> {
+    let Some(cache) = current.get("perf").and_then(|p| p.get("cache")) else {
+        return Ok(());
+    };
+    let read = |field: &str| -> Result<f64, String> {
+        let value = cache.get(field).and_then(Value::as_f64).ok_or_else(|| {
+            format!("{name}: perf.cache.{field} is missing; the cache stamp is corrupt")
+        })?;
+        if !value.is_finite() || value < 0.0 {
+            return Err(format!(
+                "{name}: perf.cache.{field} is {value}; the cache stamp is corrupt"
+            ));
+        }
+        Ok(value)
+    };
+    let hits = read("hits")?;
+    read("misses")?;
+    // Reports written before the persistent tier lack disk_hits; that is an
+    // older-but-valid stamp, not corruption.
+    if cache.get("disk_hits").is_some() {
+        let disk_hits = read("disk_hits")?;
+        if disk_hits > hits {
+            return Err(format!(
+                "{name}: perf.cache.disk_hits {disk_hits} exceeds hits {hits}; \
+                 the cache stamp is corrupt"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Compares one report pair, appending regressions.
 fn compare_report(
     name: &str,
@@ -249,6 +292,7 @@ fn compare_report(
     let base_rows = rows(baseline).ok_or_else(|| format!("{name}: baseline has no rows"))?;
     let cur_rows = rows(current).ok_or_else(|| format!("{name}: current has no rows"))?;
     check_same_configs(name, base_rows, cur_rows)?;
+    check_cache_stamp(name, current)?;
     for (i, (b, c)) in base_rows.iter().zip(cur_rows).enumerate() {
         let b_eval = b
             .get("evaluation")
@@ -675,6 +719,85 @@ mod tests {
         let slow = report(&[100], MIN_GATED_WALL_SECONDS * 10.0);
         compare_report("t", &base, &slow, &args(0.10, Some(2.0)), &mut regs).unwrap();
         assert_eq!(regs.len(), 1);
+    }
+
+    /// Adds a `perf.cache` stamp to a fixture report.
+    fn with_cache(mut r: Value, entries: &[(&str, Value)]) -> Value {
+        if let Value::Object(fields) = &mut r {
+            if let Some((_, Value::Object(perf))) = fields.iter_mut().find(|(k, _)| k == "perf") {
+                perf.push((
+                    "cache".into(),
+                    Value::Object(
+                        entries
+                            .iter()
+                            .map(|(k, v)| (k.to_string(), v.clone()))
+                            .collect(),
+                    ),
+                ));
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn consistent_cache_stamps_pass() {
+        let base = report(&[100], 1.0);
+        let stamped = with_cache(
+            report(&[100], 1.0),
+            &[
+                ("hits", Value::UInt(8)),
+                ("misses", Value::UInt(2)),
+                ("disk_hits", Value::UInt(5)),
+                ("loaded", Value::UInt(10)),
+                ("persisted", Value::UInt(2)),
+            ],
+        );
+        let mut regs = Vec::new();
+        compare_report("t", &base, &stamped, &args(0.10, None), &mut regs).unwrap();
+        assert!(regs.is_empty(), "a valid cache stamp is never a regression");
+        // A pre-persistent-tier stamp (no disk_hits) is older-but-valid.
+        let legacy = with_cache(
+            report(&[100], 1.0),
+            &[("hits", Value::UInt(3)), ("misses", Value::UInt(1))],
+        );
+        compare_report("t", &base, &legacy, &args(0.10, None), &mut regs).unwrap();
+        assert!(regs.is_empty());
+    }
+
+    #[test]
+    fn corrupt_cache_stamps_are_an_explicit_error() {
+        let base = report(&[100], 1.0);
+        let mut regs = Vec::new();
+        // disk_hits exceeding hits breaks the subset invariant.
+        let inverted = with_cache(
+            report(&[100], 1.0),
+            &[
+                ("hits", Value::UInt(2)),
+                ("misses", Value::UInt(0)),
+                ("disk_hits", Value::UInt(5)),
+            ],
+        );
+        let err = compare_report("t", &base, &inverted, &args(0.10, None), &mut regs)
+            .expect_err("disk_hits > hits must error");
+        assert!(err.contains("disk_hits"), "{err}");
+        // A stamp missing its hit counter is corrupt, not skippable.
+        let truncated = with_cache(report(&[100], 1.0), &[("misses", Value::UInt(1))]);
+        let err = compare_report("t", &base, &truncated, &args(0.10, None), &mut regs)
+            .expect_err("missing hits must error");
+        assert!(err.contains("perf.cache.hits"), "{err}");
+        // Non-finite counters are corrupt.
+        let poisoned = with_cache(
+            report(&[100], 1.0),
+            &[("hits", Value::Float(f64::NAN)), ("misses", Value::UInt(1))],
+        );
+        let err = compare_report("t", &base, &poisoned, &args(0.10, None), &mut regs)
+            .expect_err("NaN hits must error");
+        assert!(err.contains("perf.cache.hits"), "{err}");
+        // Only the *current* side is validated: a baseline with a corrupt
+        // stamp (e.g. hand-edited history) must not block comparisons.
+        let current = report(&[100], 1.0);
+        compare_report("t", &inverted, &current, &args(0.10, None), &mut regs).unwrap();
+        assert!(regs.is_empty());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! best-so-far incumbent — the "open line-up" counterpart of the fixed
 //! figure/table sweeps.
 //!
-//! Usage: `cargo run -p msfu-bench --bin search --release -- <SPEC.json> [serial] [--json]`
+//! Usage: `cargo run -p msfu-bench --bin search --release -- <SPEC.json> [serial] [--json] [--cache-dir DIR]`
 //!
 //! * `<SPEC.json>` — a [`SearchSpec`] document (see
 //!   `msfu_core::search::SearchSpec::from_json` and the README's
@@ -13,6 +13,10 @@
 //!   `portfolio/<strategy>` row per portfolio entry plus the `incumbent`
 //!   row, in the same shape the figure binaries emit so `bench-diff` gates
 //!   search results too.
+//! * `--cache-dir DIR` — point the search at a persistent evaluation-cache
+//!   directory (overrides the spec's own `cache_dir`): already simulated
+//!   candidates are served from disk, new ones are appended, and results
+//!   stay byte-identical either way.
 //!
 //! Like the figure binaries, this is a thin wrapper over the service
 //! façade: it builds a search [`Request`](msfu_service::Request) via
@@ -87,10 +91,16 @@ fn run() -> Result<(), String> {
     let mut spec_path: Option<String> = None;
     let mut serial = false;
     let mut json = false;
-    for arg in std::env::args().skip(1) {
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "serial" | "--serial" => serial = true,
             "--json" => json = true,
+            "--cache-dir" => {
+                let dir = args.next().ok_or("--cache-dir needs a directory")?;
+                cache_dir = Some(dir.into());
+            }
             _ if arg.starts_with("--") => return Err(format!("unknown flag `{arg}`")),
             _ => {
                 if spec_path.replace(arg).is_some() {
@@ -99,11 +109,12 @@ fn run() -> Result<(), String> {
             }
         }
     }
-    let spec_path = spec_path.ok_or("usage: search <SPEC.json> [serial] [--json]".to_string())?;
+    let spec_path = spec_path
+        .ok_or("usage: search <SPEC.json> [serial] [--json] [--cache-dir DIR]".to_string())?;
     let text =
         std::fs::read_to_string(&spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
     let spec = SearchSpec::from_json(&text).map_err(|e| e.to_string())?;
-    let report = run_search_spec(&spec, serial, json)?;
+    let report = run_search_spec(&spec, serial, json, cache_dir.as_deref())?;
     print_report(&report);
     Ok(())
 }

@@ -96,7 +96,7 @@ impl Mode {
 }
 
 /// The command-line surface shared by every harness binary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HarnessArgs {
     /// Reduced or full parameter sweep.
     pub mode: Mode,
@@ -107,22 +107,27 @@ pub struct HarnessArgs {
     /// Lane-batching width override (`--lanes <K>`; 0 disables batching).
     /// `None` keeps the spec's own width.
     pub lanes: Option<usize>,
+    /// Persistent evaluation-cache directory (`--cache-dir <DIR>`): already
+    /// simulated evaluations are served from disk, new ones appended. Rows
+    /// are byte-identical with or without it. `None` keeps runs memory-only.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl HarnessArgs {
-    /// Parses `full`, `serial`, `--json` and `--lanes <K>` out of the process
-    /// arguments.
+    /// Parses `full`, `serial`, `--json`, `--lanes <K>` and
+    /// `--cache-dir <DIR>` out of the process arguments.
     ///
     /// # Panics
     ///
     /// Panics when `--lanes` is missing its value or the value is not a
-    /// non-negative integer.
+    /// non-negative integer, or when `--cache-dir` is missing its directory.
     pub fn from_env() -> Self {
         let mut args = HarnessArgs {
             mode: Mode::from_args(),
             serial: false,
             json: false,
             lanes: None,
+            cache_dir: None,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 0;
@@ -139,6 +144,13 @@ impl HarnessArgs {
                             .parse()
                             .unwrap_or_else(|_| panic!("--lanes: `{value}` is not a lane count")),
                     );
+                    i += 1;
+                }
+                "--cache-dir" => {
+                    let value = argv
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("--cache-dir requires a directory"));
+                    args.cache_dir = Some(value.into());
                     i += 1;
                 }
                 _ => {}
@@ -179,6 +191,9 @@ pub fn run_spec(spec: &SweepSpec, args: &HarnessArgs) -> SweepResults {
     if let Some(lanes) = args.lanes {
         spec = spec.with_lanes(lanes);
     }
+    if let Some(dir) = &args.cache_dir {
+        spec = spec.with_cache_dir(dir.clone());
+    }
     let spec = &spec;
     // Cache and batch counters are sampled from the process-wide totals
     // around the service call: the per-run counters live on `SweepOutcome`,
@@ -198,7 +213,7 @@ pub fn run_spec(spec: &SweepSpec, args: &HarnessArgs) -> SweepResults {
     };
     let wall = Duration::from_secs_f64(response.perf.wall_seconds);
     eprintln!(
-        "[sweep {}] {} points in {:.2?} ({}); eval cache {} hits / {} misses ({:.0}% hit rate)",
+        "[sweep {}] {} points in {:.2?} ({}); eval cache {} hits / {} misses ({:.0}% hit rate){}",
         spec.name,
         spec.points.len(),
         wall,
@@ -206,6 +221,7 @@ pub fn run_spec(spec: &SweepSpec, args: &HarnessArgs) -> SweepResults {
         cache.hits,
         cache.misses,
         cache.hit_rate() * 100.0,
+        disk_summary(&cache, spec.cache_dir.is_some()),
     );
     if args.json {
         // The run's counters carry the process-wide maximum lane width; pin
@@ -265,6 +281,18 @@ pub fn run_spec(spec: &SweepSpec, args: &HarnessArgs) -> SweepResults {
     results
 }
 
+/// The persistent-tier suffix of the harness cache log line, printed only
+/// when a cache directory is in play (the CI warm-start gate greps it).
+fn disk_summary(cache: &msfu_core::CacheStats, persistent: bool) -> String {
+    if !persistent {
+        return String::new();
+    }
+    format!(
+        "; disk {} hits / {} loaded / {} persisted",
+        cache.disk_hits, cache.loaded, cache.persisted
+    )
+}
+
 /// Wall-time stamp of a search run (the search analogue of
 /// [`PerfStamp`]; `bench-diff` reads `wall_seconds`).
 #[derive(Debug, Clone, Serialize)]
@@ -309,7 +337,14 @@ pub fn run_search_spec(
     spec: &SearchSpec,
     serial: bool,
     json: bool,
+    cache_dir: Option<&std::path::Path>,
 ) -> Result<SearchReport, String> {
+    let mut spec = spec.clone();
+    if let Some(dir) = cache_dir {
+        // An explicit flag overrides the spec's own cache_dir.
+        spec.cache_dir = Some(dir.to_path_buf());
+    }
+    let spec = &spec;
     // Process-wide delta sampling: valid because each harness binary runs a
     // single job per process (see the note in `run_spec`).
     let cache_before = msfu_core::process_cache_stats();
@@ -324,7 +359,7 @@ pub fn run_search_spec(
     let wall_seconds = response.perf.wall_seconds;
     eprintln!(
         "[search {}] {} candidates in {:.2?} ({}); eval cache {} hits / {} misses \
-         ({:.0}% hit rate)",
+         ({:.0}% hit rate){}",
         report.name,
         report.evaluations,
         Duration::from_secs_f64(wall_seconds),
@@ -332,6 +367,7 @@ pub fn run_search_spec(
         cache.hits,
         cache.misses,
         cache.hit_rate() * 100.0,
+        disk_summary(&cache, spec.cache_dir.is_some()),
     );
     if json {
         let bench = SearchBenchReport {

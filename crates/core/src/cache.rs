@@ -16,11 +16,24 @@
 //! *not* part of the key — it is patched onto the cached record per caller —
 //! so candidates from different portfolio entries still share work.
 //!
+//! Two optional tiers extend the in-memory map:
+//!
+//! * a **persistent tier** ([`EvalCache::with_disk`], the `--cache-dir`
+//!   flag / `"cache_dir"` spec field): records load from hash-bucketed
+//!   segment files on open and new simulations append to them, so repeated
+//!   runs — and the workers of a serve cluster sharing one directory — warm
+//!   each other across processes (see [`crate::persist`]);
+//! * an optional **max-entries bound** ([`EvalCache::with_capacity`]) with
+//!   deterministic insertion-order eviction, so a long serve session cannot
+//!   grow without limit. Default unbounded — bounded caches still return
+//!   byte-identical results, an evicted key merely re-simulates.
+//!
 //! Hit/miss counters aggregate per cache and into process-wide totals
 //! ([`process_cache_stats`]), which the bench harness samples around a run to
 //! stamp hit rates into `BENCH_<name>.json` reports.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -29,6 +42,7 @@ use serde::Serialize;
 use msfu_distill::FactoryConfig;
 use msfu_layout::Layout;
 
+use crate::persist::DiskTier;
 use crate::{Evaluation, EvaluationConfig, Result};
 
 /// Hit/miss counters of an [`EvalCache`] (or of the whole process, see
@@ -39,6 +53,13 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to simulate.
     pub misses: u64,
+    /// Subset of `hits` answered by a record loaded from the persistent
+    /// tier (zero without a cache directory).
+    pub disk_hits: u64,
+    /// Records loaded from the persistent tier when the cache was opened.
+    pub loaded: u64,
+    /// Newly simulated records appended to the persistent tier by this run.
+    pub persisted: u64,
 }
 
 impl CacheStats {
@@ -58,12 +79,18 @@ impl CacheStats {
         CacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
+            disk_hits: self.disk_hits.saturating_sub(earlier.disk_hits),
+            loaded: self.loaded.saturating_sub(earlier.loaded),
+            persisted: self.persisted.saturating_sub(earlier.persisted),
         }
     }
 }
 
 static PROCESS_HITS: AtomicU64 = AtomicU64::new(0);
 static PROCESS_MISSES: AtomicU64 = AtomicU64::new(0);
+static PROCESS_DISK_HITS: AtomicU64 = AtomicU64::new(0);
+static PROCESS_LOADED: AtomicU64 = AtomicU64::new(0);
+static PROCESS_PERSISTED: AtomicU64 = AtomicU64::new(0);
 
 /// Cumulative hit/miss counters across every [`EvalCache`] of the process.
 /// Sample before and after a run and diff with [`CacheStats::since`] to
@@ -72,40 +99,97 @@ pub fn process_cache_stats() -> CacheStats {
     CacheStats {
         hits: PROCESS_HITS.load(Ordering::Relaxed),
         misses: PROCESS_MISSES.load(Ordering::Relaxed),
+        disk_hits: PROCESS_DISK_HITS.load(Ordering::Relaxed),
+        loaded: PROCESS_LOADED.load(Ordering::Relaxed),
+        persisted: PROCESS_PERSISTED.load(Ordering::Relaxed),
     }
 }
 
 /// One cache slot: a per-key compute guard plus the published value.
 /// Concurrent requesters of the same key serialize on `guard`, so the
 /// evaluation runs once and late arrivals read the published result.
+/// `from_disk` marks slots pre-populated from the persistent tier (their
+/// hits count as `disk_hits` and they are never re-appended).
 #[derive(Default)]
 struct Slot {
     guard: Mutex<()>,
     value: OnceLock<Evaluation>,
+    from_disk: bool,
+}
+
+/// The keyed slots plus the insertion order used for bounded eviction (the
+/// order queue is only maintained when a capacity is set).
+#[derive(Default)]
+struct Slots {
+    map: HashMap<String, Arc<Slot>>,
+    order: VecDeque<String>,
 }
 
 /// A content-addressed map from evaluation inputs to simulated
 /// [`Evaluation`] records, shared across the worker threads of one sweep or
-/// search run.
+/// search run — optionally bounded, and optionally backed by an on-disk
+/// persistent tier shared across processes.
 #[derive(Default)]
 pub struct EvalCache {
-    slots: Mutex<HashMap<String, Arc<Slot>>>,
+    slots: Mutex<Slots>,
+    capacity: Option<usize>,
+    disk: Option<DiskTier>,
     hits: AtomicU64,
     misses: AtomicU64,
+    disk_hits: AtomicU64,
+    loaded: AtomicU64,
+    persisted: AtomicU64,
 }
 
 impl std::fmt::Debug for EvalCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EvalCache")
             .field("stats", &self.stats())
+            .field("capacity", &self.capacity)
+            .field("persistent", &self.disk.is_some())
             .finish()
     }
 }
 
 impl EvalCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded, memory-only cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Bounds the in-memory tier to `max_entries` slots with deterministic
+    /// insertion-order eviction (builder style; apply before
+    /// [`EvalCache::with_disk`] so loading respects the bound). An evicted
+    /// key simply re-simulates — results stay byte-identical. A bound of 0
+    /// caches nothing.
+    pub fn with_capacity(mut self, max_entries: usize) -> Self {
+        self.capacity = Some(max_entries);
+        self
+    }
+
+    /// Attaches the persistent tier rooted at `dir` (builder style),
+    /// creating the directory if needed and loading every readable record.
+    /// Damaged or foreign-version records are skipped with a warning on
+    /// stderr, never an error — see [`crate::persist`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::Spec`] when the directory cannot be
+    /// created (the path comes from the spec/flags).
+    pub fn with_disk(mut self, dir: &Path) -> Result<Self> {
+        let (tier, contents) =
+            DiskTier::open(dir).map_err(|reason| crate::CoreError::Spec { reason })?;
+        self.disk = Some(tier);
+        for warning in &contents.warnings {
+            eprintln!("[msfu eval-cache] {warning}");
+        }
+        let loaded = contents.entries.len() as u64;
+        for (key, evaluation) in contents.entries {
+            self.insert_loaded(key, evaluation);
+        }
+        self.loaded.fetch_add(loaded, Ordering::Relaxed);
+        PROCESS_LOADED.fetch_add(loaded, Ordering::Relaxed);
+        Ok(self)
     }
 
     /// The cache's own hit/miss counters.
@@ -113,6 +197,44 @@ impl EvalCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            loaded: self.loaded.load(Ordering::Relaxed),
+            persisted: self.persisted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Pre-populates one slot from a persisted record (open-time only:
+    /// `&mut self`, so no lock contention and no hit/miss accounting).
+    fn insert_loaded(&mut self, key: String, evaluation: Evaluation) {
+        let slots = self.slots.get_mut().unwrap_or_else(|e| e.into_inner());
+        // Duplicate keys (two processes raced the same miss) carry identical
+        // content; keep the slot already present.
+        if slots.map.contains_key(&key) {
+            return;
+        }
+        Self::evict_to_fit(slots, self.capacity);
+        if self.capacity == Some(0) {
+            return;
+        }
+        let slot = Slot {
+            guard: Mutex::new(()),
+            value: OnceLock::from(evaluation),
+            from_disk: true,
+        };
+        if self.capacity.is_some() {
+            slots.order.push_back(key.clone());
+        }
+        slots.map.insert(key, Arc::new(slot));
+    }
+
+    /// Evicts oldest-inserted slots until one more fits under `capacity`.
+    fn evict_to_fit(slots: &mut Slots, capacity: Option<usize>) {
+        let Some(capacity) = capacity else { return };
+        while capacity > 0 && slots.map.len() >= capacity {
+            let Some(oldest) = slots.order.pop_front() else {
+                return;
+            };
+            slots.map.remove(&oldest);
         }
     }
 
@@ -126,22 +248,46 @@ impl EvalCache {
         strategy_name: &str,
         compute: impl FnOnce() -> Result<Evaluation>,
     ) -> Result<Evaluation> {
+        // A persisted miss appends under the same key after computing.
+        let persist_key = self.disk.is_some().then(|| key.clone());
         let slot = {
             let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
-            slots.entry(key).or_default().clone()
+            match slots.map.get(&key) {
+                Some(slot) => slot.clone(),
+                None => {
+                    Self::evict_to_fit(&mut slots, self.capacity);
+                    let slot = Arc::new(Slot::default());
+                    if self.capacity != Some(0) {
+                        if self.capacity.is_some() {
+                            slots.order.push_back(key.clone());
+                        }
+                        slots.map.insert(key, slot.clone());
+                    }
+                    slot
+                }
+            }
         };
         if let Some(found) = slot.value.get() {
-            return Ok(self.hit(found, strategy_name));
+            return Ok(self.hit(&slot, found, strategy_name));
         }
         let _guard = slot.guard.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(found) = slot.value.get() {
             // Another worker simulated this key while we waited.
-            return Ok(self.hit(found, strategy_name));
+            return Ok(self.hit(&slot, found, strategy_name));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         PROCESS_MISSES.fetch_add(1, Ordering::Relaxed);
         let value = compute()?;
         let _ = slot.value.set(value.clone());
+        if let (Some(disk), Some(key)) = (&self.disk, persist_key) {
+            match disk.append(&key, &value) {
+                Ok(()) => {
+                    self.persisted.fetch_add(1, Ordering::Relaxed);
+                    PROCESS_PERSISTED.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(warning) => eprintln!("[msfu eval-cache] {warning}"),
+            }
+        }
         Ok(value)
     }
 
@@ -152,16 +298,38 @@ impl EvalCache {
     pub(crate) fn peek(&self, key: &str) -> bool {
         let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
         slots
+            .map
             .get(key)
             .is_some_and(|slot| slot.value.get().is_some())
     }
 
-    fn hit(&self, found: &Evaluation, strategy_name: &str) -> Evaluation {
+    fn hit(&self, slot: &Slot, found: &Evaluation, strategy_name: &str) -> Evaluation {
         self.hits.fetch_add(1, Ordering::Relaxed);
         PROCESS_HITS.fetch_add(1, Ordering::Relaxed);
+        if slot.from_disk {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            PROCESS_DISK_HITS.fetch_add(1, Ordering::Relaxed);
+        }
         let mut evaluation = found.clone();
         evaluation.strategy = strategy_name.to_string();
         evaluation
+    }
+}
+
+/// Opens the cache a sweep/search run asked for: `None` when caching is
+/// disabled, a memory-only cache without a directory, or a persistent-tier
+/// cache rooted at `dir`.
+///
+/// # Errors
+///
+/// Propagates [`EvalCache::with_disk`] failures (unwritable directory).
+pub(crate) fn open_eval_cache(enabled: bool, dir: Option<&Path>) -> Result<Option<EvalCache>> {
+    if !enabled {
+        return Ok(None);
+    }
+    match dir {
+        Some(dir) => EvalCache::new().with_disk(dir).map(Some),
+        None => Ok(Some(EvalCache::new())),
     }
 }
 
@@ -218,11 +386,28 @@ mod tests {
         let second = cache
             .get_or_compute(key(), "Other", || panic!("must not recompute"))
             .unwrap();
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                ..CacheStats::default()
+            }
+        );
         assert_eq!(second.strategy, "Other");
         assert_eq!(second.latency_cycles, first.latency_cycles);
         assert_eq!(second.volume, first.volume);
         assert!(cache.stats().hit_rate() > 0.49);
+    }
+
+    #[test]
+    fn hit_rate_of_an_unused_cache_is_zero_not_nan() {
+        // bench-diff hard-errors on NaN cells, so a cold stamped report must
+        // come out 0.0 exactly.
+        let stats = CacheStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+        assert!(stats.hit_rate().is_finite());
+        assert_eq!(EvalCache::new().stats().hit_rate(), 0.0);
     }
 
     #[test]
@@ -266,5 +451,132 @@ mod tests {
             .unwrap();
         assert_eq!(ok.strategy, "Line");
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    fn canned(tag: u64) -> Evaluation {
+        let (config, layout, eval) = sample_inputs();
+        let factory = Factory::build(&config).unwrap();
+        let mut evaluation = crate::evaluate_mapped(&factory, &layout, "Line", &eval).unwrap();
+        evaluation.latency_cycles = tag;
+        evaluation
+    }
+
+    #[test]
+    fn bounded_cache_evicts_in_insertion_order() {
+        let cache = EvalCache::new().with_capacity(2);
+        for (key, tag) in [("a", 1u64), ("b", 2), ("c", 3)] {
+            cache
+                .get_or_compute(key.to_string(), "Line", || Ok(canned(tag)))
+                .unwrap();
+        }
+        // "a" (oldest) was evicted by "c"; "b" and "c" survive.
+        assert!(!cache.peek("a"));
+        assert!(cache.peek("b"));
+        assert!(cache.peek("c"));
+        // A re-request of "a" recomputes (a miss) and evicts "b" in turn.
+        cache
+            .get_or_compute("a".to_string(), "Line", || Ok(canned(4)))
+            .unwrap();
+        assert!(!cache.peek("b"));
+        assert!(cache.peek("a") && cache.peek("c"));
+        assert_eq!(cache.stats().misses, 4);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing_but_still_computes() {
+        let cache = EvalCache::new().with_capacity(0);
+        for _ in 0..2 {
+            let value = cache
+                .get_or_compute("k".to_string(), "Line", || Ok(canned(9)))
+                .unwrap();
+            assert_eq!(value.latency_cycles, 9);
+        }
+        assert!(!cache.peek("k"));
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn unbounded_cache_keeps_everything() {
+        let cache = EvalCache::new();
+        for i in 0..100u64 {
+            cache
+                .get_or_compute(format!("k{i}"), "Line", || Ok(canned(i)))
+                .unwrap();
+        }
+        assert!((0..100).all(|i| cache.peek(&format!("k{i}"))));
+    }
+
+    #[test]
+    fn stats_since_subtracts_every_counter() {
+        let earlier = CacheStats {
+            hits: 1,
+            misses: 2,
+            disk_hits: 1,
+            loaded: 5,
+            persisted: 2,
+        };
+        let later = CacheStats {
+            hits: 4,
+            misses: 3,
+            disk_hits: 2,
+            loaded: 5,
+            persisted: 6,
+        };
+        assert_eq!(
+            later.since(&earlier),
+            CacheStats {
+                hits: 3,
+                misses: 1,
+                disk_hits: 1,
+                loaded: 0,
+                persisted: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn disk_tier_round_trips_hits_and_counters() {
+        let dir = std::env::temp_dir().join(format!("msfu-cache-tier-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (config, layout, eval) = sample_inputs();
+        let factory = Factory::build(&config).unwrap();
+        let key = || evaluation_key(&config, &layout, &eval);
+        let first = {
+            let cache = EvalCache::new().with_disk(&dir).unwrap();
+            let value = cache
+                .get_or_compute(key(), "Line", || {
+                    crate::evaluate_mapped(&factory, &layout, "Line", &eval)
+                })
+                .unwrap();
+            let stats = cache.stats();
+            assert_eq!((stats.loaded, stats.misses, stats.persisted), (0, 1, 1));
+            value
+        };
+        // A fresh cache over the same directory answers from disk,
+        // byte-identically, and persists nothing new.
+        let cache = EvalCache::new().with_disk(&dir).unwrap();
+        let second = cache
+            .get_or_compute(key(), "Line", || panic!("must come from disk"))
+            .unwrap();
+        assert_eq!(second, first);
+        let stats = cache.stats();
+        assert_eq!(stats.loaded, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.persisted, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_eval_cache_respects_the_enabled_flag() {
+        assert!(open_eval_cache(false, None).unwrap().is_none());
+        assert!(open_eval_cache(true, None).unwrap().is_some());
+        let dir = std::env::temp_dir().join(format!("msfu-cache-open-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = open_eval_cache(true, Some(dir.as_path())).unwrap().unwrap();
+        assert!(cache.disk.is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -26,6 +26,9 @@
 //!   strategies evaluated in parallel with early stopping and a best-so-far
 //!   incumbent report.
 //! * [`report`] — small helpers for formatting the tables the paper prints.
+//! * [`serdes`] / [`persist`] — the compact binary storage codec and the
+//!   on-disk persistent tier of the evaluation cache (the `"cache_dir"`
+//!   spec field), which warm-starts repeated runs and serve clusters.
 //!
 //! # Example
 //!
@@ -49,10 +52,12 @@
 pub mod cache;
 mod error;
 mod evaluate;
+pub mod persist;
 pub mod pipeline;
 pub mod progress;
 pub mod report;
 pub mod search;
+pub mod serdes;
 pub mod spec;
 mod strategy;
 pub mod sweep;
@@ -65,11 +70,13 @@ pub use evaluate::{
     effective_factory, evaluate, evaluate_factory, evaluate_factory_with, evaluate_mapped,
     evaluate_mapped_with, Evaluation, EvaluationConfig,
 };
+pub use persist::PersistWarning;
 pub use progress::{CancelToken, NoProgress, ProgressEvent, ProgressSink, RunControl};
 pub use search::{
     Incumbent, Objective, PortfolioEntry, SearchOutcome, SearchReport, SearchSpec, StopReason,
     TrajectoryPoint,
 };
+pub use serdes::{BinCodec, CodecError, FORMAT_VERSION};
 pub use strategy::{register_strategy, registered_strategies, ResolvedStrategy, Strategy};
 pub use sweep::{
     process_batch_stats, BatchStats, SweepIndex, SweepOutcome, SweepPoint, SweepResults, SweepRow,

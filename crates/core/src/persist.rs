@@ -1,0 +1,444 @@
+//! On-disk persistent tier of the evaluation cache.
+//!
+//! A cache directory (the `--cache-dir` flag / `"cache_dir"` spec field)
+//! holds [`NUM_BUCKETS`] *segment files* named `seg-XX.bin`, where `XX` is
+//! the FNV-1a bucket of the record's key. A segment is a pure append log of
+//! length-prefixed records:
+//!
+//! ```text
+//! record := len:u32-LE  payload[len]
+//! payload := FORMAT_VERSION:u8  key:String  evaluation:Evaluation
+//! ```
+//!
+//! with `key`/`evaluation` in the [`crate::serdes`] binary encoding. Each
+//! record is appended with a single `O_APPEND` write, so records from
+//! concurrent processes interleave whole — the tier is shared safely by
+//! parallel `msfu` invocations and by every worker of a serve cluster.
+//!
+//! Opening a tier scans every segment once. Damage is tolerated, never
+//! fatal: a record from another format version, a corrupt payload, or a
+//! truncated tail (e.g. a process killed mid-append) produces a typed
+//! [`PersistWarning`] and the scan moves on — at worst an entry is
+//! re-simulated and re-appended. Unknown files in the directory are left
+//! alone and ignored.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::serdes::{BinCodec, CodecError, FORMAT_VERSION};
+use crate::Evaluation;
+
+/// Number of hash-bucketed segment files in a cache directory.
+pub const NUM_BUCKETS: usize = 16;
+
+/// A non-fatal problem with the persistent tier: a damaged or
+/// foreign-version record skipped on open, or an append that could not be
+/// written. The cache reports these (to stderr) and keeps going — the
+/// persistent tier is an accelerator, never a correctness dependency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistWarning {
+    /// A record written by a different codec format version was skipped.
+    BadVersion {
+        /// Segment file holding the record.
+        path: PathBuf,
+        /// Byte offset of the record in the segment.
+        offset: usize,
+        /// The version byte found (the current one is
+        /// [`FORMAT_VERSION`]).
+        found: u8,
+    },
+    /// A record's payload failed to decode and was skipped.
+    Corrupt {
+        /// Segment file holding the record.
+        path: PathBuf,
+        /// Byte offset of the record in the segment.
+        offset: usize,
+        /// The decode failure.
+        reason: String,
+    },
+    /// The segment ended mid-record (e.g. a crash mid-append); the partial
+    /// tail was ignored.
+    TruncatedTail {
+        /// Segment file with the partial record.
+        path: PathBuf,
+        /// Byte offset where the partial record starts.
+        offset: usize,
+    },
+    /// A segment could not be read or appended to.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The I/O error message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PersistWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistWarning::BadVersion {
+                path,
+                offset,
+                found,
+            } => write!(
+                f,
+                "{}:{offset}: skipping record with format version {found} (this build reads {FORMAT_VERSION})",
+                path.display()
+            ),
+            PersistWarning::Corrupt {
+                path,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "{}:{offset}: skipping corrupt record: {reason}",
+                path.display()
+            ),
+            PersistWarning::TruncatedTail { path, offset } => write!(
+                f,
+                "{}:{offset}: ignoring truncated record tail",
+                path.display()
+            ),
+            PersistWarning::Io { path, message } => {
+                write!(f, "{}: {message}", path.display())
+            }
+        }
+    }
+}
+
+/// FNV-1a of the key, used only to pick a segment bucket (the full key is
+/// stored in the record, so hash collisions merely co-locate records).
+fn fnv1a(key: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in key.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Path of the segment file that holds `key`'s bucket.
+fn segment_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("seg-{:02x}.bin", fnv1a(key) as usize % NUM_BUCKETS))
+}
+
+/// Handle on an opened cache directory. Created by [`DiskTier::open`],
+/// which also returns everything readable on disk; afterwards the tier only
+/// appends.
+#[derive(Debug)]
+pub(crate) struct DiskTier {
+    dir: PathBuf,
+}
+
+/// What [`DiskTier::open`] found on disk.
+pub(crate) struct DiskContents {
+    /// Every decodable `(key, evaluation)` record. Duplicate keys may occur
+    /// (two processes racing the same miss both persist it); the records are
+    /// identical because keys are content addresses.
+    pub entries: Vec<(String, Evaluation)>,
+    /// Damage skipped while scanning.
+    pub warnings: Vec<PersistWarning>,
+}
+
+impl DiskTier {
+    /// Opens (creating if necessary) the cache directory and scans every
+    /// segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error message when the directory cannot be created —
+    /// the only fatal condition; per-file damage becomes warnings.
+    pub(crate) fn open(dir: &Path) -> Result<(DiskTier, DiskContents), String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create cache directory {}: {e}", dir.display()))?;
+        let mut contents = DiskContents {
+            entries: Vec::new(),
+            warnings: Vec::new(),
+        };
+        for bucket in 0..NUM_BUCKETS {
+            let path = dir.join(format!("seg-{bucket:02x}.bin"));
+            let bytes = match std::fs::read(&path) {
+                Ok(bytes) => bytes,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => {
+                    contents.warnings.push(PersistWarning::Io {
+                        path,
+                        message: e.to_string(),
+                    });
+                    continue;
+                }
+            };
+            scan_segment(&path, &bytes, &mut contents);
+        }
+        let tier = DiskTier {
+            dir: dir.to_path_buf(),
+        };
+        Ok((tier, contents))
+    }
+
+    /// Appends one record to its bucket's segment: a single `O_APPEND`
+    /// write of the whole length-prefixed record, so concurrent appenders
+    /// interleave whole records.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed warning when the segment cannot be opened or written;
+    /// the in-memory cache is unaffected.
+    pub(crate) fn append(&self, key: &str, evaluation: &Evaluation) -> Result<(), PersistWarning> {
+        let mut payload = vec![FORMAT_VERSION];
+        key.to_string().encode_into(&mut payload);
+        evaluation.encode_into(&mut payload);
+        let mut record = (payload.len() as u32).to_bytes();
+        record.extend_from_slice(&payload);
+        let path = segment_path(&self.dir, key);
+        let io = |e: std::io::Error| PersistWarning::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        };
+        let mut file = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)
+            .map_err(io)?;
+        file.write_all(&record).map_err(io)
+    }
+}
+
+/// Scans one segment's bytes, pushing decodable records and damage warnings
+/// into `contents`. The length framing is version-independent, so a bad
+/// version or corrupt payload skips one record and the scan continues; only
+/// a tail too short for its own framing ends the scan of this segment.
+fn scan_segment(path: &Path, bytes: &[u8], contents: &mut DiskContents) {
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let mut cursor = &bytes[offset..];
+        let len = match u32::decode(&mut cursor) {
+            Ok(len) => len as usize,
+            Err(_) => {
+                contents.warnings.push(PersistWarning::TruncatedTail {
+                    path: path.to_path_buf(),
+                    offset,
+                });
+                return;
+            }
+        };
+        if cursor.len() < len {
+            contents.warnings.push(PersistWarning::TruncatedTail {
+                path: path.to_path_buf(),
+                offset,
+            });
+            return;
+        }
+        let payload = &cursor[..len];
+        match decode_payload(payload) {
+            Ok(entry) => contents.entries.push(entry),
+            Err(PayloadError::Version(found)) => {
+                contents.warnings.push(PersistWarning::BadVersion {
+                    path: path.to_path_buf(),
+                    offset,
+                    found,
+                });
+            }
+            Err(PayloadError::Codec(e)) => {
+                contents.warnings.push(PersistWarning::Corrupt {
+                    path: path.to_path_buf(),
+                    offset,
+                    reason: e.to_string(),
+                });
+            }
+        }
+        offset += 4 + len;
+    }
+}
+
+enum PayloadError {
+    Version(u8),
+    Codec(CodecError),
+}
+
+fn decode_payload(mut payload: &[u8]) -> Result<(String, Evaluation), PayloadError> {
+    let version = u8::decode(&mut payload).map_err(PayloadError::Codec)?;
+    if version != FORMAT_VERSION {
+        return Err(PayloadError::Version(version));
+    }
+    let key = String::decode(&mut payload).map_err(PayloadError::Codec)?;
+    let evaluation = Evaluation::decode(&mut payload).map_err(PayloadError::Codec)?;
+    if payload.is_empty() {
+        Ok((key, evaluation))
+    } else {
+        Err(PayloadError::Codec(CodecError::TrailingBytes {
+            remaining: payload.len(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EvaluationConfig, Strategy};
+    use msfu_distill::FactoryConfig;
+
+    fn sample_evaluation() -> Evaluation {
+        crate::evaluate(
+            &FactoryConfig::single_level(2),
+            &Strategy::linear(),
+            &EvaluationConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("msfu-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_then_reopen_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let evaluation = sample_evaluation();
+        {
+            let (tier, contents) = DiskTier::open(&dir).unwrap();
+            assert!(contents.entries.is_empty());
+            assert!(contents.warnings.is_empty());
+            tier.append("key-a", &evaluation).unwrap();
+            tier.append("key-b", &evaluation).unwrap();
+        }
+        let (_, contents) = DiskTier::open(&dir).unwrap();
+        assert!(contents.warnings.is_empty());
+        let mut keys: Vec<&str> = contents.entries.iter().map(|(k, _)| k.as_str()).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, ["key-a", "key-b"]);
+        for (_, back) in &contents.entries {
+            assert_eq!(back, &evaluation);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated_and_earlier_records_survive() {
+        let dir = temp_dir("truncated");
+        let evaluation = sample_evaluation();
+        {
+            let (tier, _) = DiskTier::open(&dir).unwrap();
+            tier.append("whole", &evaluation).unwrap();
+        }
+        // Chop bytes off the segment holding "whole", simulating a crash
+        // mid-append of a second record.
+        let path = segment_path(&dir, "whole");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let full = bytes.clone();
+        bytes.extend_from_slice(&full[..full.len() / 2]);
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, contents) = DiskTier::open(&dir).unwrap();
+        assert_eq!(contents.entries.len(), 1);
+        assert_eq!(contents.entries[0].0, "whole");
+        assert!(matches!(
+            contents.warnings.as_slice(),
+            [PersistWarning::TruncatedTail { .. }]
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_version_record_is_skipped_with_a_typed_warning() {
+        let dir = temp_dir("badversion");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Hand-written segment left by an "older build": one framed record
+        // whose payload leads with a version byte this build does not read.
+        let payload = [0u8, 1, 2, 3];
+        let mut record = (payload.len() as u32).to_le_bytes().to_vec();
+        record.extend_from_slice(&payload);
+        std::fs::write(dir.join("seg-00.bin"), &record).unwrap();
+        let (_, contents) = DiskTier::open(&dir).unwrap();
+        assert!(contents.entries.is_empty());
+        assert!(
+            matches!(
+                contents.warnings.as_slice(),
+                [PersistWarning::BadVersion { found: 0, .. }]
+            ),
+            "warnings: {:?}",
+            contents.warnings
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_is_skipped_and_later_records_survive() {
+        let dir = temp_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        // First record: valid framing + version, garbage payload. Second:
+        // genuine. The scan must warn on the first and still load the second.
+        let garbage = [FORMAT_VERSION, 0xff, 0xff, 0xff];
+        let mut bytes = (garbage.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&garbage);
+        let evaluation = sample_evaluation();
+        let mut payload = vec![FORMAT_VERSION];
+        "good".to_string().encode_into(&mut payload);
+        evaluation.encode_into(&mut payload);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        std::fs::write(dir.join("seg-07.bin"), &bytes).unwrap();
+        let (_, contents) = DiskTier::open(&dir).unwrap();
+        assert_eq!(contents.entries.len(), 1);
+        assert_eq!(contents.entries[0].0, "good");
+        assert_eq!(contents.entries[0].1, evaluation);
+        assert!(matches!(
+            contents.warnings.as_slice(),
+            [PersistWarning::Corrupt { .. }]
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_files_are_ignored() {
+        let dir = temp_dir("foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("README.txt"), b"not a segment").unwrap();
+        let (_, contents) = DiskTier::open(&dir).unwrap();
+        assert!(contents.entries.is_empty());
+        assert!(contents.warnings.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn buckets_are_stable_and_in_range() {
+        // The bucket function is part of the on-disk format: a change would
+        // orphan existing records (they would still load — open scans every
+        // bucket — but appends would fragment). Pin it.
+        assert_eq!(fnv1a("") & 0xffff_ffff, 0x84222325 & 0xffff_ffff);
+        for key in ["a", "b", "some|longer|key"] {
+            let path = segment_path(Path::new("d"), key);
+            let name = path.file_name().unwrap().to_str().unwrap();
+            assert!(name.starts_with("seg-") && name.ends_with(".bin"));
+        }
+    }
+
+    #[test]
+    fn warnings_display_without_panicking() {
+        let warnings = [
+            PersistWarning::BadVersion {
+                path: PathBuf::from("seg-00.bin"),
+                offset: 0,
+                found: 9,
+            },
+            PersistWarning::Corrupt {
+                path: PathBuf::from("seg-00.bin"),
+                offset: 4,
+                reason: "boom".into(),
+            },
+            PersistWarning::TruncatedTail {
+                path: PathBuf::from("seg-00.bin"),
+                offset: 8,
+            },
+            PersistWarning::Io {
+                path: PathBuf::from("seg-00.bin"),
+                message: "denied".into(),
+            },
+        ];
+        for warning in warnings {
+            assert!(!warning.to_string().is_empty());
+        }
+    }
+}

@@ -44,7 +44,7 @@ use serde::{Serialize, Value};
 use msfu_distill::{Factory, FactoryConfig};
 use msfu_layout::{ForceDirectedConfig, MapperParams, ParamValue, StitchingConfig};
 
-use crate::cache::{evaluation_key, CacheStats, EvalCache};
+use crate::cache::{evaluation_key, open_eval_cache, CacheStats, EvalCache};
 use crate::evaluate::{effective_factory, evaluate_mapped_with, with_thread_engine};
 use crate::progress::{ProgressEvent, RunControl};
 use crate::spec::{eval_from_json, factory_from_json, params_from_json, strategy_from_json};
@@ -226,6 +226,12 @@ pub struct SearchSpec {
     /// so candidates converging to the same layout simulate once. Enabled by
     /// default; reports are byte-identical either way.
     pub use_eval_cache: bool,
+    /// Root directory of the persistent cache tier (see
+    /// [`SweepSpec::cache_dir`](crate::SweepSpec)): candidates already
+    /// simulated by an earlier run — or by another process sharing the
+    /// directory — are served from disk. Reports are byte-identical with or
+    /// without it. `None` (default) keeps the cache memory-only.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl SearchSpec {
@@ -244,6 +250,7 @@ impl SearchSpec {
             seed: 0,
             portfolio: Vec::new(),
             use_eval_cache: true,
+            cache_dir: None,
         }
     }
 
@@ -361,7 +368,7 @@ impl SearchSpec {
             .iter()
             .map(|entry| entry.template.resolve())
             .collect::<Result<_>>()?;
-        let cache = self.use_eval_cache.then(EvalCache::new);
+        let cache = open_eval_cache(self.use_eval_cache, self.cache_dir.as_deref())?;
         let mut outcome = self.run_with_evaluator(ctrl, |batch| {
             let evaluate = |(g, s): &(usize, Strategy)| {
                 self.evaluate_candidate(
@@ -663,6 +670,11 @@ impl SearchSpec {
             Some(Value::Bool(b)) => spec.use_eval_cache = *b,
             Some(_) => return Err(fail("search: `cache` must be a boolean".to_string())),
         }
+        match root.get("cache_dir") {
+            None => {}
+            Some(Value::Str(dir)) => spec.cache_dir = Some(std::path::PathBuf::from(dir)),
+            Some(_) => return Err(fail("search: `cache_dir` must be a string".to_string())),
+        }
         if let Value::Object(entries) = root {
             for (key, _) in entries {
                 if !matches!(
@@ -677,6 +689,7 @@ impl SearchSpec {
                         | "target"
                         | "seed"
                         | "cache"
+                        | "cache_dir"
                         | "portfolio"
                 ) {
                     return Err(fail(format!("search: unknown field `{key}`")));

@@ -334,6 +334,9 @@ impl SweepSpec {
         if let Some(lanes) = get_u64(root, "lanes", ctx)? {
             spec = spec.with_lanes(lanes as usize);
         }
+        if let Some(dir) = get_str(root, "cache_dir", ctx)? {
+            spec = spec.with_cache_dir(dir);
+        }
         if let Some(points) = root.get("points") {
             for (i, point) in as_array(points, "points")?.iter().enumerate() {
                 let ctx = format!("points[{i}]");
@@ -419,6 +422,7 @@ impl SweepSpec {
                     | "collect_breakdowns"
                     | "collect_mapping_metrics"
                     | "cache"
+                    | "cache_dir"
                     | "lanes"
                     | "points"
                     | "grids"

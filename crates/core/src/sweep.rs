@@ -44,7 +44,7 @@ use msfu_graph::{metrics::MappingMetrics, InteractionGraph};
 use msfu_layout::Layout;
 use msfu_sim::{BatchLane, SimEngine, MAX_LANES};
 
-use crate::cache::{evaluation_key, CacheStats, EvalCache};
+use crate::cache::{evaluation_key, open_eval_cache, CacheStats, EvalCache};
 use crate::evaluate::{
     effective_factory, evaluate_mapped_with, with_thread_batch_engine, with_thread_engine,
 };
@@ -111,6 +111,13 @@ pub struct SweepSpec {
     /// byte-identical at any width; `0` or `1` disables batching. Defaults to
     /// [`DEFAULT_LANES`]; values above [`MAX_LANES`] are clamped.
     pub lanes: usize,
+    /// Root directory of the persistent cache tier: previously simulated
+    /// evaluations load from hash-bucketed segment files under it on open,
+    /// and new simulations append to them, so repeated runs — and cluster
+    /// workers sharing one directory — warm each other across processes.
+    /// Rows are byte-identical with or without it. `None` (default) keeps
+    /// the cache memory-only; ignored when `use_eval_cache` is off.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 /// The outcome of one sweep point.
@@ -344,6 +351,7 @@ impl SweepSpec {
             collect_mapping_metrics: false,
             use_eval_cache: true,
             lanes: DEFAULT_LANES,
+            cache_dir: None,
         }
     }
 
@@ -359,6 +367,14 @@ impl SweepSpec {
     /// batching; rows are byte-identical at any width.
     pub fn with_lanes(mut self, lanes: usize) -> Self {
         self.lanes = lanes;
+        self
+    }
+
+    /// Attaches the persistent cache tier rooted at `dir` (builder style):
+    /// evaluations already on disk are served without simulating, new ones
+    /// are appended. Rows are byte-identical with or without the tier.
+    pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
         self
     }
 
@@ -458,7 +474,7 @@ impl SweepSpec {
         let total = self.points.len();
         let mut rows: Vec<SweepRow> = Vec::with_capacity(total);
         let mut interrupted = ctrl.interrupted();
-        let eval_cache = self.use_eval_cache.then(EvalCache::new);
+        let eval_cache = open_eval_cache(self.use_eval_cache, self.cache_dir.as_deref())?;
         let mut batch_stats = self.fresh_batch_stats();
 
         if !interrupted {
@@ -575,7 +591,7 @@ impl SweepSpec {
         }
         let total = self.points.len();
         let mut cache: FactoryCache = HashMap::new();
-        let eval_cache = self.use_eval_cache.then(EvalCache::new);
+        let eval_cache = open_eval_cache(self.use_eval_cache, self.cache_dir.as_deref())?;
         with_thread_engine(self.eval.sim, |engine| {
             let mut rows: Vec<SweepRow> = Vec::with_capacity(total);
             let mut interrupted = false;
@@ -620,7 +636,7 @@ impl SweepSpec {
     fn run_serial_batched_with(&self, ctrl: &RunControl<'_>) -> Result<SweepOutcome> {
         let total = self.points.len();
         let mut cache: FactoryCache = HashMap::new();
-        let eval_cache = self.use_eval_cache.then(EvalCache::new);
+        let eval_cache = open_eval_cache(self.use_eval_cache, self.cache_dir.as_deref())?;
         let mut batch_stats = self.fresh_batch_stats();
         let mut rows: Vec<SweepRow> = Vec::with_capacity(total);
         let mut interrupted = false;
@@ -1278,7 +1294,14 @@ mod tests {
         let outcome = spec.run_with(&RunControl::default()).unwrap();
         assert_eq!(outcome.batch.points_batched, 1);
         assert_eq!(outcome.batch.points_from_cache, 3);
-        assert_eq!(outcome.cache, CacheStats { hits: 3, misses: 1 });
+        assert_eq!(
+            outcome.cache,
+            CacheStats {
+                hits: 3,
+                misses: 1,
+                ..CacheStats::default()
+            }
+        );
         let unbatched = spec
             .clone()
             .with_lanes(0)

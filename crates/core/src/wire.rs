@@ -246,21 +246,33 @@ pub fn sweep_spec_to_value(spec: &SweepSpec) -> Value {
             ])
         })
         .collect();
-    Value::Object(vec![
-        ("name".to_string(), Value::Str(spec.name.clone())),
-        ("eval".to_string(), eval_to_spec_value(&spec.eval)),
-        (
-            "collect_breakdowns".to_string(),
-            Value::Bool(spec.collect_breakdowns),
-        ),
-        (
-            "collect_mapping_metrics".to_string(),
-            Value::Bool(spec.collect_mapping_metrics),
-        ),
-        ("cache".to_string(), Value::Bool(spec.use_eval_cache)),
-        ("lanes".to_string(), Value::UInt(spec.lanes as u64)),
-        ("points".to_string(), Value::Array(points)),
-    ])
+    Value::Object(
+        vec![
+            ("name".to_string(), Value::Str(spec.name.clone())),
+            ("eval".to_string(), eval_to_spec_value(&spec.eval)),
+            (
+                "collect_breakdowns".to_string(),
+                Value::Bool(spec.collect_breakdowns),
+            ),
+            (
+                "collect_mapping_metrics".to_string(),
+                Value::Bool(spec.collect_mapping_metrics),
+            ),
+            ("cache".to_string(), Value::Bool(spec.use_eval_cache)),
+            ("lanes".to_string(), Value::UInt(spec.lanes as u64)),
+            ("points".to_string(), Value::Array(points)),
+        ]
+        .into_iter()
+        // `cache_dir` is emitted only when set: absent and `null` decode the
+        // same, and the common memory-only spec stays byte-stable.
+        .chain(spec.cache_dir.iter().map(|dir| {
+            (
+                "cache_dir".to_string(),
+                Value::Str(dir.to_string_lossy().into_owned()),
+            )
+        }))
+        .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -292,6 +304,23 @@ mod tests {
         let spec = spec_fixture();
         let decoded = SweepSpec::from_value(&sweep_spec_to_value(&spec)).unwrap();
         assert_eq!(decoded, spec);
+    }
+
+    #[test]
+    fn cache_dir_rides_the_shard_request() {
+        // A coordinator's cache directory must reach its workers, so each
+        // shard warms (and is warmed by) the shared persistent tier.
+        let spec = spec_fixture().with_cache_dir("shared/eval-cache");
+        let value = sweep_spec_to_value(&spec);
+        let decoded = SweepSpec::from_value(&value).unwrap();
+        assert_eq!(decoded, spec);
+        assert_eq!(
+            decoded.cache_dir.as_deref(),
+            Some(std::path::Path::new("shared/eval-cache"))
+        );
+        // Without a cache dir the field is omitted entirely.
+        let bare = sweep_spec_to_value(&spec_fixture());
+        assert!(bare.get("cache_dir").is_none());
     }
 
     #[test]

@@ -375,6 +375,7 @@ fn run_search<W: Write>(
             .map(|(k, range)| {
                 let mut sub = SweepSpec::new(spec.name.clone(), spec.eval);
                 sub.use_eval_cache = spec.use_eval_cache;
+                sub.cache_dir = spec.cache_dir.clone();
                 for (g, strategy) in &batch[range.clone()] {
                     sub = sub.point(format!("c{g}"), spec.factory, strategy.clone());
                 }

@@ -66,6 +66,12 @@ pub struct ServeOptions {
     /// mid-job, as the coordinator's re-dispatch path sees it. `None`
     /// serves until EOF.
     pub exit_after_jobs: Option<usize>,
+    /// Session-default persistent cache directory: sweep/search requests
+    /// that carry no `"cache_dir"` of their own inherit this one, so every
+    /// job of the session (and, with `workers > 0`, every worker shard)
+    /// loads from and appends to one shared evaluation-cache tier. A
+    /// request's explicit `cache_dir` wins over the session default.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl ServeOptions {
@@ -102,6 +108,13 @@ impl ServeOptions {
     /// receiving its `after_jobs + 1`-th request (builder style).
     pub fn with_fault(mut self, rank: usize, after_jobs: usize) -> Self {
         self.fault = Some(WorkerFault { rank, after_jobs });
+        self
+    }
+
+    /// Sets the session-default persistent cache directory (builder style);
+    /// see [`ServeOptions::cache_dir`].
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
         self
     }
 }
@@ -196,6 +209,18 @@ where
                 }
                 jobs_received += 1;
                 request.serial = request.serial || options.serial;
+                if let Some(dir) = &options.cache_dir {
+                    // Session default only: a request's own cache_dir wins.
+                    match &mut request.job {
+                        Job::Sweep { spec } if spec.cache_dir.is_none() => {
+                            spec.cache_dir = Some(dir.clone());
+                        }
+                        Job::Search { spec } if spec.cache_dir.is_none() => {
+                            spec.cache_dir = Some(dir.clone());
+                        }
+                        _ => {}
+                    }
+                }
                 let handle = JobHandle::new();
                 state
                     .lock()

@@ -2,15 +2,19 @@
 //!
 //! ```text
 //! msfu run <REQUEST.json> [--serial] [--progress] [--lanes K] [--workers N]
+//!          [--cache-dir DIR]
 //!     Execute one job request and print its JSON response on stdout.
 //!     --progress additionally streams NDJSON progress events on stderr.
 //!     --lanes K overrides a sweep request's lane-batching width (0 or 1
 //!     turns batching off); non-sweep jobs ignore it. --workers N shards
 //!     the sweep/search across N child `msfu serve` worker processes; the
 //!     merged response is byte-identical to a single-process run (only the
-//!     perf stamp differs, gaining a perf.cluster section).
+//!     perf stamp differs, gaining a perf.cluster section). --cache-dir DIR
+//!     points the sweep/search at a persistent evaluation-cache directory:
+//!     already simulated evaluations are served from disk, new ones are
+//!     appended, and results stay byte-identical either way.
 //!
-//! msfu serve [--serial] [--bench-dir DIR] [--workers N]
+//! msfu serve [--serial] [--bench-dir DIR] [--workers N] [--cache-dir DIR]
 //!     JSON-lines session: one request per stdin line, interleaved NDJSON
 //!     progress events and responses on stdout, until EOF. Every output
 //!     line is flushed as soon as it is written. A line of
@@ -21,6 +25,10 @@
 //!     the bench-diff regression gate compares. --workers N shards
 //!     sweep/search jobs across a pool of N child worker processes that is
 //!     connected on the first such job and reused for the session.
+//!     --cache-dir DIR is the session-default persistent cache directory:
+//!     sweep/search requests without their own "cache_dir" inherit it, and
+//!     worker shards share it, so jobs warm each other across the session
+//!     and across processes.
 //! ```
 //!
 //! Fault-injection environment hooks (CI crash-recovery tests only):
@@ -44,7 +52,7 @@ use msfu::service::{
     ServeOptions, Service,
 };
 
-const USAGE: &str = "usage: msfu run <REQUEST.json> [--serial] [--progress] [--lanes K] [--workers N]\n       msfu serve [--serial] [--bench-dir DIR] [--workers N]";
+const USAGE: &str = "usage: msfu run <REQUEST.json> [--serial] [--progress] [--lanes K] [--workers N] [--cache-dir DIR]\n       msfu serve [--serial] [--bench-dir DIR] [--workers N] [--cache-dir DIR]";
 
 /// Reads the coordinator-side fault-injection hook (CI crash tests).
 fn fault_from_env() -> Result<Option<WorkerFault>, String> {
@@ -80,6 +88,7 @@ fn run_command(args: &[String]) -> Result<bool, String> {
     let mut progress = false;
     let mut lanes: Option<usize> = None;
     let mut workers = 0usize;
+    let mut cache_dir: Option<std::path::PathBuf> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -92,6 +101,10 @@ fn run_command(args: &[String]) -> Result<bool, String> {
             "--workers" => {
                 let v = iter.next().ok_or("--workers needs a count")?;
                 workers = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
+            }
+            "--cache-dir" => {
+                let dir = iter.next().ok_or("--cache-dir needs a directory")?;
+                cache_dir = Some(dir.into());
             }
             _ if arg.starts_with("--") => return Err(format!("unknown flag `{arg}`")),
             _ => {
@@ -108,6 +121,14 @@ fn run_command(args: &[String]) -> Result<bool, String> {
             request.serial = request.serial || serial;
             if let (Some(lanes), Job::Sweep { spec }) = (lanes, &mut request.job) {
                 spec.lanes = lanes;
+            }
+            if let Some(dir) = cache_dir {
+                // An explicit flag overrides the request's own cache_dir.
+                match &mut request.job {
+                    Job::Sweep { spec } => spec.cache_dir = Some(dir),
+                    Job::Search { spec } => spec.cache_dir = Some(dir),
+                    _ => {}
+                }
             }
             let handle = JobHandle::new();
             let clustered =
@@ -151,6 +172,10 @@ fn serve_command(args: &[String]) -> Result<bool, String> {
                 let v = iter.next().ok_or("--workers needs a count")?;
                 let workers = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
                 options = options.with_workers(workers);
+            }
+            "--cache-dir" => {
+                let dir = iter.next().ok_or("--cache-dir needs a directory")?;
+                options = options.with_cache_dir(dir);
             }
             _ => return Err(format!("unknown argument `{arg}`")),
         }

@@ -1,0 +1,237 @@
+//! Persistent evaluation-cache correctness: results served from the on-disk
+//! tier must be byte-identical to freshly simulated ones, warm runs must not
+//! simulate (or append) anything, stale-version segments must be skipped
+//! without failing the job, and separate OS processes — including a
+//! `--workers 2` cluster session — must share one cache directory safely.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use msfu_core::progress::RunControl;
+use msfu_core::{EvaluationConfig, PortfolioEntry, SearchSpec, Strategy, SweepSpec};
+use msfu_distill::FactoryConfig;
+use msfu_layout::MapperParams;
+use msfu_sim::SimConfig;
+
+fn eval() -> EvaluationConfig {
+    EvaluationConfig::default().with_sim(SimConfig::dimension_ordered())
+}
+
+/// A fresh per-test cache directory under the system temp dir (never inside
+/// `target/`, so `cargo clean` does not own it and the test controls its
+/// lifetime explicitly).
+fn fresh_cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "msfu-persistent-cache-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Eight sweep points with three duplicate pairs (five unique evaluations).
+fn duplicate_heavy_spec() -> SweepSpec {
+    let single = FactoryConfig::single_level(4);
+    let two = FactoryConfig::two_level(2);
+    SweepSpec::new("persist-test", eval())
+        .point("a", single, Strategy::linear())
+        .point("b", single, Strategy::linear())
+        .point("a", single, Strategy::random(7))
+        .point("b", single, Strategy::random(7))
+        .point("g", two, Strategy::graph_partition(3))
+        .point("g2", two, Strategy::graph_partition(3))
+        .point("f", two, Strategy::random(5))
+        .point("l", two, Strategy::linear())
+}
+
+/// Total byte size of the segment files in a cache directory — unchanged
+/// sizes across a run prove the run appended nothing (pure disk hits).
+fn segment_bytes(dir: &std::path::Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".bin"))
+        })
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum()
+}
+
+#[test]
+fn warm_sweep_is_served_from_disk_and_byte_identical() {
+    let dir = fresh_cache_dir("sweep");
+    let spec = duplicate_heavy_spec().with_cache_dir(&dir);
+    let reference = duplicate_heavy_spec().with_eval_cache(false).run().unwrap();
+
+    // Cold run: five unique points simulate and persist, three duplicates
+    // hit in memory; nothing comes from disk yet.
+    let cold = spec.run_serial_with(&RunControl::default()).unwrap();
+    assert_eq!(cold.results, reference, "cold disk-tier run must not drift");
+    assert_eq!(cold.cache.misses, 5, "stats: {:?}", cold.cache);
+    assert_eq!(cold.cache.hits, 3);
+    assert_eq!(cold.cache.disk_hits, 0);
+    assert_eq!(cold.cache.loaded, 0);
+    assert_eq!(cold.cache.persisted, 5);
+
+    // Warm run (fresh cache instance over the same directory): every point
+    // is answered from the disk-loaded slots, nothing simulates or appends.
+    let bytes_after_cold = segment_bytes(&dir);
+    assert!(bytes_after_cold > 0, "cold run must write segment files");
+    let warm = spec.run_serial_with(&RunControl::default()).unwrap();
+    assert_eq!(warm.results, reference, "disk hits must be byte-identical");
+    assert_eq!(warm.cache.misses, 0, "stats: {:?}", warm.cache);
+    assert_eq!(warm.cache.hits, 8);
+    assert_eq!(warm.cache.disk_hits, 8);
+    assert_eq!(warm.cache.loaded, 5);
+    assert_eq!(warm.cache.persisted, 0);
+    assert_eq!(segment_bytes(&dir), bytes_after_cold, "warm run appended");
+
+    // The parallel engine reads the same tier with identical results.
+    let parallel = spec.run().unwrap();
+    assert_eq!(parallel, reference);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn search_spec(dir: Option<&std::path::Path>) -> SearchSpec {
+    let mut spec = SearchSpec::new("persist-search", eval(), FactoryConfig::single_level(2));
+    spec.budget = 18;
+    spec.batch_size = 6;
+    spec.patience = 0;
+    spec.seed = 42;
+    spec.cache_dir = dir.map(|d| d.to_path_buf());
+    spec.portfolio = vec![
+        PortfolioEntry::fixed(Strategy::linear()),
+        PortfolioEntry::seed_scan(Strategy::graph_partition(42)),
+        PortfolioEntry::seed_scan(Strategy::random(42)).with_ladder(vec![
+            MapperParams::new(),
+            MapperParams::new().with_f64("expansion", 1.2),
+        ]),
+    ];
+    spec
+}
+
+#[test]
+fn warm_search_simulates_nothing_and_reports_identically() {
+    let dir = fresh_cache_dir("search");
+    let reference = search_spec(None).run().unwrap();
+
+    let cold = search_spec(Some(&dir))
+        .run_serial_with(&RunControl::default())
+        .unwrap();
+    assert_eq!(cold.report, reference);
+    assert!(cold.cache.persisted > 0, "stats: {:?}", cold.cache);
+
+    let warm = search_spec(Some(&dir))
+        .run_serial_with(&RunControl::default())
+        .unwrap();
+    assert_eq!(warm.report, reference, "disk hits must be byte-identical");
+    assert_eq!(warm.cache.misses, 0, "stats: {:?}", warm.cache);
+    assert_eq!(warm.cache.disk_hits, warm.cache.hits);
+    assert_eq!(warm.cache.persisted, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_version_segments_are_skipped_without_failing_the_sweep() {
+    let dir = fresh_cache_dir("stale");
+    std::fs::create_dir_all(&dir).unwrap();
+    // A hand-written segment holding one record in an old format: valid
+    // 4-byte length framing, but version byte 0 instead of the current
+    // FORMAT_VERSION. The open must warn, skip it, and carry on.
+    let payload = [0u8, 1, 2, 3];
+    let mut record = (payload.len() as u32).to_le_bytes().to_vec();
+    record.extend_from_slice(&payload);
+    std::fs::write(dir.join("seg-00.bin"), &record).unwrap();
+
+    let spec = duplicate_heavy_spec().with_cache_dir(&dir);
+    let reference = duplicate_heavy_spec().with_eval_cache(false).run().unwrap();
+    let outcome = spec.run_serial_with(&RunControl::default()).unwrap();
+    assert_eq!(outcome.results, reference);
+    assert_eq!(outcome.cache.loaded, 0, "stats: {:?}", outcome.cache);
+    assert_eq!(outcome.cache.misses, 5);
+
+    // The stale record stays in place (appends never rewrite segments) and
+    // keeps being skipped on the now-warm reopen.
+    let warm = spec.run_serial_with(&RunControl::default()).unwrap();
+    assert_eq!(warm.results, reference);
+    assert_eq!(warm.cache.loaded, 5, "stats: {:?}", warm.cache);
+    assert_eq!(warm.cache.misses, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A four-point sweep request (two duplicate pairs) for cross-process runs.
+const SWEEP_REQUEST: &str = r#"{"protocol_version": 1, "id": "xproc", "kind": "sweep",
+ "sweep": {"name": "xproc", "eval": {"routing": "dimension-ordered"}, "grids": [
+   {"label": "a", "factories": [{"capacity": 2, "levels": 1, "reuse": "R"}],
+    "strategies": [{"strategy": "linear"}, {"strategy": "random", "seed": 7}]},
+   {"label": "b", "factories": [{"capacity": 2, "levels": 1, "reuse": "R"}],
+    "strategies": [{"strategy": "linear"}, {"strategy": "random", "seed": 7}]}]}}"#;
+
+/// Runs the real `msfu` binary and returns the parsed `result` payload of
+/// its JSON response (the job outcome minus the machine-dependent perf
+/// stamp, which legitimately differs between serial and clustered runs).
+fn msfu_run(request_path: &std::path::Path, extra_args: &[&str]) -> serde_json::Value {
+    let output = Command::new(env!("CARGO_BIN_EXE_msfu"))
+        .arg("run")
+        .arg(request_path)
+        .args(extra_args)
+        .output()
+        .expect("msfu binary runs");
+    assert!(
+        output.status.success(),
+        "msfu run failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("UTF-8 response");
+    let response = serde_json::from_str(&stdout).expect("JSON response");
+    assert_eq!(
+        response.get("status").and_then(|s| s.as_str()),
+        Some("ok"),
+        "response not ok: {stdout}"
+    );
+    response.get("result").expect("result payload").clone()
+}
+
+#[test]
+fn separate_processes_share_one_cache_dir() {
+    let dir = fresh_cache_dir("xproc");
+    let request = fresh_cache_dir("xproc-req").with_extension("json");
+    std::fs::write(&request, SWEEP_REQUEST).unwrap();
+    let dir_arg = dir.to_str().unwrap();
+
+    // Process 1 populates the tier; process 2 (a brand-new OS process) must
+    // return byte-identical rows without appending a single byte.
+    let first = msfu_run(&request, &["--serial", "--cache-dir", dir_arg]);
+    let bytes_after_first = segment_bytes(&dir);
+    assert!(bytes_after_first > 0, "first process must persist");
+    let second = msfu_run(&request, &["--serial", "--cache-dir", dir_arg]);
+    assert_eq!(first, second, "disk-served rows must be byte-identical");
+    assert_eq!(
+        segment_bytes(&dir),
+        bytes_after_first,
+        "second process simulated (and appended) instead of reading the tier"
+    );
+
+    // A `--workers 2` cluster session against the same directory: the
+    // coordinator fans the cache dir out to every worker shard, so the
+    // cluster warm-starts from the serial runs and the merged rows stay
+    // byte-identical.
+    let clustered = msfu_run(&request, &["--workers", "2", "--cache-dir", dir_arg]);
+    assert_eq!(first, clustered, "cluster rows must be byte-identical");
+    assert_eq!(
+        segment_bytes(&dir),
+        bytes_after_first,
+        "warm cluster workers appended instead of reading the tier"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&request);
+}
