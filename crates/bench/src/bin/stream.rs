@@ -1,0 +1,101 @@
+//! Runs a streaming workload declared as a JSON spec file and reports
+//! per-scheduler latency/throughput/utilization — the online-traffic
+//! counterpart of the fixed figure/table sweeps.
+//!
+//! Usage: `cargo run -p msfu-bench --bin stream --release -- <SPEC.json> [--json] [--cache-dir DIR]`
+//!
+//! * `<SPEC.json>` — a [`StreamSpec`] document (see
+//!   `msfu_core::stream::StreamSpec::from_json` and the README's
+//!   "Streaming workload" section; `benches/specs/stream_quick.json` is a
+//!   worked example).
+//! * `--json` — additionally write `BENCH_<name>.json` with `p50`, `p99`
+//!   and `throughput` rows per scheduler, in the same shape the figure
+//!   binaries emit so `bench-diff` gates streaming results too.
+//! * `--cache-dir DIR` — point the run at a persistent evaluation-cache
+//!   directory (overrides the spec's own `cache_dir`): per-class service
+//!   times already simulated are served from disk, new ones are appended,
+//!   and results stay byte-identical either way.
+//!
+//! Like the figure binaries, this is a thin wrapper over the service
+//! façade: it builds a stream [`Request`](msfu_service::Request) via
+//! [`msfu_bench::run_stream_spec`] and only formats the returned report.
+
+use std::process::ExitCode;
+
+use msfu_bench::run_stream_spec;
+use msfu_core::{StreamReport, StreamSpec};
+
+fn print_report(report: &StreamReport) {
+    println!(
+        "# stream {} — seed {}, horizon {} cycles, {} arrivals over {} server(s), setup {} cycles",
+        report.name,
+        report.seed,
+        report.horizon,
+        report.arrivals,
+        report.fleet.len(),
+        report.setup_cycles,
+    );
+    println!();
+    println!(
+        "{:<16}{:>10}{:>10}{:>10}{:>10}{:>14}{:>8}{:>8}{:>8}",
+        "scheduler", "done", "p50", "p95", "p99", "jobs/kcycle", "util%", "maxq", "setups"
+    );
+    for run in &report.runs {
+        println!(
+            "{:<16}{:>10}{:>10}{:>10}{:>10}{:>14.3}{:>8.1}{:>8}{:>8}",
+            run.scheduler,
+            run.completed,
+            run.latency_p50,
+            run.latency_p95,
+            run.latency_p99,
+            run.throughput_jobs_per_kcycle,
+            run.utilization * 100.0,
+            run.max_queue_depth,
+            run.setup_switches,
+        );
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut spec_path: Option<String> = None;
+    let mut serial = false;
+    let mut json = false;
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // Accepted for symmetry with the other harness binaries; the
+            // streaming engine is sequential either way.
+            "serial" | "--serial" => serial = true,
+            "--json" => json = true,
+            "--cache-dir" => {
+                let dir = args.next().ok_or("--cache-dir needs a directory")?;
+                cache_dir = Some(dir.into());
+            }
+            _ if arg.starts_with("--") => return Err(format!("unknown flag `{arg}`")),
+            _ => {
+                if spec_path.replace(arg).is_some() {
+                    return Err("exactly one spec file is expected".to_string());
+                }
+            }
+        }
+    }
+    let spec_path = spec_path
+        .ok_or("usage: stream <SPEC.json> [serial] [--json] [--cache-dir DIR]".to_string())?;
+    let text =
+        std::fs::read_to_string(&spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let spec = StreamSpec::from_json(&text).map_err(|e| e.to_string())?;
+    let report = run_stream_spec(&spec, serial, json, cache_dir.as_deref())?;
+    print_report(&report);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("stream: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

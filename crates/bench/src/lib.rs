@@ -41,8 +41,8 @@ use std::time::Duration;
 use serde::Serialize;
 
 use msfu_core::{
-    EvaluationConfig, NoProgress, SearchReport, SearchSpec, Strategy, SweepIndex, SweepResults,
-    SweepRow, SweepSpec,
+    EvaluationConfig, NoProgress, SearchReport, SearchSpec, Strategy, StreamReport, StreamSpec,
+    SweepIndex, SweepResults, SweepRow, SweepSpec,
 };
 use msfu_distill::{FactoryConfig, ReusePolicy};
 use msfu_layout::{ForceDirectedConfig, StitchingConfig};
@@ -390,6 +390,138 @@ pub fn run_search_spec(
         let text = serde_json::to_string_pretty(&bench).map_err(|e| e.to_string())?;
         std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("[search {}] wrote {path}", bench.name);
+    }
+    Ok(report)
+}
+
+/// Observability-only per-scheduler counters inside a stream perf stamp.
+///
+/// `bench-diff` ignores unknown perf fields, so nothing in here is gated;
+/// regressions are caught through the `results` rows (p50/p99/throughput
+/// per scheduler) instead.
+#[derive(Debug, Clone, Serialize)]
+pub struct StreamSchedulerPerf {
+    /// Registered scheduler name.
+    pub scheduler: String,
+    /// Fraction of fleet server-cycles spent busy.
+    pub utilization: f64,
+    /// Deepest queue observed during the run.
+    pub max_queue_depth: u64,
+    /// Setup costs paid on class switches (including cold starts).
+    pub setup_switches: u64,
+}
+
+/// Wall-time stamp of a streaming run (the stream analogue of
+/// [`PerfStamp`]; `bench-diff` reads `wall_seconds`).
+#[derive(Debug, Clone, Serialize)]
+pub struct StreamPerf {
+    /// End-to-end wall time in seconds (all schedulers).
+    pub wall_seconds: f64,
+    /// Jobs injected per scheduler run.
+    pub arrivals: u64,
+    /// Jobs completed across all scheduler runs divided by wall time.
+    pub jobs_per_second: f64,
+    /// Evaluation-cache counters of the run (per-class service times are
+    /// answered from the shared cache after the first scheduler's run).
+    pub cache: msfu_core::CacheStats,
+    /// Per-scheduler observability counters (never gated).
+    pub stream: Vec<StreamSchedulerPerf>,
+}
+
+/// The `BENCH_<name>.json` document for a streaming run.
+#[derive(Debug, Clone, Serialize)]
+pub struct StreamBenchReport {
+    /// The stream's name.
+    pub name: String,
+    /// Wall-time stamp for this run.
+    pub perf: StreamPerf,
+    /// Per-scheduler p50/p99/throughput rows in sweep shape (what
+    /// `bench-diff` gates).
+    pub results: SweepResults,
+    /// The full streaming report.
+    pub stream: StreamReport,
+}
+
+/// Executes a streaming workload by submitting it as a [`Request`] to the
+/// service façade: timing reported on stderr and a [`StreamBenchReport`]
+/// written to `BENCH_<name>.json` when `json` is set — the exact shape the
+/// `bench-diff` regression gate compares.
+///
+/// The streaming engine advances one shared clock, so `serial` changes
+/// nothing; it is accepted for CLI symmetry with the sweep/search harnesses
+/// and recorded nowhere.
+///
+/// # Errors
+///
+/// Returns the service error message on any spec/mapping/simulation failure
+/// or when the report cannot be written.
+pub fn run_stream_spec(
+    spec: &StreamSpec,
+    serial: bool,
+    json: bool,
+    cache_dir: Option<&std::path::Path>,
+) -> Result<StreamReport, String> {
+    let mut spec = spec.clone();
+    if let Some(dir) = cache_dir {
+        // An explicit flag overrides the spec's own cache_dir.
+        spec.cache_dir = Some(dir.to_path_buf());
+    }
+    let spec = &spec;
+    // Process-wide delta sampling: valid because each harness binary runs a
+    // single job per process (see the note in `run_spec`).
+    let cache_before = msfu_core::process_cache_stats();
+    let request = Request::stream(spec.name.clone(), spec.clone()).with_serial(serial);
+    let response = Service::new().run(&request, &JobHandle::new(), &NoProgress);
+    let cache = msfu_core::process_cache_stats().since(&cache_before);
+    let report = match response.result {
+        Ok(Payload::Stream(report)) => *report,
+        Ok(_) => unreachable!("a stream request yields a stream payload"),
+        Err(error) => return Err(error.to_string()),
+    };
+    let wall_seconds = response.perf.wall_seconds;
+    let completed: u64 = report.runs.iter().map(|r| r.completed).sum();
+    eprintln!(
+        "[stream {}] {} arrivals x {} scheduler(s) in {:.2?}; eval cache {} hits / {} misses \
+         ({:.0}% hit rate){}",
+        report.name,
+        report.arrivals,
+        report.runs.len(),
+        Duration::from_secs_f64(wall_seconds),
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0,
+        disk_summary(&cache, spec.cache_dir.is_some()),
+    );
+    if json {
+        let bench = StreamBenchReport {
+            name: report.name.clone(),
+            perf: StreamPerf {
+                wall_seconds,
+                arrivals: report.arrivals,
+                jobs_per_second: if wall_seconds > 0.0 {
+                    completed as f64 / wall_seconds
+                } else {
+                    0.0
+                },
+                cache,
+                stream: report
+                    .runs
+                    .iter()
+                    .map(|r| StreamSchedulerPerf {
+                        scheduler: r.scheduler.clone(),
+                        utilization: r.utilization,
+                        max_queue_depth: r.max_queue_depth,
+                        setup_switches: r.setup_switches,
+                    })
+                    .collect(),
+            },
+            results: report.to_sweep_results(),
+            stream: report.clone(),
+        };
+        let path = format!("BENCH_{}.json", bench.name);
+        let text = serde_json::to_string_pretty(&bench).map_err(|e| e.to_string())?;
+        std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("[stream {}] wrote {path}", bench.name);
     }
     Ok(report)
 }

@@ -18,6 +18,19 @@ pub enum CoreError {
         /// Explanation of the problem (field path and what was expected).
         reason: String,
     },
+    /// A streaming-workload specification could not be decoded or failed
+    /// validation (see [`crate::stream::StreamSpec`]).
+    StreamSpec {
+        /// Explanation of the problem (field path and what was expected).
+        reason: String,
+    },
+    /// A stream job named a scheduler that is not registered.
+    UnknownScheduler {
+        /// The requested scheduler name.
+        name: String,
+        /// The registered scheduler names, sorted.
+        known: Vec<String>,
+    },
     /// A remote worker failed, or its payload could not be decoded.
     ///
     /// `code` carries the service-level error-code string reported by (or
@@ -40,6 +53,14 @@ impl fmt::Display for CoreError {
             CoreError::Layout(e) => write!(f, "qubit placement failed: {e}"),
             CoreError::Sim(e) => write!(f, "braid simulation failed: {e}"),
             CoreError::Spec { reason } => write!(f, "invalid specification: {reason}"),
+            CoreError::StreamSpec { reason } => {
+                write!(f, "invalid stream specification: {reason}")
+            }
+            CoreError::UnknownScheduler { name, known } => write!(
+                f,
+                "unknown stream scheduler `{name}` (known: {})",
+                known.join(", ")
+            ),
             CoreError::Remote { message, .. } => write!(f, "{message}"),
         }
     }
@@ -51,7 +72,10 @@ impl std::error::Error for CoreError {
             CoreError::Distill(e) => Some(e),
             CoreError::Layout(e) => Some(e),
             CoreError::Sim(e) => Some(e),
-            CoreError::Spec { .. } | CoreError::Remote { .. } => None,
+            CoreError::Spec { .. }
+            | CoreError::StreamSpec { .. }
+            | CoreError::UnknownScheduler { .. }
+            | CoreError::Remote { .. } => None,
         }
     }
 }

@@ -25,6 +25,12 @@
 //! * [`search`] — the portfolio searcher: multi-seed batches of randomised
 //!   strategies evaluated in parallel with early stopping and a best-so-far
 //!   incumbent report.
+//! * [`stream`] — the streaming workload: stochastic online distillation
+//!   traffic (Poisson / bursty / adversarial-trace arrivals) scheduled over
+//!   a fixed factory fleet by pluggable, registry-keyed schedulers, with
+//!   latency-percentile / throughput / utilization reports.
+//! * [`stats`] — the shared nearest-rank percentile helpers behind those
+//!   reports.
 //! * [`report`] — small helpers for formatting the tables the paper prints.
 //! * [`serdes`] / [`persist`] — the compact binary storage codec and the
 //!   on-disk persistent tier of the evaluation cache (the `"cache_dir"`
@@ -59,7 +65,9 @@ pub mod report;
 pub mod search;
 pub mod serdes;
 pub mod spec;
+pub mod stats;
 mod strategy;
+pub mod stream;
 pub mod sweep;
 pub mod throughput;
 pub mod wire;
@@ -77,7 +85,12 @@ pub use search::{
     TrajectoryPoint,
 };
 pub use serdes::{BinCodec, CodecError, FORMAT_VERSION};
+pub use stats::{nearest_rank, percentiles, Percentiles};
 pub use strategy::{register_strategy, registered_strategies, ResolvedStrategy, Strategy};
+pub use stream::{
+    register_stream_scheduler, registered_stream_schedulers, ArrivalProcess, JobClass,
+    SchedulerRegistry, SchedulerRun, StreamOutcome, StreamReport, StreamScheduler, StreamSpec,
+};
 pub use sweep::{
     process_batch_stats, BatchStats, SweepIndex, SweepOutcome, SweepPoint, SweepResults, SweepRow,
     SweepSpec, DEFAULT_LANES,

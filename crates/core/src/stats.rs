@@ -1,0 +1,122 @@
+//! Shared nearest-rank percentile helpers.
+//!
+//! The streaming reporter ([`crate::stream`]) and the bench harness both
+//! summarise latency samples as p50/p95/p99. The math lives here once, as the
+//! classic *nearest-rank* definition: for `N` sorted samples the p-th
+//! percentile is the sample at rank `ceil(p/100 * N)` (1-based), clamped to
+//! `[1, N]`. It is exact on ties, never interpolates, and always returns an
+//! observed sample — which keeps integer cycle counts integers and reports
+//! byte-identical across runs.
+
+/// The p50/p95/p99 summary of a sample set, by the nearest-rank definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median (50th percentile).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// Returns the nearest-rank `percent`-th percentile of `sorted` (ascending),
+/// or `None` if the slice is empty.
+///
+/// Rank is `ceil(percent/100 * N)` (1-based), clamped to `[1, N]`, so
+/// `percent <= 0.0` yields the minimum and `percent >= 100.0` the maximum.
+///
+/// # Example
+///
+/// ```
+/// use msfu_core::stats::nearest_rank;
+///
+/// let sorted = [10, 20, 30, 40];
+/// assert_eq!(nearest_rank(&sorted, 50.0), Some(20));
+/// assert_eq!(nearest_rank(&sorted, 99.0), Some(40));
+/// assert_eq!(nearest_rank(&[], 50.0), None);
+/// ```
+pub fn nearest_rank(sorted: &[u64], percent: f64) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let n = sorted.len();
+    let rank = ((percent / 100.0) * n as f64).ceil();
+    let rank = if rank.is_nan() { 1 } else { rank as usize };
+    Some(sorted[rank.clamp(1, n) - 1])
+}
+
+/// Sorts `samples` in place and returns their p50/p95/p99 nearest-rank
+/// summary, or `None` for an empty slice.
+pub fn percentiles(samples: &mut [u64]) -> Option<Percentiles> {
+    samples.sort_unstable();
+    Some(Percentiles {
+        p50: nearest_rank(samples, 50.0)?,
+        p95: nearest_rank(samples, 95.0)?,
+        p99: nearest_rank(samples, 99.0)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_slice_has_no_percentiles() {
+        assert_eq!(nearest_rank(&[], 50.0), None);
+        assert_eq!(percentiles(&mut []), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let got = percentiles(&mut [7]).unwrap();
+        assert_eq!(
+            got,
+            Percentiles {
+                p50: 7,
+                p95: 7,
+                p99: 7
+            }
+        );
+    }
+
+    #[test]
+    fn ties_resolve_to_the_tied_value() {
+        let mut samples = [5, 5, 5, 5, 9];
+        let got = percentiles(&mut samples).unwrap();
+        assert_eq!(got.p50, 5);
+        assert_eq!(got.p95, 9);
+        assert_eq!(got.p99, 9);
+    }
+
+    #[test]
+    fn exact_rank_boundaries_pick_the_lower_sample() {
+        // N = 10: p50 rank = ceil(5.0) = 5 -> the 5th sample, not the 6th.
+        let sorted: Vec<u64> = (1..=10).collect();
+        assert_eq!(nearest_rank(&sorted, 50.0), Some(5));
+        // p95 rank = ceil(9.5) = 10, p99 rank = ceil(9.9) = 10.
+        assert_eq!(nearest_rank(&sorted, 95.0), Some(10));
+        assert_eq!(nearest_rank(&sorted, 99.0), Some(10));
+        // N = 100: every boundary is exact.
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&sorted, 50.0), Some(50));
+        assert_eq!(nearest_rank(&sorted, 95.0), Some(95));
+        assert_eq!(nearest_rank(&sorted, 99.0), Some(99));
+    }
+
+    #[test]
+    fn out_of_range_percents_clamp_to_min_and_max() {
+        let sorted = [2, 4, 6];
+        assert_eq!(nearest_rank(&sorted, 0.0), Some(2));
+        assert_eq!(nearest_rank(&sorted, -5.0), Some(2));
+        assert_eq!(nearest_rank(&sorted, 100.0), Some(6));
+        assert_eq!(nearest_rank(&sorted, 250.0), Some(6));
+    }
+
+    #[test]
+    fn percentiles_sort_unsorted_input() {
+        let mut samples = [9, 1, 5, 3, 7];
+        let got = percentiles(&mut samples).unwrap();
+        assert_eq!(got.p50, 5);
+        assert_eq!(samples, [1, 3, 5, 7, 9]);
+    }
+}

@@ -25,6 +25,11 @@ pub const E_REQUEST_PARSE: &str = "E_REQUEST_PARSE";
 pub const E_PROTOCOL_VERSION: &str = "E_PROTOCOL_VERSION";
 /// A sweep/search specification or evaluate payload could not be decoded.
 pub const E_SPEC_PARSE: &str = "E_SPEC_PARSE";
+/// A streaming-workload specification could not be decoded or failed
+/// validation.
+pub const E_STREAM_SPEC: &str = "E_STREAM_SPEC";
+/// A stream job named a scheduler that is not registered.
+pub const E_UNKNOWN_SCHEDULER: &str = "E_UNKNOWN_SCHEDULER";
 /// Fallback for pipeline errors introduced after this build (the wrapped
 /// error enums are `#[non_exhaustive]`).
 pub const E_INTERNAL: &str = "E_INTERNAL";
@@ -60,6 +65,8 @@ pub const ALL_ERROR_CODES: &[&str] = &[
     "E_SIM_EMPTY_GRID",
     "E_SIM_UNMAPPED_QUBIT",
     "E_SPEC_PARSE",
+    "E_STREAM_SPEC",
+    "E_UNKNOWN_SCHEDULER",
     "E_UNKNOWN_STRATEGY",
     "E_WORKER_LOST",
 ];
@@ -68,6 +75,8 @@ pub const ALL_ERROR_CODES: &[&str] = &[
 pub fn error_code(error: &CoreError) -> &'static str {
     match error {
         CoreError::Spec { .. } => E_SPEC_PARSE,
+        CoreError::StreamSpec { .. } => E_STREAM_SPEC,
+        CoreError::UnknownScheduler { .. } => E_UNKNOWN_SCHEDULER,
         CoreError::Distill(e) => distill_code(e),
         CoreError::Layout(e) => layout_code(e),
         CoreError::Sim(e) => sim_code(e),
@@ -129,6 +138,17 @@ mod tests {
     fn variant_fixtures() -> Vec<(CoreError, &'static str)> {
         vec![
             (CoreError::Spec { reason: "x".into() }, "E_SPEC_PARSE"),
+            (
+                CoreError::StreamSpec { reason: "x".into() },
+                "E_STREAM_SPEC",
+            ),
+            (
+                CoreError::UnknownScheduler {
+                    name: "x".into(),
+                    known: vec!["fifo".into()],
+                },
+                "E_UNKNOWN_SCHEDULER",
+            ),
             (
                 CoreError::Distill(DistillError::ZeroCapacity),
                 "E_FACTORY_ZERO_CAPACITY",
@@ -282,6 +302,8 @@ mod tests {
             "E_SIM_EMPTY_GRID",
             "E_SIM_UNMAPPED_QUBIT",
             "E_SPEC_PARSE",
+            "E_STREAM_SPEC",
+            "E_UNKNOWN_SCHEDULER",
             "E_UNKNOWN_STRATEGY",
             "E_WORKER_LOST",
         ];

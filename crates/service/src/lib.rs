@@ -2,12 +2,13 @@
 //!
 //! The versioned request/response façade of the MSFU reproduction: one
 //! stable, machine-readable surface through which every capability of the
-//! pipeline — single evaluations, declarative sweeps, portfolio searches —
-//! is reachable by a server, a queue worker or a non-Rust client.
+//! pipeline — single evaluations, declarative sweeps, portfolio searches,
+//! streaming workloads — is reachable by a server, a queue worker or a
+//! non-Rust client.
 //!
 //! * [`protocol`] — the wire contract: a versioned [`Request`] (one of
-//!   `evaluate` / `sweep` / `search`, payloads reusing the JSON spec formats
-//!   of `msfu_core::spec`), a typed [`Response`] carrying the result payload,
+//!   `evaluate` / `sweep` / `search` / `stream`, payloads reusing the JSON
+//!   spec formats of `msfu_core`), a typed [`Response`] carrying the result payload,
 //!   a perf stamp and [stable error codes](mod@error_code), and the NDJSON
 //!   progress-event encoding.
 //! * [`Service`] — executes one request against the pipeline, streaming

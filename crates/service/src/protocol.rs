@@ -9,6 +9,8 @@
 //!  "sweep": { ...a SweepSpec document (msfu_core::spec)... }}
 //! {"protocol_version": 1, "id": "job-2", "kind": "search",
 //!  "search": { ...a SearchSpec document... }}
+//! {"protocol_version": 1, "id": "job-5", "kind": "stream",
+//!  "stream": { ...a StreamSpec document (msfu_core::stream)... }}
 //! {"protocol_version": 1, "id": "job-3", "kind": "evaluate",
 //!  "factory": {"k": 2}, "strategy": {"strategy": "linear"},
 //!  "eval": {"routing": "dimension-ordered"}}
@@ -43,7 +45,7 @@ use serde_json::Value;
 
 use msfu_core::spec::{eval_from_json, factory_from_json, strategy_from_json};
 use msfu_core::{CoreError, Evaluation, EvaluationConfig, SearchReport, SearchSpec, Strategy};
-use msfu_core::{SweepResults, SweepSpec};
+use msfu_core::{StreamReport, StreamSpec, SweepResults, SweepSpec};
 use msfu_distill::FactoryConfig;
 
 use crate::error_code::{error_code, E_PROTOCOL_VERSION, E_REQUEST_PARSE};
@@ -128,15 +130,21 @@ pub enum Job {
         /// The search to run.
         spec: SearchSpec,
     },
+    /// A streaming workload over a fixed factory fleet.
+    Stream {
+        /// The stream to run.
+        spec: StreamSpec,
+    },
 }
 
 impl Job {
-    /// The job's wire name (`evaluate`, `sweep` or `search`).
+    /// The job's wire name (`evaluate`, `sweep`, `search` or `stream`).
     pub fn kind(&self) -> &'static str {
         match self {
             Job::Evaluate { .. } => "evaluate",
             Job::Sweep { .. } => "sweep",
             Job::Search { .. } => "search",
+            Job::Stream { .. } => "stream",
         }
     }
 }
@@ -144,8 +152,9 @@ impl Job {
 /// A versioned job request.
 ///
 /// `#[non_exhaustive]`: construct with [`Request::evaluate`],
-/// [`Request::sweep`] or [`Request::search`] and refine with the `with_*`
-/// builders, so the protocol can grow fields without a semver break.
+/// [`Request::sweep`], [`Request::search`] or [`Request::stream`] and refine
+/// with the `with_*` builders, so the protocol can grow fields without a
+/// semver break.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct Request {
@@ -201,6 +210,11 @@ impl Request {
     /// A `search` request.
     pub fn search(id: impl Into<String>, spec: SearchSpec) -> Self {
         Request::new(id, Job::Search { spec })
+    }
+
+    /// A `stream` request.
+    pub fn stream(id: impl Into<String>, spec: StreamSpec) -> Self {
+        Request::new(id, Job::Stream { spec })
     }
 
     /// Requests serial execution (builder style).
@@ -315,7 +329,7 @@ impl SessionLine {
             None => {
                 return Err(fail(
                     E_REQUEST_PARSE,
-                    "missing `kind` (evaluate, sweep or search)".to_string(),
+                    "missing `kind` (evaluate, sweep, search or stream)".to_string(),
                 ))
             }
         };
@@ -342,10 +356,11 @@ impl SessionLine {
             "evaluate" => &["factory", "strategy", "eval"],
             "sweep" => &["sweep"],
             "search" => &["search"],
+            "stream" => &["stream"],
             other => {
                 return Err(fail(
                     E_REQUEST_PARSE,
-                    format!("unknown kind `{other}` (expected evaluate, sweep or search)"),
+                    format!("unknown kind `{other}` (expected evaluate, sweep, search or stream)"),
                 ))
             }
         };
@@ -395,6 +410,13 @@ impl SessionLine {
                     .ok_or_else(|| fail(E_REQUEST_PARSE, "search: missing `search` spec".into()))
                     .and_then(|v| SearchSpec::from_value(v).map_err(|e| spec_fail(&id, &e)))?;
                 Job::Search { spec }
+            }
+            "stream" => {
+                let spec = root
+                    .get("stream")
+                    .ok_or_else(|| fail(E_REQUEST_PARSE, "stream: missing `stream` spec".into()))
+                    .and_then(|v| StreamSpec::from_value(v).map_err(|e| spec_fail(&id, &e)))?;
+                Job::Stream { spec }
             }
             _ => unreachable!("kind validated above"),
         };
@@ -497,6 +519,9 @@ pub enum Payload {
     Sweep(SweepResults),
     /// Outcome of a `search` job.
     Search(Box<SearchReport>),
+    /// Outcome of a `stream` job (all scheduler runs, or the completed
+    /// prefix when the response is marked cancelled).
+    Stream(Box<StreamReport>),
 }
 
 impl Payload {
@@ -507,6 +532,7 @@ impl Payload {
             Payload::Evaluate(_) => None,
             Payload::Sweep(results) => Some(&results.name),
             Payload::Search(report) => Some(&report.name),
+            Payload::Stream(report) => Some(&report.name),
         }
     }
 
@@ -524,6 +550,12 @@ impl Payload {
                 // The search's entry-best/incumbent rows in sweep shape, so
                 // search responses plug into the same report tooling
                 // (bench-diff gating) as sweep responses.
+                ("results".to_string(), report.to_sweep_results().to_value()),
+            ]),
+            Payload::Stream(report) => Value::Object(vec![
+                ("stream".to_string(), report.to_value()),
+                // The stream's p50/p99/throughput rows in sweep shape, for
+                // the same bench-diff gating as sweeps and searches.
                 ("results".to_string(), report.to_sweep_results().to_value()),
             ]),
         }
@@ -651,6 +683,23 @@ mod tests {
         .unwrap();
         assert_eq!(search.deadline_ms, Some(250));
         assert_eq!(search.job.kind(), "search");
+
+        let stream = Request::from_json(
+            r#"{"protocol_version": 1, "id": "t", "kind": "stream",
+                "stream": {"name": "quick", "horizon": 100,
+                           "arrivals": {"process": "poisson", "rate": 0.01},
+                           "fleet": [{"factory": {"k": 2}, "count": 1}],
+                           "classes": [{"name": "c",
+                                        "strategy": {"strategy": "linear"}}],
+                           "schedulers": ["fifo"]}}"#,
+        )
+        .unwrap();
+        assert_eq!(stream.id, "t");
+        assert_eq!(stream.job.kind(), "stream");
+        let Job::Stream { spec } = &stream.job else {
+            panic!("expected a stream job")
+        };
+        assert_eq!(spec.schedulers, vec!["fifo"]);
     }
 
     #[test]

@@ -47,9 +47,9 @@ pub struct ServeOptions {
     /// Force every job to run serially (a request's own `serial` flag still
     /// applies when this is off).
     pub serial: bool,
-    /// When set, each successful sweep/search response is additionally
-    /// written as `BENCH_<name>.json` under this directory, in the shape the
-    /// `bench-diff` regression gate compares.
+    /// When set, each successful sweep/search/stream response is
+    /// additionally written as `BENCH_<name>.json` under this directory, in
+    /// the shape the `bench-diff` regression gate compares.
     pub bench_dir: Option<PathBuf>,
     /// Coordinate sweep/search jobs across this many workers (`0` = run
     /// everything in-process, no pool). The pool connects lazily on the
@@ -66,8 +66,8 @@ pub struct ServeOptions {
     /// mid-job, as the coordinator's re-dispatch path sees it. `None`
     /// serves until EOF.
     pub exit_after_jobs: Option<usize>,
-    /// Session-default persistent cache directory: sweep/search requests
-    /// that carry no `"cache_dir"` of their own inherit this one, so every
+    /// Session-default persistent cache directory: sweep/search/stream
+    /// requests that carry no `"cache_dir"` of their own inherit this one, so every
     /// job of the session (and, with `workers > 0`, every worker shard)
     /// loads from and appends to one shared evaluation-cache tier. A
     /// request's explicit `cache_dir` wins over the session default.
@@ -218,6 +218,9 @@ where
                         Job::Search { spec } if spec.cache_dir.is_none() => {
                             spec.cache_dir = Some(dir.clone());
                         }
+                        Job::Stream { spec } if spec.cache_dir.is_none() => {
+                            spec.cache_dir = Some(dir.clone());
+                        }
                         _ => {}
                     }
                 }
@@ -326,7 +329,7 @@ impl SessionState {
     }
 }
 
-/// Writes a completed sweep/search response as `BENCH_<name>.json` in the
+/// Writes a completed sweep/search/stream response as `BENCH_<name>.json` in the
 /// `{name, perf, results}` shape the `bench-diff` gate compares (searches
 /// additionally carry their full report under `search`). Cancelled or
 /// unnamed responses are skipped — a partial sweep must never overwrite a
@@ -353,6 +356,10 @@ fn write_bench_report(dir: &std::path::Path, response: &Response) -> std::io::Re
         Payload::Search(report) => {
             entries.push(("results".to_string(), report.to_sweep_results().to_value()));
             entries.push(("search".to_string(), report.to_value()));
+        }
+        Payload::Stream(report) => {
+            entries.push(("results".to_string(), report.to_sweep_results().to_value()));
+            entries.push(("stream".to_string(), report.to_value()));
         }
         _ => return Ok(()),
     }

@@ -114,6 +114,16 @@ impl Service {
                     Err(e) => (Err(ServiceError::from_core(&e)), false),
                 }
             }
+            // The streaming engine is inherently sequential (one shared
+            // clock), so `serial` changes nothing — results are identical
+            // either way.
+            Job::Stream { spec } => match spec.run_with(&ctrl) {
+                Ok(outcome) => (
+                    Ok(Payload::Stream(Box::new(outcome.report))),
+                    outcome.interrupted,
+                ),
+                Err(e) => (Err(ServiceError::from_core(&e)), false),
+            },
         };
         Response::new(
             request.id.clone(),
@@ -172,6 +182,24 @@ mod tests {
             assert_eq!(results, &direct, "serial={serial}");
             assert_eq!(response.perf.serial, serial);
         }
+    }
+
+    #[test]
+    fn stream_request_matches_direct_run() {
+        let spec = msfu_core::StreamSpec::new("t")
+            .with_horizon(500)
+            .server(FactoryConfig::single_level(2), 1)
+            .class(msfu_core::JobClass::new("c", Strategy::linear()))
+            .with_schedulers(&["fifo"])
+            .with_eval_cache(false);
+        let direct = spec.clone().run().unwrap();
+        let request = Request::stream("s", spec);
+        let response = Service::new().run(&request, &JobHandle::new(), &NoProgress);
+        let Ok(Payload::Stream(report)) = response.result else {
+            panic!("expected stream payload")
+        };
+        assert_eq!(*report, direct);
+        assert_eq!(response.kind, "stream");
     }
 
     #[test]

@@ -9,10 +9,12 @@
 //!     turns batching off); non-sweep jobs ignore it. --workers N shards
 //!     the sweep/search across N child `msfu serve` worker processes; the
 //!     merged response is byte-identical to a single-process run (only the
-//!     perf stamp differs, gaining a perf.cluster section). --cache-dir DIR
-//!     points the sweep/search at a persistent evaluation-cache directory:
-//!     already simulated evaluations are served from disk, new ones are
-//!     appended, and results stay byte-identical either way.
+//!     perf stamp differs, gaining a perf.cluster section); stream jobs
+//!     always run in-process (one shared clock — there is nothing to
+//!     shard). --cache-dir DIR points the sweep/search/stream at a
+//!     persistent evaluation-cache directory: already simulated
+//!     evaluations are served from disk, new ones are appended, and
+//!     results stay byte-identical either way.
 //!
 //! msfu serve [--serial] [--bench-dir DIR] [--workers N] [--cache-dir DIR]
 //!     JSON-lines session: one request per stdin line, interleaved NDJSON
@@ -21,14 +23,14 @@
 //!     {"protocol_version": 1, "cancel": "<id>"} cancels the in-flight or
 //!     queued job with that id (with --workers, the cancel fans out to all
 //!     workers). --bench-dir additionally writes each completed
-//!     sweep/search response as BENCH_<name>.json under DIR, in the shape
-//!     the bench-diff regression gate compares. --workers N shards
+//!     sweep/search/stream response as BENCH_<name>.json under DIR, in the
+//!     shape the bench-diff regression gate compares. --workers N shards
 //!     sweep/search jobs across a pool of N child worker processes that is
 //!     connected on the first such job and reused for the session.
 //!     --cache-dir DIR is the session-default persistent cache directory:
-//!     sweep/search requests without their own "cache_dir" inherit it, and
-//!     worker shards share it, so jobs warm each other across the session
-//!     and across processes.
+//!     sweep/search/stream requests without their own "cache_dir" inherit
+//!     it, and worker shards share it, so jobs warm each other across the
+//!     session and across processes.
 //! ```
 //!
 //! Fault-injection environment hooks (CI crash-recovery tests only):
@@ -127,6 +129,7 @@ fn run_command(args: &[String]) -> Result<bool, String> {
                 match &mut request.job {
                     Job::Sweep { spec } => spec.cache_dir = Some(dir),
                     Job::Search { spec } => spec.cache_dir = Some(dir),
+                    Job::Stream { spec } => spec.cache_dir = Some(dir),
                     _ => {}
                 }
             }

@@ -1,0 +1,78 @@
+//! Integration tests of the streaming workload path: the checked-in quick
+//! spec must run byte-identically through the service façade, reproduce the
+//! direct `StreamSpec::run` report exactly, and keep the scheduler line-up
+//! distinguishable on the gated metrics (the whole point of comparing
+//! schedulers under one traffic trace).
+
+use msfu::core::{NoProgress, StreamReport, StreamSpec};
+use msfu::service::{JobHandle, Payload, Request, Service};
+
+fn checked_in_spec() -> StreamSpec {
+    let text = std::fs::read_to_string("benches/specs/stream_quick.json")
+        .expect("spec file is checked in");
+    StreamSpec::from_json(&text).unwrap()
+}
+
+fn run_through_service(spec: &StreamSpec) -> StreamReport {
+    let request = Request::stream(spec.name.clone(), spec.clone());
+    let response = Service::new().run(&request, &JobHandle::new(), &NoProgress);
+    match response.result {
+        Ok(Payload::Stream(report)) => *report,
+        other => panic!("expected a stream payload, got {other:?}"),
+    }
+}
+
+#[test]
+fn service_runs_of_the_checked_in_spec_are_byte_identical() {
+    let spec = checked_in_spec();
+    let first = run_through_service(&spec);
+    let second = run_through_service(&spec);
+    assert_eq!(first, second);
+    assert_eq!(
+        serde_json::to_string_pretty(&first).unwrap(),
+        serde_json::to_string_pretty(&second).unwrap(),
+    );
+}
+
+#[test]
+fn service_path_matches_direct_run() {
+    let spec = checked_in_spec();
+    let direct = spec.clone().run().unwrap();
+    let served = run_through_service(&spec);
+    assert_eq!(served, direct);
+}
+
+#[test]
+fn quick_spec_schedulers_stay_distinguishable_on_gated_metrics() {
+    let report = checked_in_spec().run().unwrap();
+    let gated: Vec<(&str, (u64, u64, u64))> = report
+        .runs
+        .iter()
+        .map(|r| {
+            (
+                r.scheduler.as_str(),
+                (
+                    r.latency_p50,
+                    r.latency_p99,
+                    r.completed * 1_000_000 / r.makespan_cycles.max(1),
+                ),
+            )
+        })
+        .collect();
+    for (name, _) in &gated {
+        assert!(
+            ["fifo", "priority", "capacity_aware", "reuse_aware"].contains(name),
+            "unexpected scheduler `{name}` in the quick spec"
+        );
+    }
+    for i in 0..gated.len() {
+        for j in (i + 1)..gated.len() {
+            assert_ne!(
+                gated[i].1, gated[j].1,
+                "schedulers `{}` and `{}` produced identical gated rows — \
+                 retune benches/specs/stream_quick.json",
+                gated[i].0, gated[j].0
+            );
+        }
+    }
+}
