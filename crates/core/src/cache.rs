@@ -60,6 +60,10 @@ pub struct CacheStats {
     pub loaded: u64,
     /// Newly simulated records appended to the persistent tier by this run.
     pub persisted: u64,
+    /// [`crate::PersistWarning`]s encountered: damaged records skipped on
+    /// open (their segment is quarantined) or appends that failed. Nonzero
+    /// warnings never affect results — only what had to be re-simulated.
+    pub warnings: u64,
 }
 
 impl CacheStats {
@@ -82,6 +86,7 @@ impl CacheStats {
             disk_hits: self.disk_hits.saturating_sub(earlier.disk_hits),
             loaded: self.loaded.saturating_sub(earlier.loaded),
             persisted: self.persisted.saturating_sub(earlier.persisted),
+            warnings: self.warnings.saturating_sub(earlier.warnings),
         }
     }
 }
@@ -91,6 +96,7 @@ static PROCESS_MISSES: AtomicU64 = AtomicU64::new(0);
 static PROCESS_DISK_HITS: AtomicU64 = AtomicU64::new(0);
 static PROCESS_LOADED: AtomicU64 = AtomicU64::new(0);
 static PROCESS_PERSISTED: AtomicU64 = AtomicU64::new(0);
+static PROCESS_WARNINGS: AtomicU64 = AtomicU64::new(0);
 
 /// Cumulative hit/miss counters across every [`EvalCache`] of the process.
 /// Sample before and after a run and diff with [`CacheStats::since`] to
@@ -102,6 +108,7 @@ pub fn process_cache_stats() -> CacheStats {
         disk_hits: PROCESS_DISK_HITS.load(Ordering::Relaxed),
         loaded: PROCESS_LOADED.load(Ordering::Relaxed),
         persisted: PROCESS_PERSISTED.load(Ordering::Relaxed),
+        warnings: PROCESS_WARNINGS.load(Ordering::Relaxed),
     }
 }
 
@@ -139,6 +146,7 @@ pub struct EvalCache {
     disk_hits: AtomicU64,
     loaded: AtomicU64,
     persisted: AtomicU64,
+    warnings: AtomicU64,
 }
 
 impl std::fmt::Debug for EvalCache {
@@ -170,7 +178,8 @@ impl EvalCache {
     /// Attaches the persistent tier rooted at `dir` (builder style),
     /// creating the directory if needed and loading every readable record.
     /// Damaged or foreign-version records are skipped with a warning on
-    /// stderr, never an error — see [`crate::persist`].
+    /// stderr and counted into [`CacheStats::warnings`], and the segment
+    /// holding them is quarantined — never an error; see [`crate::persist`].
     ///
     /// # Errors
     ///
@@ -183,6 +192,15 @@ impl EvalCache {
         for warning in &contents.warnings {
             eprintln!("[msfu eval-cache] {warning}");
         }
+        if !contents.warnings.is_empty() {
+            eprintln!(
+                "[msfu eval-cache] {}: {} warning(s), {} segment(s) quarantined — run `msfu cache compact` to repair",
+                dir.display(),
+                contents.warnings.len(),
+                contents.quarantined.len()
+            );
+        }
+        self.count_warnings(contents.warnings.len() as u64);
         let loaded = contents.entries.len() as u64;
         for (key, evaluation) in contents.entries {
             self.insert_loaded(key, evaluation);
@@ -200,6 +218,15 @@ impl EvalCache {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             loaded: self.loaded.load(Ordering::Relaxed),
             persisted: self.persisted.load(Ordering::Relaxed),
+            warnings: self.warnings.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Adds to this cache's and the process-wide warning counters.
+    fn count_warnings(&self, n: u64) {
+        if n > 0 {
+            self.warnings.fetch_add(n, Ordering::Relaxed);
+            PROCESS_WARNINGS.fetch_add(n, Ordering::Relaxed);
         }
     }
 
@@ -285,7 +312,10 @@ impl EvalCache {
                     self.persisted.fetch_add(1, Ordering::Relaxed);
                     PROCESS_PERSISTED.fetch_add(1, Ordering::Relaxed);
                 }
-                Err(warning) => eprintln!("[msfu eval-cache] {warning}"),
+                Err(warning) => {
+                    self.count_warnings(1);
+                    eprintln!("[msfu eval-cache] {warning}");
+                }
             }
         }
         Ok(value)
@@ -515,6 +545,7 @@ mod tests {
             disk_hits: 1,
             loaded: 5,
             persisted: 2,
+            warnings: 1,
         };
         let later = CacheStats {
             hits: 4,
@@ -522,6 +553,7 @@ mod tests {
             disk_hits: 2,
             loaded: 5,
             persisted: 6,
+            warnings: 3,
         };
         assert_eq!(
             later.since(&earlier),
@@ -531,8 +563,44 @@ mod tests {
                 disk_hits: 1,
                 loaded: 0,
                 persisted: 4,
+                warnings: 2,
             }
         );
+    }
+
+    #[test]
+    fn damaged_directory_counts_warnings_and_still_serves() {
+        let dir = std::env::temp_dir().join(format!("msfu-cache-warn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (config, layout, eval) = sample_inputs();
+        let factory = Factory::build(&config).unwrap();
+        let key = || evaluation_key(&config, &layout, &eval);
+        {
+            let cache = EvalCache::new().with_disk(&dir).unwrap();
+            cache
+                .get_or_compute(key(), "Line", || {
+                    crate::evaluate_mapped(&factory, &layout, "Line", &eval)
+                })
+                .unwrap();
+        }
+        // Damage a segment guaranteed to exist, then re-open: the open
+        // quarantines it, counts the warning, and the run still works.
+        let bucket = (0..crate::persist::NUM_BUCKETS)
+            .find(|b| dir.join(format!("seg-{b:02x}.bin")).exists())
+            .expect("one segment was persisted");
+        crate::persist::damage_segment(&dir, bucket, crate::persist::SegmentDamage::Truncate, 9)
+            .unwrap();
+        let before = process_cache_stats();
+        let cache = EvalCache::new().with_disk(&dir).unwrap();
+        assert!(cache.stats().warnings > 0);
+        assert!(process_cache_stats().since(&before).warnings > 0);
+        let value = cache
+            .get_or_compute(key(), "Line", || {
+                crate::evaluate_mapped(&factory, &layout, "Line", &eval)
+            })
+            .unwrap();
+        assert_eq!(value.strategy, "Line");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -78,7 +78,10 @@ pub use evaluate::{
     effective_factory, evaluate, evaluate_factory, evaluate_factory_with, evaluate_mapped,
     evaluate_mapped_with, Evaluation, EvaluationConfig,
 };
-pub use persist::PersistWarning;
+pub use persist::{
+    compact_dir, damage_segment, verify_dir, CompactReport, PersistWarning, SegmentDamage,
+    VerifyReport, NUM_BUCKETS,
+};
 pub use progress::{CancelToken, NoProgress, ProgressEvent, ProgressSink, RunControl};
 pub use search::{
     Incumbent, Objective, PortfolioEntry, SearchOutcome, SearchReport, SearchSpec, StopReason,

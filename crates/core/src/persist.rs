@@ -21,7 +21,16 @@
 //! [`PersistWarning`] and the scan moves on — at worst an entry is
 //! re-simulated and re-appended. Unknown files in the directory are left
 //! alone and ignored.
+//!
+//! Damage also self-heals. A segment that produced any warning is
+//! **quarantined** on open — renamed `seg-XX.bin.quarantined` — so the next
+//! open starts from a clean directory while the damaged bytes stay on disk
+//! for repair. [`verify_dir`] reports a directory's health without touching
+//! it, and [`compact_dir`] rewrites every live record (salvaging the
+//! decodable ones from quarantined segments, dropping dead bytes and
+//! duplicate keys) so the directory re-opens warning-free.
 
+use std::collections::HashSet;
 use std::fs::OpenOptions;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -118,9 +127,26 @@ fn fnv1a(key: &str) -> u64 {
     hash
 }
 
+/// File name of bucket `bucket`'s segment.
+fn bucket_name(bucket: usize) -> String {
+    format!("seg-{bucket:02x}.bin")
+}
+
+/// The bucket holding `key`'s record.
+fn bucket_of(key: &str) -> usize {
+    fnv1a(key) as usize % NUM_BUCKETS
+}
+
 /// Path of the segment file that holds `key`'s bucket.
 fn segment_path(dir: &Path, key: &str) -> PathBuf {
-    dir.join(format!("seg-{:02x}.bin", fnv1a(key) as usize % NUM_BUCKETS))
+    dir.join(bucket_name(bucket_of(key)))
+}
+
+/// Quarantine name of a segment: `seg-XX.bin` → `seg-XX.bin.quarantined`.
+fn quarantine_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".quarantined");
+    PathBuf::from(name)
 }
 
 /// Handle on an opened cache directory. Created by [`DiskTier::open`],
@@ -139,11 +165,17 @@ pub(crate) struct DiskContents {
     pub entries: Vec<(String, Evaluation)>,
     /// Damage skipped while scanning.
     pub warnings: Vec<PersistWarning>,
+    /// Segments renamed `*.quarantined` by this open because they held
+    /// damage. Their decodable records are already in `entries`;
+    /// [`compact_dir`] salvages and removes the files.
+    pub quarantined: Vec<PathBuf>,
 }
 
 impl DiskTier {
     /// Opens (creating if necessary) the cache directory and scans every
-    /// segment.
+    /// segment. Segments holding damage are quarantined (renamed
+    /// `seg-XX.bin.quarantined`) so the next open starts clean; their
+    /// decodable records still load.
     ///
     /// # Errors
     ///
@@ -155,9 +187,10 @@ impl DiskTier {
         let mut contents = DiskContents {
             entries: Vec::new(),
             warnings: Vec::new(),
+            quarantined: Vec::new(),
         };
         for bucket in 0..NUM_BUCKETS {
-            let path = dir.join(format!("seg-{bucket:02x}.bin"));
+            let path = dir.join(bucket_name(bucket));
             let bytes = match std::fs::read(&path) {
                 Ok(bytes) => bytes,
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
@@ -169,7 +202,23 @@ impl DiskTier {
                     continue;
                 }
             };
+            let damage_before = contents.warnings.len();
             scan_segment(&path, &bytes, &mut contents);
+            if contents.warnings.len() > damage_before {
+                // Quarantine the damaged segment: future appends recreate a
+                // clean file, and `compact_dir` salvages what is decodable.
+                let to = quarantine_path(&path);
+                match std::fs::rename(&path, &to) {
+                    Ok(()) => contents.quarantined.push(to),
+                    // Another process quarantined it between our read and
+                    // rename; its records are loaded either way.
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => contents.warnings.push(PersistWarning::Io {
+                        path: path.clone(),
+                        message: format!("cannot quarantine damaged segment: {e}"),
+                    }),
+                }
+            }
         }
         let tier = DiskTier {
             dir: dir.to_path_buf(),
@@ -203,6 +252,268 @@ impl DiskTier {
             .map_err(io)?;
         file.write_all(&record).map_err(io)
     }
+}
+
+/// Health report of a cache directory, from [`verify_dir`].
+#[derive(Debug, Default)]
+pub struct VerifyReport {
+    /// Live segment files scanned.
+    pub segments: usize,
+    /// Decodable records across live segments.
+    pub records: usize,
+    /// Total live segment bytes.
+    pub bytes: u64,
+    /// Damage found in live segments (read-only scan: nothing is renamed).
+    pub warnings: Vec<PersistWarning>,
+    /// Quarantined segment files awaiting [`compact_dir`].
+    pub quarantined: Vec<PathBuf>,
+}
+
+impl VerifyReport {
+    /// Whether the directory is fully healthy: no damage and nothing
+    /// quarantined.
+    pub fn is_clean(&self) -> bool {
+        self.warnings.is_empty() && self.quarantined.is_empty()
+    }
+}
+
+/// Scans a cache directory read-only and reports its health. Unlike
+/// the cache's own open path this never renames or creates anything.
+///
+/// # Errors
+///
+/// Returns a message when `dir` is not a directory.
+pub fn verify_dir(dir: &Path) -> Result<VerifyReport, String> {
+    if !dir.is_dir() {
+        return Err(format!("{} is not a cache directory", dir.display()));
+    }
+    let mut report = VerifyReport::default();
+    for bucket in 0..NUM_BUCKETS {
+        let path = dir.join(bucket_name(bucket));
+        match std::fs::read(&path) {
+            Ok(bytes) => {
+                let mut contents = DiskContents {
+                    entries: Vec::new(),
+                    warnings: Vec::new(),
+                    quarantined: Vec::new(),
+                };
+                scan_segment(&path, &bytes, &mut contents);
+                report.segments += 1;
+                report.records += contents.entries.len();
+                report.bytes += bytes.len() as u64;
+                report.warnings.extend(contents.warnings);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => report.warnings.push(PersistWarning::Io {
+                path: path.clone(),
+                message: e.to_string(),
+            }),
+        }
+        let quarantined = quarantine_path(&path);
+        if quarantined.exists() {
+            report.quarantined.push(quarantined);
+        }
+    }
+    Ok(report)
+}
+
+/// What [`compact_dir`] did.
+#[derive(Debug, Default)]
+pub struct CompactReport {
+    /// Live records written back.
+    pub records_kept: usize,
+    /// Records dropped because an earlier record had the same key.
+    pub duplicates_dropped: usize,
+    /// Records recovered from quarantined segments.
+    pub salvaged: usize,
+    /// Damaged records dropped for good.
+    pub damage_dropped: usize,
+    /// Quarantined segment files deleted.
+    pub quarantined_removed: usize,
+    /// Segment bytes before compaction (live + quarantined).
+    pub bytes_before: u64,
+    /// Segment bytes after compaction.
+    pub bytes_after: u64,
+}
+
+/// Rewrites a cache directory so it re-opens warning-free: every decodable
+/// record from live **and** quarantined segments is kept (first record per
+/// key wins — keys are content addresses, so duplicates are identical),
+/// damaged bytes are dropped, each bucket is rewritten via a temp file +
+/// atomic rename, and quarantined files are deleted.
+///
+/// Run this offline: records appended by a concurrent process while a
+/// bucket is being rewritten would be lost.
+///
+/// # Errors
+///
+/// Returns a message when `dir` is not a directory or a rewrite fails (the
+/// per-bucket rename is atomic, so an aborted compaction never damages a
+/// bucket — at worst some buckets are compacted and others not yet).
+pub fn compact_dir(dir: &Path) -> Result<CompactReport, String> {
+    if !dir.is_dir() {
+        return Err(format!("{} is not a cache directory", dir.display()));
+    }
+    let mut report = CompactReport::default();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut kept: Vec<(String, Evaluation)> = Vec::new();
+    // Live segments first so their records win dedup, then quarantined ones.
+    for quarantined in [false, true] {
+        for bucket in 0..NUM_BUCKETS {
+            let mut path = dir.join(bucket_name(bucket));
+            if quarantined {
+                path = quarantine_path(&path);
+            }
+            let bytes = match std::fs::read(&path) {
+                Ok(bytes) => bytes,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+            };
+            report.bytes_before += bytes.len() as u64;
+            let mut contents = DiskContents {
+                entries: Vec::new(),
+                warnings: Vec::new(),
+                quarantined: Vec::new(),
+            };
+            scan_segment(&path, &bytes, &mut contents);
+            report.damage_dropped += contents.warnings.len();
+            for (key, evaluation) in contents.entries {
+                if seen.insert(key.clone()) {
+                    if quarantined {
+                        report.salvaged += 1;
+                    }
+                    kept.push((key, evaluation));
+                } else {
+                    report.duplicates_dropped += 1;
+                }
+            }
+        }
+    }
+    report.records_kept = kept.len();
+    // Rewrite each bucket from its surviving records (scan order, so the
+    // result is deterministic), then drop the quarantined sources.
+    for bucket in 0..NUM_BUCKETS {
+        let path = dir.join(bucket_name(bucket));
+        let mut bytes = Vec::new();
+        for (key, evaluation) in kept.iter().filter(|(k, _)| bucket_of(k) == bucket) {
+            let mut payload = vec![FORMAT_VERSION];
+            key.encode_into(&mut payload);
+            evaluation.encode_into(&mut payload);
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&payload);
+        }
+        if bytes.is_empty() {
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(format!("cannot remove {}: {e}", path.display())),
+            }
+            continue;
+        }
+        let tmp = path.with_extension("bin.tmp");
+        std::fs::write(&tmp, &bytes).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| format!("cannot replace {}: {e}", path.display()))?;
+        report.bytes_after += bytes.len() as u64;
+    }
+    for bucket in 0..NUM_BUCKETS {
+        let path = quarantine_path(&dir.join(bucket_name(bucket)));
+        match std::fs::remove_file(&path) {
+            Ok(()) => report.quarantined_removed += 1,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(format!("cannot remove {}: {e}", path.display())),
+        }
+    }
+    Ok(report)
+}
+
+/// How [`damage_segment`] corrupts a segment (deterministic fault
+/// injection — see `msfu_service::faults`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentDamage {
+    /// Cut the segment mid-record, as a crash mid-append would
+    /// ([`PersistWarning::TruncatedTail`] on the next open).
+    Truncate,
+    /// Overwrite a record's payload bytes so it no longer decodes
+    /// ([`PersistWarning::Corrupt`]).
+    FlipBytes,
+    /// Rewrite a record's format-version byte to a version this build does
+    /// not read ([`PersistWarning::BadVersion`]).
+    BadVersion,
+}
+
+/// Deterministically damages one segment file so the next open is
+/// guaranteed to produce at least one [`PersistWarning`]. `seed` picks the
+/// victim record (and the cut point for [`SegmentDamage::Truncate`]); the
+/// bucket is taken modulo [`NUM_BUCKETS`]. A missing or empty segment is
+/// replaced by a small damaged stub, so injection works even before the
+/// bucket holds records. Returns the damaged path.
+///
+/// # Errors
+///
+/// Returns the I/O error when the segment cannot be read or written.
+pub fn damage_segment(
+    dir: &Path,
+    bucket: usize,
+    damage: SegmentDamage,
+    seed: u64,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(bucket_name(bucket % NUM_BUCKETS));
+    let mut bytes = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    // Well-framed records as (payload_offset, payload_len).
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while bytes.len() >= offset + 4 {
+        let len =
+            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        if bytes.len() < offset + 4 + len {
+            break;
+        }
+        records.push((offset + 4, len));
+        offset += 4 + len;
+    }
+    if records.is_empty() {
+        // Nothing to damage in place: write a stub that scans as damage.
+        let stub: &[u8] = match damage {
+            SegmentDamage::Truncate => &[0xff, 0xff],
+            SegmentDamage::FlipBytes => &[4, 0, 0, 0, FORMAT_VERSION, 0xff, 0xff, 0xff],
+            SegmentDamage::BadVersion => &[1, 0, 0, 0, 0xee],
+        };
+        std::fs::write(&path, stub)?;
+        return Ok(path);
+    }
+    let victim = records[seed as usize % records.len()];
+    match damage {
+        SegmentDamage::Truncate => {
+            // Cut inside the LAST record (truncation is a tail phenomenon);
+            // any length in (start-4, start+len) leaves a partial tail.
+            let (start, len) = *records.last().expect("non-empty");
+            bytes.truncate(start - 3 + seed as usize % (len + 3));
+        }
+        SegmentDamage::FlipBytes => {
+            // Clobber the key-length varint (payload bytes 1..5): 0xff
+            // continuation bytes decode to a length far past the segment,
+            // so the record is unreadable without touching its framing.
+            let (start, len) = victim;
+            if len >= 2 {
+                for byte in &mut bytes[start + 1..start + len.min(5)] {
+                    *byte = 0xff;
+                }
+            } else {
+                // A 0/1-byte payload is already undecodable; leave it.
+            }
+        }
+        SegmentDamage::BadVersion => {
+            bytes[victim.0] = 0xee;
+        }
+    }
+    std::fs::write(&path, &bytes)?;
+    Ok(path)
 }
 
 /// Scans one segment's bytes, pushing decodable records and damage warnings
@@ -412,6 +723,106 @@ mod tests {
             let path = segment_path(Path::new("d"), key);
             let name = path.file_name().unwrap().to_str().unwrap();
             assert!(name.starts_with("seg-") && name.ends_with(".bin"));
+        }
+    }
+
+    #[test]
+    fn damaged_segment_is_quarantined_on_open_and_next_open_is_clean() {
+        let dir = temp_dir("quarantine");
+        let evaluation = sample_evaluation();
+        {
+            let (tier, _) = DiskTier::open(&dir).unwrap();
+            tier.append("whole", &evaluation).unwrap();
+        }
+        let path = segment_path(&dir, "whole");
+        damage_segment(&dir, bucket_of("whole"), SegmentDamage::Truncate, 7).unwrap();
+        let (_, contents) = DiskTier::open(&dir).unwrap();
+        assert!(!contents.warnings.is_empty());
+        assert_eq!(contents.quarantined, [quarantine_path(&path)]);
+        assert!(!path.exists(), "damaged segment must be renamed away");
+        assert!(quarantine_path(&path).exists());
+        // The next open sees a clean directory (minus the quarantined data).
+        let (_, contents) = DiskTier::open(&dir).unwrap();
+        assert!(contents.warnings.is_empty());
+        assert!(contents.quarantined.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_reports_damage_without_renaming_and_compact_heals() {
+        let dir = temp_dir("compact");
+        let evaluation = sample_evaluation();
+        {
+            let (tier, _) = DiskTier::open(&dir).unwrap();
+            tier.append("key-a", &evaluation).unwrap();
+            tier.append("key-b", &evaluation).unwrap();
+            tier.append("key-a", &evaluation).unwrap(); // duplicate
+        }
+        // Seed 0 → the victim is the first record of the bucket, which is
+        // the first "key-a" append regardless of how the keys bucket.
+        damage_segment(&dir, bucket_of("key-a"), SegmentDamage::BadVersion, 0).unwrap();
+        let report = verify_dir(&dir).unwrap();
+        assert!(!report.is_clean());
+        assert!(!report.warnings.is_empty());
+        assert!(segment_path(&dir, "key-a").exists(), "verify is read-only");
+
+        // Open quarantines the damaged bucket, then compact salvages its
+        // surviving records and drops the dead bytes.
+        let (_, contents) = DiskTier::open(&dir).unwrap();
+        assert!(!contents.quarantined.is_empty());
+        let report = compact_dir(&dir).unwrap();
+        assert!(report.salvaged >= 1, "report: {report:?}");
+        assert!(report.quarantined_removed >= 1);
+        assert!(report.damage_dropped >= 1);
+        assert!(report.bytes_after < report.bytes_before);
+
+        let after = verify_dir(&dir).unwrap();
+        assert!(after.is_clean(), "after compact: {:?}", after.warnings);
+        let (_, contents) = DiskTier::open(&dir).unwrap();
+        assert!(contents.warnings.is_empty());
+        let mut keys: Vec<&str> = contents.entries.iter().map(|(k, _)| k.as_str()).collect();
+        keys.sort_unstable();
+        // "key-a" survives via salvage unless the damage hit it; either way
+        // every record that still decodes is kept exactly once.
+        assert!(keys.windows(2).all(|w| w[0] != w[1]), "keys: {keys:?}");
+        assert!(keys.contains(&"key-b"));
+        for (_, back) in &contents.entries {
+            assert_eq!(back, &evaluation);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_damage_mode_produces_a_warning_even_on_a_missing_segment() {
+        for (tag, damage) in [
+            ("dmg-trunc", SegmentDamage::Truncate),
+            ("dmg-flip", SegmentDamage::FlipBytes),
+            ("dmg-ver", SegmentDamage::BadVersion),
+        ] {
+            // Populated segment.
+            let dir = temp_dir(tag);
+            let evaluation = sample_evaluation();
+            {
+                let (tier, _) = DiskTier::open(&dir).unwrap();
+                tier.append("victim", &evaluation).unwrap();
+            }
+            damage_segment(&dir, bucket_of("victim"), damage, 42).unwrap();
+            let (_, contents) = DiskTier::open(&dir).unwrap();
+            assert!(
+                !contents.warnings.is_empty(),
+                "{damage:?} on a populated segment must warn"
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+
+            // Missing segment: a damaged stub is created.
+            let dir = temp_dir(&format!("{tag}-empty"));
+            damage_segment(&dir, 3, damage, 0).unwrap();
+            let (_, contents) = DiskTier::open(&dir).unwrap();
+            assert!(
+                !contents.warnings.is_empty(),
+                "{damage:?} on a missing segment must warn"
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
         }
     }
 

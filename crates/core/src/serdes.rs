@@ -445,6 +445,7 @@ impl BinCodec for crate::CacheStats {
         self.disk_hits.encode_into(out);
         self.loaded.encode_into(out);
         self.persisted.encode_into(out);
+        self.warnings.encode_into(out);
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
@@ -454,6 +455,7 @@ impl BinCodec for crate::CacheStats {
             disk_hits: u64::decode(input)?,
             loaded: u64::decode(input)?,
             persisted: u64::decode(input)?,
+            warnings: u64::decode(input)?,
         })
     }
 }
@@ -556,6 +558,7 @@ mod tests {
             disk_hits: 3,
             loaded: 4,
             persisted: 5,
+            warnings: 6,
         });
     }
 

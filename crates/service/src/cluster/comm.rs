@@ -26,15 +26,19 @@ use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::mpsc;
 use std::thread;
 
+use crate::faults::{FaultPlan, WorkerFaultSpec, ENV_WORKER_FAULT};
 use crate::serve::{serve, ServeOptions};
 
-/// Environment variable a spawned worker reads to exit (without responding)
-/// upon receiving its `N+1`-th request — the worker-crash fault hook.
+/// Deprecated alias of [`ENV_WORKER_FAULT`]'s crash entry: a spawned worker
+/// that sees this variable exits (without responding) upon receiving its
+/// `N+1`-th request. Kept for one release; declare crashes in a
+/// [`FaultPlan`] instead.
 pub const ENV_EXIT_AFTER_JOBS: &str = "MSFU_SERVE_EXIT_AFTER_JOBS";
 
-/// Fault injection for crash-recovery tests: worker `rank` exits without
-/// responding upon receiving its `after_jobs + 1`-th request, so the crash
-/// lands *mid-job* and the coordinator must re-dispatch that shard.
+/// Legacy crash fault: worker `rank` exits without responding upon
+/// receiving its `after_jobs + 1`-th request. Thin alias for one release —
+/// it converts into a crash-only [`FaultPlan`], which is what the runtime
+/// executes; declare new faults in a plan directly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerFault {
     /// The rank of the worker to kill.
@@ -42,6 +46,12 @@ pub struct WorkerFault {
     /// How many requests the worker serves normally before dying on the
     /// next one (`0` = die on its very first request).
     pub after_jobs: usize,
+}
+
+impl From<WorkerFault> for FaultPlan {
+    fn from(fault: WorkerFault) -> FaultPlan {
+        FaultPlan::new().with_crash(fault.rank, fault.after_jobs)
+    }
 }
 
 /// Which communicator a coordinator uses to reach its workers.
@@ -88,10 +98,17 @@ pub trait WorkerTx: Send {
     /// Fails when the worker is gone (its input pipe closed); the
     /// coordinator then marks the worker dead and re-plans.
     fn send_line(&mut self, line: &str) -> io::Result<()>;
+
+    /// Forcibly terminates the worker, when the backend can (a child
+    /// process is killed; a thread worker merely stops being read — its
+    /// input closes when the `WorkerTx` drops). Called by the supervisor
+    /// when it declares a stalled worker dead, so a hung child does not
+    /// outlive the session.
+    fn kill(&mut self) {}
 }
 
 /// Connects `workers` workers of the given backend, funnelling all their
-/// output into `events`.
+/// output into `events`. Each rank receives its slice of the fault plan.
 ///
 /// # Errors
 ///
@@ -100,29 +117,39 @@ pub trait WorkerTx: Send {
 pub(crate) fn connect(
     backend: &ClusterBackend,
     workers: usize,
-    fault: Option<WorkerFault>,
+    plan: Option<&FaultPlan>,
     events: &mpsc::Sender<WorkerEvent>,
 ) -> io::Result<Vec<Box<dyn WorkerTx>>> {
     (0..workers)
-        .map(|rank| match backend {
-            ClusterBackend::LocalThreads => Ok(connect_thread(rank, fault, events.clone())),
-            ClusterBackend::ChildProcess { exe } => connect_child(exe, rank, fault, events.clone()),
+        .map(|rank| {
+            let fault = plan.map_or_else(WorkerFaultSpec::default, |p| p.worker_fault(rank));
+            connect_rank(backend, rank, fault, events.clone())
         })
         .collect()
 }
 
-fn worker_exit_after(rank: usize, fault: Option<WorkerFault>) -> Option<usize> {
-    fault.and_then(|f| (f.rank == rank).then_some(f.after_jobs))
+/// Connects a single worker at `rank` — what [`connect`] loops over, and
+/// what the supervisor calls to respawn a replacement (respawns get an
+/// empty fault spec: a replacement must be clean or recovery could loop).
+pub(crate) fn connect_rank(
+    backend: &ClusterBackend,
+    rank: usize,
+    fault: WorkerFaultSpec,
+    events: mpsc::Sender<WorkerEvent>,
+) -> io::Result<Box<dyn WorkerTx>> {
+    match backend {
+        ClusterBackend::LocalThreads => Ok(connect_thread(rank, fault, events)),
+        ClusterBackend::ChildProcess { exe } => connect_child(exe, rank, fault, events),
+    }
 }
 
 fn connect_thread(
     rank: usize,
-    fault: Option<WorkerFault>,
+    fault: WorkerFaultSpec,
     events: mpsc::Sender<WorkerEvent>,
 ) -> Box<dyn WorkerTx> {
     let (tx, rx) = mpsc::channel::<Vec<u8>>();
-    let mut options = ServeOptions::new();
-    options.exit_after_jobs = worker_exit_after(rank, fault);
+    let options = ServeOptions::new().with_worker_fault(fault);
     thread::spawn(move || {
         let input = BufReader::new(ChannelReader {
             rx,
@@ -145,7 +172,7 @@ fn connect_thread(
 fn connect_child(
     exe: &std::path::Path,
     rank: usize,
-    fault: Option<WorkerFault>,
+    fault: WorkerFaultSpec,
     events: mpsc::Sender<WorkerEvent>,
 ) -> io::Result<Box<dyn WorkerTx>> {
     let mut command = Command::new(exe);
@@ -157,9 +184,11 @@ fn connect_child(
         // Never let coordinator-level fault hooks leak into grandchildren.
         .env_remove("MSFU_FAULT_WORKER_RANK")
         .env_remove("MSFU_FAULT_AFTER_JOBS")
-        .env_remove(ENV_EXIT_AFTER_JOBS);
-    if let Some(after) = worker_exit_after(rank, fault) {
-        command.env(ENV_EXIT_AFTER_JOBS, after.to_string());
+        .env_remove("MSFU_FAULT_PLAN")
+        .env_remove(ENV_EXIT_AFTER_JOBS)
+        .env_remove(ENV_WORKER_FAULT);
+    if !fault.is_empty() {
+        command.env(ENV_WORKER_FAULT, fault.to_json());
     }
     let mut child = command.spawn()?;
     let stdin = child.stdin.take().expect("stdin was piped");
@@ -261,6 +290,12 @@ impl WorkerTx for ChildTx {
         self.stdin.write_all(line.as_bytes())?;
         self.stdin.write_all(b"\n")?;
         self.stdin.flush()
+    }
+
+    fn kill(&mut self) {
+        // A stalled child declared dead must not linger past the session;
+        // Drop's kill+wait still runs later, this just makes it immediate.
+        let _ = self.child.kill();
     }
 }
 

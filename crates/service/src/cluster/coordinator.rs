@@ -1,4 +1,5 @@
-//! The coordinator: shard fan-out, deterministic merge, fault recovery.
+//! The coordinator: shard fan-out, deterministic merge, supervised fault
+//! recovery.
 //!
 //! A coordinated job never changes *what* is computed — only *where*. The
 //! shard plan is a pure function of the spec and the configured pool size
@@ -8,14 +9,23 @@
 //! byte-identical to a serial run whatever order shards actually finish in,
 //! and whichever workers they land on.
 //!
-//! Fault handling: a worker whose output closes mid-shard is marked dead and
-//! its shard is re-dispatched to the next idle worker (`shards_retried` in
-//! the response's `perf.cluster` stamp counts these). Only when *every*
-//! worker is gone with work still queued does the job fail, with
-//! [`E_WORKER_LOST`]. Cancellation and deadlines fan out: the coordinator
-//! forwards a cancel line for every in-flight shard and skips the queued
-//! ones, then merges the longest completed prefix exactly like a serial
-//! cancelled run.
+//! Supervision ([`Supervision`]): every worker fault — a worker whose
+//! output closes mid-shard, one whose shard overruns the shard timeout
+//! (the worker is declared hung and killed), or one that answers with an
+//! undecodable response — costs one unit of the shard's retry budget and
+//! re-dispatches the shard with exponential backoff (`shards_retried` in
+//! `perf.cluster` counts these). A shard whose budget is spent fails the
+//! job typed with [`E_SHARD_RETRY_EXHAUSTED`] — faults must never loop
+//! forever. Dead workers are replaced by clean respawns at fresh ranks, up
+//! to the session's respawn budget (`workers_respawned`); if the whole pool
+//! is gone and the budget is spent, the coordinator finishes the remaining
+//! shards in-process through the ordinary [`Service`] path
+//! (`shards_local_fallback`) rather than failing the job. Cancellation and
+//! deadlines fan out: the coordinator forwards a cancel line for every
+//! in-flight shard and skips the queued ones, then merges the longest
+//! completed prefix exactly like a serial cancelled run — and a cancelled
+//! worker that never answers is killed after a grace period, so an
+//! interrupt always terminates the job.
 
 use std::collections::VecDeque;
 use std::io::{self, Write};
@@ -29,32 +39,106 @@ use msfu_core::wire;
 use msfu_core::{CoreError, ProgressEvent, ProgressSink, RunControl, SweepResults, SweepRow};
 use msfu_core::{SearchSpec, SweepSpec};
 
-use crate::cluster::comm::{self, ClusterBackend, WorkerEvent, WorkerFault, WorkerTx};
+use crate::cluster::comm::{self, ClusterBackend, WorkerEvent, WorkerTx};
 use crate::cluster::planner::shard_ranges;
-use crate::error_code::{error_code, E_REMOTE, E_WORKER_LOST};
+use crate::error_code::{E_REMOTE, E_SHARD_RETRY_EXHAUSTED};
+use crate::faults::{FaultPlan, WorkerFaultSpec};
 use crate::ndjson::progress_to_value;
 use crate::protocol::{
-    ClusterPerf, Job, Payload, Request, Response, ResponsePerf, ServiceError, PROTOCOL_VERSION,
+    ClusterPerf, Job, Payload, Request, Response, ResponsePerf, ServiceError, SessionLine,
+    PROTOCOL_VERSION,
 };
 use crate::service::{JobHandle, Service};
 
-/// How long the event loop waits for worker output before re-checking
-/// cancellation, deadlines and worker health.
-const POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// How long a busy worker may sit on a cancelled shard before the
+/// supervisor kills it anyway (used when no shard timeout is configured).
+const INTERRUPT_GRACE: Duration = Duration::from_secs(2);
+
+/// Longest event wait when no interrupt can arrive (search batches): the
+/// loop only needs to wake for worker events and supervision edges, and
+/// every edge bounds the wait below this.
+const MAX_WAIT: Duration = Duration::from_secs(1);
+
+/// Longest event wait while a cancel could arrive at any moment (cancel
+/// tokens flip asynchronously, without an event to wake on).
+const MAX_WAIT_INTERRUPTIBLE: Duration = Duration::from_millis(100);
+
+/// Shortest event wait: a zero-duration `recv_timeout` would busy-spin.
+const MIN_WAIT: Duration = Duration::from_millis(1);
+
+/// Supervision policy of a worker pool: how patient the coordinator is with
+/// faulty workers before it re-plans, replaces, or fails typed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Supervision {
+    /// How long one dispatched shard may stay in flight before its worker
+    /// is declared hung, killed, and the shard re-dispatched (`None` = no
+    /// timeout; a job deadline still interrupts, and interrupted workers
+    /// get a short grace period (`INTERRUPT_GRACE`) before being killed).
+    pub shard_timeout: Option<Duration>,
+    /// How many times one shard may be re-dispatched after worker faults
+    /// before the job fails with [`E_SHARD_RETRY_EXHAUSTED`].
+    pub retry_budget: u32,
+    /// How many replacement workers may be spawned over the pool's
+    /// lifetime. Respawns land at fresh ranks with no fault injection.
+    pub max_respawns: u32,
+    /// First re-dispatch delay; doubles per attempt (capped at ×64).
+    pub backoff_base: Duration,
+}
+
+impl Default for Supervision {
+    fn default() -> Self {
+        Supervision {
+            shard_timeout: None,
+            retry_budget: 3,
+            max_respawns: 0,
+            backoff_base: Duration::from_millis(25),
+        }
+    }
+}
+
+impl Supervision {
+    /// Sets the shard timeout (builder style); `None` disables it.
+    pub fn with_shard_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.shard_timeout = timeout;
+        self
+    }
+
+    /// Sets the per-shard re-dispatch budget (builder style).
+    pub fn with_retry_budget(mut self, retry_budget: u32) -> Self {
+        self.retry_budget = retry_budget;
+        self
+    }
+
+    /// Sets the pool-lifetime respawn budget (builder style).
+    pub fn with_max_respawns(mut self, max_respawns: u32) -> Self {
+        self.max_respawns = max_respawns;
+        self
+    }
+}
 
 /// A connected worker pool, reusable across the jobs of a serve session.
 ///
 /// Workers are connected once and kept until the pool is dropped; a worker
-/// that dies stays dead (its shards re-dispatch to the survivors), and the
+/// that dies stays dead (its shards re-dispatch to the survivors, and the
+/// supervisor may append a clean replacement at a fresh rank), and the
 /// shard *plan* always uses the configured pool size, so results do not
 /// depend on which workers happen to be alive.
 pub struct Cluster {
     workers: Vec<WorkerSlot>,
     events: mpsc::Receiver<WorkerEvent>,
-    /// Keeps the event channel open even while no worker holds a sender, so
-    /// `recv_timeout` reports timeouts, never disconnection.
-    _keepalive: mpsc::Sender<WorkerEvent>,
+    /// Respawn source and keepalive: replacement workers clone this sender,
+    /// and holding it keeps `recv_timeout` reporting timeouts (never
+    /// disconnection) even while no worker is alive.
+    event_tx: mpsc::Sender<WorkerEvent>,
+    backend: ClusterBackend,
     backend_name: &'static str,
+    /// The pool size the shard plan uses, fixed at connect time.
+    configured: usize,
+    supervision: Supervision,
+    /// Replacement workers spawned so far (counts against
+    /// [`Supervision::max_respawns`], failed spawn attempts included).
+    respawned: u32,
 }
 
 struct WorkerSlot {
@@ -66,7 +150,8 @@ struct WorkerSlot {
 }
 
 impl Cluster {
-    /// Connects a pool of `workers` workers (at least one) over `backend`.
+    /// Connects a pool of `workers` workers (at least one) over `backend`,
+    /// handing each rank its slice of the fault plan (when given).
     ///
     /// # Errors
     ///
@@ -75,10 +160,11 @@ impl Cluster {
     pub fn connect(
         backend: &ClusterBackend,
         workers: usize,
-        fault: Option<WorkerFault>,
+        plan: Option<&FaultPlan>,
     ) -> io::Result<Cluster> {
         let (tx, rx) = mpsc::channel();
-        let txs = comm::connect(backend, workers.max(1), fault, &tx)?;
+        let txs = comm::connect(backend, workers.max(1), plan, &tx)?;
+        let configured = txs.len();
         Ok(Cluster {
             workers: txs
                 .into_iter()
@@ -90,15 +176,61 @@ impl Cluster {
                 })
                 .collect(),
             events: rx,
-            _keepalive: tx,
+            event_tx: tx,
+            backend: backend.clone(),
             backend_name: backend.name(),
+            configured,
+            supervision: Supervision::default(),
+            respawned: 0,
         })
     }
 
+    /// Sets the pool's supervision policy (builder style).
+    pub fn with_supervision(mut self, supervision: Supervision) -> Cluster {
+        self.supervision = supervision;
+        self
+    }
+
     /// The configured pool size (dead workers included — the shard plan
-    /// never shrinks with the pool).
+    /// never shrinks with the pool, and never grows with respawns).
     pub fn world(&self) -> usize {
-        self.workers.len()
+        self.configured
+    }
+
+    /// Spawns clean replacement workers at fresh ranks until the alive
+    /// count is back at the configured pool size or the respawn budget is
+    /// spent; returns how many were spawned. Replacements carry no fault
+    /// injection — a faulty replacement could loop recovery forever.
+    fn respawn_dead(&mut self) -> u64 {
+        let mut spawned = 0;
+        while self.respawned < self.supervision.max_respawns {
+            let alive = self.workers.iter().filter(|w| w.alive).count();
+            if alive >= self.configured {
+                break;
+            }
+            let rank = self.workers.len();
+            // A failed spawn attempt consumes budget too: retrying a spawn
+            // that just failed would spin without making progress.
+            self.respawned += 1;
+            match comm::connect_rank(
+                &self.backend,
+                rank,
+                WorkerFaultSpec::default(),
+                self.event_tx.clone(),
+            ) {
+                Ok(tx) => {
+                    self.workers.push(WorkerSlot {
+                        tx,
+                        alive: true,
+                        busy: None,
+                        busy_since: None,
+                    });
+                    spawned += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        spawned
     }
 }
 
@@ -108,6 +240,7 @@ impl std::fmt::Debug for Cluster {
             .field("backend", &self.backend_name)
             .field("workers", &self.workers.len())
             .field("alive", &self.workers.iter().filter(|w| w.alive).count())
+            .field("respawned", &self.respawned)
             .finish()
     }
 }
@@ -129,7 +262,7 @@ enum ShardDone {
     /// The worker responded with a typed error.
     Failed { code: String, message: String },
     /// The shard never completed: skipped after a cancel/deadline, or
-    /// abandoned because every worker died.
+    /// abandoned when the job failed fatally.
     Skipped,
 }
 
@@ -147,6 +280,8 @@ enum ShardSignal<'a> {
 struct ShardStats {
     dispatched: u64,
     retried: u64,
+    respawned: u64,
+    local_fallback: u64,
     busy_seconds: f64,
 }
 
@@ -159,6 +294,8 @@ impl ShardStats {
             workers,
             shards: self.dispatched,
             shards_retried: self.retried,
+            workers_respawned: self.respawned,
+            shards_local_fallback: self.local_fallback,
             occupancy: if wall_seconds > 0.0 {
                 (self.busy_seconds / (wall_seconds * pool)).min(1.0)
             } else {
@@ -166,6 +303,56 @@ impl ShardStats {
             },
             coordinator_seconds: (wall_seconds - ideal).max(0.0),
         }
+    }
+}
+
+/// Per-shard retry accounting of one shard set: how many faults each shard
+/// has absorbed, and when each queued shard's backoff expires.
+struct RetryState {
+    attempts: Vec<u32>,
+    not_before: Vec<Instant>,
+}
+
+impl RetryState {
+    fn new(shards: usize) -> Self {
+        let now = Instant::now();
+        RetryState {
+            attempts: vec![0; shards],
+            not_before: vec![now; shards],
+        }
+    }
+
+    /// Books one worker fault against `shard`: counts the retry and either
+    /// requeues the shard with exponential backoff, or — once the retry
+    /// budget is spent — returns the job's fatal error. Checked *before*
+    /// any pool-loss handling, so a shard that keeps killing its workers
+    /// fails typed instead of consuming the whole session.
+    fn fault(
+        &mut self,
+        shard: usize,
+        reason: &str,
+        supervision: &Supervision,
+        queue: &mut VecDeque<usize>,
+        stats: &mut ShardStats,
+    ) -> Option<(&'static str, String)> {
+        stats.retried += 1;
+        self.attempts[shard] += 1;
+        let attempts = self.attempts[shard];
+        if attempts > supervision.retry_budget {
+            return Some((
+                E_SHARD_RETRY_EXHAUSTED,
+                format!(
+                    "shard {shard} hit {attempts} worker fault(s) (last: {reason}) \
+                     with a re-dispatch budget of {}",
+                    supervision.retry_budget
+                ),
+            ));
+        }
+        // Exponential backoff: base, ×2, ×4, ... capped at ×64.
+        let backoff = supervision.backoff_base * (1u32 << (attempts - 1).min(6));
+        self.not_before[shard] = Instant::now() + backoff;
+        queue.push_back(shard);
+        None
     }
 }
 
@@ -184,6 +371,22 @@ impl Interrupt<'_> {
     fn remaining_ms(&self) -> Option<u64> {
         self.deadline
             .map(|d| d.saturating_duration_since(Instant::now()).as_millis() as u64)
+    }
+}
+
+/// When a busy worker crosses from "still working" to "declared hung": its
+/// shard timeout, tightened after an interrupt to a grace period (a
+/// cancelled worker that never answers must not hold the session open).
+fn busy_edge(
+    since: Instant,
+    supervision: &Supervision,
+    interrupted_at: Option<Instant>,
+) -> Option<Instant> {
+    let timeout = supervision.shard_timeout.map(|t| since + t);
+    let grace = interrupted_at.map(|at| at + supervision.shard_timeout.unwrap_or(INTERRUPT_GRACE));
+    match (timeout, grace) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (edge, other) => edge.or(other),
     }
 }
 
@@ -285,13 +488,13 @@ fn run_sweep<W: Write>(
     let wall = start.elapsed().as_secs_f64();
     let perf =
         ResponsePerf::new(wall, request.serial).with_cluster(stats.perf(backend, world, wall));
-    if let Some(message) = outcome.fatal {
+    if let Some((code, message)) = outcome.fatal {
         return Response::new(
             request.id.clone(),
             "sweep",
             false,
             perf,
-            Err(ServiceError::new(E_WORKER_LOST, message)),
+            Err(ServiceError::new(code, message)),
         );
     }
     // The lowest failed shard wins: it contains the lowest failing point,
@@ -389,9 +592,9 @@ fn run_search<W: Write>(
         // batches. Sub-request progress stays internal (shard-local labels
         // would only confuse a client); search progress comes from the fold.
         let outcome = execute_shards(cluster, &shards, None, &mut stats, |_, _| {});
-        if let Some(message) = outcome.fatal {
+        if let Some((code, message)) = outcome.fatal {
             return Err(CoreError::Remote {
-                code: E_WORKER_LOST.to_string(),
+                code: code.to_string(),
                 message,
             });
         }
@@ -431,8 +634,8 @@ fn run_search<W: Write>(
                 ShardDone::Skipped => {
                     for _ in 0..len {
                         evaluations.push(Err(CoreError::Remote {
-                            code: E_WORKER_LOST.to_string(),
-                            message: "a worker was lost before its shard completed".to_string(),
+                            code: E_REMOTE.to_string(),
+                            message: "a shard was abandoned before it completed".to_string(),
                         }));
                     }
                 }
@@ -468,13 +671,17 @@ struct ShardSetOutcome {
     done: Vec<ShardDone>,
     /// Whether a cancel/deadline interrupted the set.
     interrupted: bool,
-    /// Set when every worker died with work still outstanding.
-    fatal: Option<String>,
+    /// Set when the set failed fatally: the typed code and message the job
+    /// reports (today only [`E_SHARD_RETRY_EXHAUSTED`]).
+    fatal: Option<(&'static str, String)>,
 }
 
 /// Runs one set of shards over the pool: at most one in-flight shard per
-/// worker, re-dispatching on worker death, forwarding cancellation when an
+/// worker, supervised re-dispatch (with backoff) on worker death, hang or
+/// garbled output, worker respawn, forwarding cancellation when an
 /// `interrupt` is given, and reporting shard events through `on_signal`.
+/// When the whole pool is gone and no respawn budget remains, the
+/// remaining shards run in-process instead of failing the job.
 fn execute_shards(
     cluster: &mut Cluster,
     shards: &[ShardSpec],
@@ -482,10 +689,13 @@ fn execute_shards(
     stats: &mut ShardStats,
     mut on_signal: impl FnMut(usize, ShardSignal<'_>),
 ) -> ShardSetOutcome {
+    let supervision = cluster.supervision;
     let mut done: Vec<Option<ShardDone>> = shards.iter().map(|_| None).collect();
     let mut queue: VecDeque<usize> = (0..shards.len()).collect();
+    let mut retries = RetryState::new(shards.len());
     let mut interrupted = false;
-    let mut fatal = None;
+    let mut interrupted_at: Option<Instant> = None;
+    let mut fatal: Option<(&'static str, String)> = None;
 
     loop {
         // Cancellation/deadline: drop what has not started, tell every busy
@@ -493,6 +703,7 @@ fn execute_shards(
         // looping to collect the (partial) in-flight responses.
         if !interrupted && interrupt.is_some_and(Interrupt::triggered) {
             interrupted = true;
+            interrupted_at = Some(Instant::now());
             while let Some(shard) = queue.pop_front() {
                 done[shard] = Some(ShardDone::Skipped);
             }
@@ -509,20 +720,64 @@ fn execute_shards(
             break;
         }
 
-        // Fill idle workers from the queue.
-        for rank in 0..cluster.workers.len() {
-            if queue.is_empty() {
-                break;
+        // Declare hung workers dead: a busy worker past its timeout edge is
+        // killed, and its shard re-planned (or skipped after an interrupt —
+        // the shard was cancelled; there is nothing left to compute).
+        let now = Instant::now();
+        let timed_out: Vec<(usize, usize)> = cluster
+            .workers
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.alive)
+            .filter_map(|(rank, slot)| {
+                let (shard, since) = slot.busy.zip(slot.busy_since)?;
+                let edge = busy_edge(since, &supervision, interrupted_at)?;
+                (now >= edge).then_some((rank, shard))
+            })
+            .collect();
+        for (rank, shard) in timed_out {
+            let slot = &mut cluster.workers[rank];
+            slot.alive = false;
+            slot.busy = None;
+            slot.busy_since = None;
+            slot.tx.kill();
+            if interrupted {
+                let outcome = ShardDone::Skipped;
+                on_signal(shard, ShardSignal::Done(&outcome));
+                done[shard] = Some(outcome);
+            } else if let Some(error) = retries.fault(
+                shard,
+                &format!("worker {rank} timed out mid-shard"),
+                &supervision,
+                &mut queue,
+                stats,
+            ) {
+                fatal = Some(error);
             }
-            let line = {
+        }
+        if fatal.is_some() {
+            break;
+        }
+
+        // Replace dead workers while the respawn budget lasts, so the pool
+        // recovers its parallelism instead of limping on survivors.
+        stats.respawned += cluster.respawn_dead();
+
+        // Fill idle workers with due shards (a requeued shard waits out its
+        // backoff before re-dispatching).
+        let now = Instant::now();
+        for rank in 0..cluster.workers.len() {
+            {
                 let slot = &cluster.workers[rank];
                 if !slot.alive || slot.busy.is_some() {
                     continue;
                 }
-                let shard = *queue.front().expect("queue checked non-empty");
-                dispatch_line(&shards[shard], interrupt)
+            }
+            let Some(pos) = queue.iter().position(|&s| retries.not_before[s] <= now) else {
+                break;
             };
-            let shard = queue.pop_front().expect("queue checked non-empty");
+            let shard = queue.remove(pos).expect("position is in range");
+            let line = dispatch_line(&shards[shard], interrupt);
             let slot = &mut cluster.workers[rank];
             match slot.tx.send_line(&line) {
                 Ok(()) => {
@@ -532,27 +787,68 @@ fn execute_shards(
                 Err(_) => {
                     // Found out the worker is gone at send time; its Closed
                     // event (if any) is still coming, but the shard goes
-                    // back to the front of the queue right away.
+                    // back to the front of the queue right away (the send
+                    // never reached a worker, so it costs no retry).
                     slot.alive = false;
                     queue.push_front(shard);
                 }
             }
         }
 
+        // Pool fully lost with the respawn budget spent: finish the
+        // remaining shards in-process through the ordinary Service path.
+        // Slower, and without progress streaming for those shards — but the
+        // merged response stays byte-identical, which beats failing the
+        // job. (Interrupted sets never reach here: a dead worker's shard is
+        // skipped, not requeued, once the interrupt fired.)
         if cluster.workers.iter().all(|slot| !slot.alive) && done.iter().any(Option::is_none) {
-            fatal = Some(format!(
-                "all {} workers exited with shards outstanding",
-                cluster.workers.len()
-            ));
-            for slot in done.iter_mut() {
-                if slot.is_none() {
-                    *slot = Some(ShardDone::Skipped);
+            while let Some(shard) = queue.pop_front() {
+                if interrupt.is_some_and(Interrupt::triggered) {
+                    done[shard] = Some(ShardDone::Skipped);
+                    continue;
                 }
+                let started = Instant::now();
+                let outcome = run_shard_locally(&shards[shard], interrupt);
+                stats.dispatched += 1;
+                stats.local_fallback += 1;
+                stats.busy_seconds += started.elapsed().as_secs_f64();
+                on_signal(shard, ShardSignal::Done(&outcome));
+                done[shard] = Some(outcome);
             }
-            break;
+            continue;
         }
 
-        match cluster.events.recv_timeout(POLL_INTERVAL) {
+        // Deadline-aware wait: sleep exactly until the next actionable edge
+        // — a busy worker's timeout, a backoff expiry, or the job deadline
+        // — instead of polling on a fixed interval.
+        let now = Instant::now();
+        let mut wait = if interrupt.is_some() {
+            // A cancel token can flip at any moment without an event.
+            MAX_WAIT_INTERRUPTIBLE
+        } else {
+            MAX_WAIT
+        };
+        for slot in &cluster.workers {
+            if !slot.alive {
+                continue;
+            }
+            let Some(since) = slot.busy_since else {
+                continue;
+            };
+            if let Some(edge) = busy_edge(since, &supervision, interrupted_at) {
+                wait = wait.min(edge.saturating_duration_since(now));
+            }
+        }
+        for &shard in &queue {
+            wait = wait.min(retries.not_before[shard].saturating_duration_since(now));
+        }
+        if !interrupted {
+            if let Some(deadline) = interrupt.and_then(|i| i.deadline) {
+                wait = wait.min(deadline.saturating_duration_since(now));
+            }
+        }
+
+        match cluster.events.recv_timeout(wait.max(MIN_WAIT)) {
             Ok(WorkerEvent::Line(rank, line)) => {
                 let Some(shard) = cluster.workers[rank].busy else {
                     continue; // stray output from an idle worker
@@ -571,10 +867,31 @@ fn execute_shards(
                         if let Some(since) = slot.busy_since.take() {
                             stats.busy_seconds += since.elapsed().as_secs_f64();
                         }
-                        stats.dispatched += 1;
-                        let outcome = decode_response(&value);
-                        on_signal(shard, ShardSignal::Done(&outcome));
-                        done[shard] = Some(outcome);
+                        match decode_response(&value) {
+                            Decoded::Done(outcome) => {
+                                stats.dispatched += 1;
+                                on_signal(shard, ShardSignal::Done(&outcome));
+                                done[shard] = Some(outcome);
+                            }
+                            // A response the coordinator cannot decode is a
+                            // worker fault, not a job error: re-dispatch
+                            // (the worker stays alive — it answered).
+                            Decoded::Garbled(reason) => {
+                                if interrupted {
+                                    let outcome = ShardDone::Skipped;
+                                    on_signal(shard, ShardSignal::Done(&outcome));
+                                    done[shard] = Some(outcome);
+                                } else if let Some(error) = retries.fault(
+                                    shard,
+                                    &format!("worker {rank} answered garbage: {reason}"),
+                                    &supervision,
+                                    &mut queue,
+                                    stats,
+                                ) {
+                                    fatal = Some(error);
+                                }
+                            }
+                        }
                     }
                     _ => {}
                 }
@@ -588,18 +905,43 @@ fn execute_shards(
                         let outcome = ShardDone::Skipped;
                         on_signal(shard, ShardSignal::Done(&outcome));
                         done[shard] = Some(outcome);
-                    } else {
-                        // The crash recovery path: the worker died mid-shard,
-                        // so the shard re-dispatches to a surviving worker.
-                        stats.retried += 1;
-                        queue.push_back(shard);
+                    } else if let Some(error) = retries.fault(
+                        shard,
+                        &format!("worker {rank} died mid-shard"),
+                        &supervision,
+                        &mut queue,
+                        stats,
+                    ) {
+                        fatal = Some(error);
                     }
                 }
             }
-            // Timeout: loop back around to re-check interrupts and health.
+            // Timeout: loop back around to re-check interrupts and edges.
             // Disconnection cannot happen (the cluster holds a keepalive
             // sender), but treat it like a timeout if it ever did.
             Err(_) => {}
+        }
+        if fatal.is_some() {
+            break;
+        }
+    }
+
+    if fatal.is_some() {
+        // Fatal exit can leave live workers mid-shard: cancel their work so
+        // the pool is reusable, and mark the abandoned shards. Late lines
+        // from those shards are dropped by the id checks of the next set.
+        for slot in cluster.workers.iter_mut() {
+            if slot.alive {
+                if let Some(shard) = slot.busy.take() {
+                    let _ = slot.tx.send_line(&cancel_line(&shards[shard].id));
+                }
+                slot.busy_since = None;
+            }
+        }
+        for done in done.iter_mut() {
+            if done.is_none() {
+                *done = Some(ShardDone::Skipped);
+            }
         }
     }
 
@@ -610,6 +952,44 @@ fn execute_shards(
             .collect(),
         interrupted,
         fatal,
+    }
+}
+
+/// Runs one shard in-process — the coordinator's last resort when the
+/// whole pool is gone and the respawn budget is spent. The shard executes
+/// through the ordinary [`Service`] path on the exact request a worker
+/// would have received (remaining deadline included), so its rows are the
+/// rows a worker would have produced.
+fn run_shard_locally(shard: &ShardSpec, interrupt: Option<&Interrupt<'_>>) -> ShardDone {
+    let line = dispatch_line(shard, interrupt);
+    let request = match SessionLine::from_json(&line) {
+        Ok(SessionLine::Request(request)) => request,
+        _ => {
+            return ShardDone::Failed {
+                code: E_REMOTE.to_string(),
+                message: "internal: a shard request did not parse back".to_string(),
+            }
+        }
+    };
+    let fresh;
+    let handle = match interrupt {
+        Some(interrupt) => interrupt.handle,
+        None => {
+            fresh = JobHandle::new();
+            &fresh
+        }
+    };
+    let sink = OptionalSink::<std::io::Sink> {
+        id: &shard.id,
+        out: None,
+    };
+    let response = Service::new().run(&request, handle, &sink);
+    match decode_response(&response.to_value()) {
+        Decoded::Done(done) => done,
+        Decoded::Garbled(reason) => ShardDone::Failed {
+            code: E_REMOTE.to_string(),
+            message: format!("local fallback produced an undecodable response: {reason}"),
+        },
     }
 }
 
@@ -651,8 +1031,18 @@ fn cancel_line(id: &str) -> String {
     .expect("cancel lines serialise")
 }
 
+/// What a worker's response line decoded into.
+enum Decoded {
+    /// A decodable response: the shard's outcome.
+    Done(ShardDone),
+    /// Output that is not a usable response — `status: "ok"` without
+    /// decodable results, or no recognisable status at all. A supervision
+    /// fault (re-dispatch), distinct from a typed job error.
+    Garbled(String),
+}
+
 /// Decodes a worker's response line into the shard's outcome.
-fn decode_response(value: &Value) -> ShardDone {
+fn decode_response(value: &Value) -> Decoded {
     let cancelled = matches!(value.get("cancelled"), Some(Value::Bool(true)));
     match value.get("status").and_then(Value::as_str) {
         Some("ok") => match value
@@ -660,18 +1050,12 @@ fn decode_response(value: &Value) -> ShardDone {
             .and_then(|r| r.get("results"))
             .map(wire::sweep_results_from_value)
         {
-            Some(Ok(results)) => ShardDone::Rows {
+            Some(Ok(results)) => Decoded::Done(ShardDone::Rows {
                 rows: results.rows,
                 cancelled,
-            },
-            Some(Err(e)) => ShardDone::Failed {
-                code: remote_code(&e),
-                message: e.to_string(),
-            },
-            None => ShardDone::Failed {
-                code: E_REMOTE.to_string(),
-                message: "worker response carried no sweep results".to_string(),
-            },
+            }),
+            Some(Err(e)) => Decoded::Garbled(format!("sweep results did not decode: {e}")),
+            None => Decoded::Garbled("the response carried no sweep results".to_string()),
         },
         Some("error") => {
             let field = |key: &str| {
@@ -680,24 +1064,14 @@ fn decode_response(value: &Value) -> ShardDone {
                     .and_then(|e| e.get(key))
                     .and_then(Value::as_str)
             };
-            ShardDone::Failed {
+            Decoded::Done(ShardDone::Failed {
                 code: field("code").unwrap_or(E_REMOTE).to_string(),
                 message: field("message")
                     .unwrap_or("worker reported an error")
                     .to_string(),
-            }
+            })
         }
-        _ => ShardDone::Failed {
-            code: E_REMOTE.to_string(),
-            message: "worker response carried no status".to_string(),
-        },
-    }
-}
-
-fn remote_code(error: &CoreError) -> String {
-    match error {
-        CoreError::Remote { code, .. } => code.clone(),
-        other => error_code(other).to_string(),
+        _ => Decoded::Garbled("the response carried no status".to_string()),
     }
 }
 
@@ -886,8 +1260,12 @@ mod tests {
         let serial = session(&ServeOptions::new(), SWEEP_LINE);
         let reference = stable_fields(response_of(&serial, "j"));
         // Rank 1 dies upon receiving its first request, so its shard must
-        // be re-dispatched to rank 0.
-        let options = ServeOptions::new().with_workers(2).with_fault(1, 0);
+        // be re-dispatched (no respawn budget: recovery must work on the
+        // survivors alone).
+        let options = ServeOptions::new()
+            .with_workers(2)
+            .with_fault(1, 0)
+            .with_max_respawns(0);
         let faulted = session(&options, SWEEP_LINE);
         let response = response_of(&faulted, "j");
         assert_eq!(stable_fields(response), reference, "recovered run diverged");
@@ -898,11 +1276,96 @@ mod tests {
     }
 
     #[test]
-    fn losing_every_worker_yields_a_typed_error() {
-        // The whole pool is one worker, and it dies on its first request.
-        let options = ServeOptions::new().with_workers(1).with_fault(0, 0);
+    fn a_crashed_worker_is_respawned_and_rows_are_identical() {
+        let serial = session(&ServeOptions::new(), SWEEP_LINE);
+        let reference = stable_fields(response_of(&serial, "j"));
+        // Rank 1 dies on its first request; the default respawn budget (one
+        // per configured worker) replaces it with a clean worker at a fresh
+        // rank, so the pool recovers its parallelism.
+        let options = ServeOptions::new().with_workers(2).with_fault(1, 0);
+        let respawned = session(&options, SWEEP_LINE);
+        let response = response_of(&respawned, "j");
+        assert_eq!(stable_fields(response), reference, "respawned run diverged");
+        let respawns = cluster_perf_of(response, "workers_respawned")
+            .as_u64()
+            .unwrap();
+        assert!(respawns >= 1, "the dead worker was replaced");
+        assert_eq!(
+            cluster_perf_of(response, "workers"),
+            &Value::UInt(2),
+            "the plan still uses the configured pool size"
+        );
+    }
+
+    #[test]
+    fn losing_every_worker_falls_back_to_in_process_execution() {
+        let serial = session(&ServeOptions::new(), SWEEP_LINE);
+        let reference = stable_fields(response_of(&serial, "j"));
+        // The whole pool is one worker, it dies on its first request, and
+        // no respawns are allowed: the coordinator must finish the job
+        // in-process rather than fail it.
+        let options = ServeOptions::new()
+            .with_workers(1)
+            .with_fault(0, 0)
+            .with_max_respawns(0);
         let values = session(&options, SWEEP_LINE);
         let response = response_of(&values, "j");
+        assert_eq!(stable_fields(response), reference, "fallback run diverged");
+        let fallback = cluster_perf_of(response, "shards_local_fallback")
+            .as_u64()
+            .unwrap();
+        assert!(fallback >= 1, "remaining shards ran in-process");
+    }
+
+    #[test]
+    fn a_stalled_worker_times_out_and_its_shard_is_re_dispatched() {
+        let serial = session(&ServeOptions::new(), SWEEP_LINE);
+        let reference = stable_fields(response_of(&serial, "j"));
+        // Rank 1 hangs forever on its first request. The shard timeout
+        // declares it dead; its shard re-dispatches to rank 0 and the
+        // merged rows stay byte-identical.
+        let plan = FaultPlan::new().with_stall(1, 0, 60_000);
+        let options = ServeOptions::new()
+            .with_workers(2)
+            .with_fault_plan(plan)
+            .with_shard_timeout_ms(150)
+            .with_max_respawns(0);
+        let values = session(&options, SWEEP_LINE);
+        let response = response_of(&values, "j");
+        assert_eq!(stable_fields(response), reference, "recovered run diverged");
+        let retried = cluster_perf_of(response, "shards_retried")
+            .as_u64()
+            .unwrap();
+        assert!(retried >= 1, "the timed-out shard counts as retried");
+    }
+
+    #[test]
+    fn a_stall_outlasting_every_retry_fails_typed_instead_of_hanging() {
+        // One point, so one shard; both workers hang forever; retry budget
+        // of 1 and no respawns. The first timeout consumes the budget's one
+        // re-dispatch, the second exhausts it — the job must come back as a
+        // typed E_SHARD_RETRY_EXHAUSTED error within a bounded time, never
+        // hang.
+        let line = concat!(
+            r#"{"protocol_version": 1, "id": "x", "kind": "sweep", "sweep": {"name": "t", "points": [{"label": "p", "factory": {"k": 2}, "strategy": {"strategy": "linear"}}]}}"#,
+            "\n",
+        );
+        let plan = FaultPlan::new()
+            .with_stall(0, 0, 60_000)
+            .with_stall(1, 0, 60_000);
+        let options = ServeOptions::new()
+            .with_workers(2)
+            .with_fault_plan(plan)
+            .with_shard_timeout_ms(100)
+            .with_retry_budget(1)
+            .with_max_respawns(0);
+        let started = Instant::now();
+        let values = session(&options, line);
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "exhaustion must resolve long before the stalls would"
+        );
+        let response = response_of(&values, "x");
         assert_eq!(
             response.get("status").and_then(Value::as_str),
             Some("error")
@@ -912,8 +1375,33 @@ mod tests {
                 .get("error")
                 .and_then(|e| e.get("code"))
                 .and_then(Value::as_str),
-            Some(E_WORKER_LOST)
+            Some(E_SHARD_RETRY_EXHAUSTED)
         );
+        let retried = cluster_perf_of(response, "shards_retried")
+            .as_u64()
+            .unwrap();
+        assert!(retried >= 2, "both timeouts count as retries");
+    }
+
+    #[test]
+    fn a_garbled_response_is_retried_and_rows_are_identical() {
+        let serial = session(&ServeOptions::new(), SWEEP_LINE);
+        let reference = stable_fields(response_of(&serial, "j"));
+        // Rank 1 answers its first request with an undecodable response
+        // line. The coordinator books a retry (the worker stays alive) and
+        // the re-dispatched shard completes normally.
+        let plan = FaultPlan::new().with_corrupt_response(1, 0);
+        let options = ServeOptions::new()
+            .with_workers(2)
+            .with_fault_plan(plan)
+            .with_max_respawns(0);
+        let values = session(&options, SWEEP_LINE);
+        let response = response_of(&values, "j");
+        assert_eq!(stable_fields(response), reference, "recovered run diverged");
+        let retried = cluster_perf_of(response, "shards_retried")
+            .as_u64()
+            .unwrap();
+        assert!(retried >= 1, "the garbled shard counts as retried");
     }
 
     #[test]
@@ -941,6 +1429,33 @@ mod tests {
         );
         let values = session(&ServeOptions::new().with_workers(2), deadline);
         let response = response_of(&values, "d");
+        assert_eq!(response.get("cancelled"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn a_deadline_over_a_stalled_pool_terminates_within_the_grace_period() {
+        // Every worker hangs forever and no shard timeout is configured:
+        // only the job deadline interrupts, and the post-interrupt grace
+        // must kill the hung workers instead of waiting for responses that
+        // will never come.
+        let line = concat!(
+            r#"{"protocol_version": 1, "id": "g", "kind": "sweep", "deadline_ms": 100, "sweep": {"name": "t", "points": [{"label": "p", "factory": {"k": 2}, "strategy": {"strategy": "linear"}}]}}"#,
+            "\n",
+        );
+        let plan = FaultPlan::new()
+            .with_stall(0, 0, 60_000)
+            .with_stall(1, 0, 60_000);
+        let options = ServeOptions::new()
+            .with_workers(2)
+            .with_fault_plan(plan)
+            .with_max_respawns(0);
+        let started = Instant::now();
+        let values = session(&options, line);
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "the session must not wait out the stalls"
+        );
+        let response = response_of(&values, "g");
         assert_eq!(response.get("cancelled"), Some(&Value::Bool(true)));
     }
 

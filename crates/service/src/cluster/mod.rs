@@ -18,16 +18,23 @@
 //! shards are (a pure function of spec and pool size), `comm` decides *how*
 //! bytes reach a worker (in-process threads or child processes today; a TCP
 //! backend would slot in beside them), and the coordinator in between owns
-//! scheduling, re-dispatch after worker death, cancellation fan-out and the
-//! order-preserving merge. Because workers run the exact single-process
-//! engine on exact sub-specs and the merge walks shards in plan order, a
-//! coordinated job's rows, incumbents and error codes are byte-identical to
-//! a serial run — `perf` is the only field allowed to differ.
+//! scheduling, supervision and the order-preserving merge. Supervision
+//! ([`Supervision`]) treats worker death, hangs past the shard timeout and
+//! garbled responses uniformly: each costs one unit of the shard's retry
+//! budget and re-dispatches with exponential backoff, dead workers are
+//! replaced by clean respawns while the respawn budget lasts, a shard whose
+//! budget is spent fails the job typed with `E_SHARD_RETRY_EXHAUSTED`, and
+//! a fully lost pool degrades to in-process execution instead of failing.
+//! Because workers run the exact single-process engine on exact sub-specs
+//! and the merge walks shards in plan order, a coordinated job's rows,
+//! incumbents and error codes are byte-identical to a serial run — `perf`
+//! is the only field allowed to differ.
 
 mod comm;
 mod coordinator;
 mod planner;
 
+pub use crate::faults::ENV_WORKER_FAULT;
 pub use comm::{ClusterBackend, WorkerEvent, WorkerFault, WorkerTx, ENV_EXIT_AFTER_JOBS};
-pub use coordinator::{run_clustered, Cluster};
+pub use coordinator::{run_clustered, Cluster, Supervision};
 pub use planner::shard_ranges;

@@ -39,6 +39,10 @@ pub const E_REMOTE: &str = "E_REMOTE";
 /// A cluster worker process (or thread) exited before completing its shard
 /// and the shard could not be re-dispatched (no workers left).
 pub const E_WORKER_LOST: &str = "E_WORKER_LOST";
+/// One shard kept hitting worker faults (deaths, hangs past the shard
+/// timeout, garbled responses) until its re-dispatch budget was spent; the
+/// supervisor fails the job typed rather than loop forever.
+pub const E_SHARD_RETRY_EXHAUSTED: &str = "E_SHARD_RETRY_EXHAUSTED";
 
 /// Every code the service can emit, sorted. The golden test below asserts
 /// this exact list, so adding a code is an additive protocol change reviewed
@@ -61,6 +65,7 @@ pub const ALL_ERROR_CODES: &[&str] = &[
     "E_PROTOCOL_VERSION",
     "E_REMOTE",
     "E_REQUEST_PARSE",
+    "E_SHARD_RETRY_EXHAUSTED",
     "E_SIM_CYCLE_LIMIT",
     "E_SIM_EMPTY_GRID",
     "E_SIM_UNMAPPED_QUBIT",
@@ -258,6 +263,15 @@ mod tests {
                 "E_SIM_CYCLE_LIMIT",
             ),
             (
+                // The supervisor's typed exhaustion error survives a relay
+                // hop unchanged (a search fold reports it this way).
+                CoreError::Remote {
+                    code: "E_SHARD_RETRY_EXHAUSTED".into(),
+                    message: "shard 0 hit 2 worker fault(s)".into(),
+                },
+                "E_SHARD_RETRY_EXHAUSTED",
+            ),
+            (
                 CoreError::Remote {
                     code: "E_FROM_THE_FUTURE".into(),
                     message: "unknown remote code".into(),
@@ -298,6 +312,7 @@ mod tests {
             "E_PROTOCOL_VERSION",
             "E_REMOTE",
             "E_REQUEST_PARSE",
+            "E_SHARD_RETRY_EXHAUSTED",
             "E_SIM_CYCLE_LIMIT",
             "E_SIM_EMPTY_GRID",
             "E_SIM_UNMAPPED_QUBIT",

@@ -18,11 +18,16 @@
 //!   progress events and responses out) serving any number of jobs from one
 //!   process, with per-worker simulator engines reused across jobs and
 //!   in-flight jobs cancellable by a `{"cancel": <id>}` line.
-//! * [`cluster`] — the multi-worker coordinator behind `--workers N`:
-//!   sweeps/searches shard deterministically across a pool of worker serve
-//!   sessions (in-process threads or child processes), with crash
-//!   re-dispatch, cancellation fan-out, and a merge that keeps results
-//!   byte-identical to a single-process run.
+//! * [`cluster`] — the supervised multi-worker coordinator behind
+//!   `--workers N`: sweeps/searches shard deterministically across a pool
+//!   of worker serve sessions (in-process threads or child processes), with
+//!   shard timeouts, bounded re-dispatch with backoff, worker respawn,
+//!   in-process fallback when the whole pool is lost, cancellation fan-out,
+//!   and a merge that keeps results byte-identical to a single-process run.
+//! * [`faults`] — seeded, JSON-declarable fault injection ([`FaultPlan`]):
+//!   worker crashes, stalls, garbled responses and cache corruption, used
+//!   by the robustness tests and the CI chaos soak to drive the recovery
+//!   paths deterministically.
 //!
 //! # Example
 //!
@@ -47,13 +52,17 @@
 
 pub mod cluster;
 pub mod error_code;
+pub mod faults;
 pub mod ndjson;
 pub mod protocol;
 mod serve;
 mod service;
 
-pub use cluster::{run_clustered, shard_ranges, Cluster, ClusterBackend, WorkerEvent, WorkerFault};
+pub use cluster::{
+    run_clustered, shard_ranges, Cluster, ClusterBackend, Supervision, WorkerEvent, WorkerFault,
+};
 pub use error_code::{error_code, ALL_ERROR_CODES};
+pub use faults::{FaultPlan, WorkerFaultSpec};
 pub use ndjson::NdjsonSink;
 pub use protocol::{
     ClusterPerf, Job, Payload, Request, RequestError, Response, ResponsePerf, ServiceError,

@@ -439,8 +439,14 @@ pub struct ClusterPerf {
     pub workers: usize,
     /// Shard dispatches that completed (re-dispatches included).
     pub shards: u64,
-    /// Shards re-dispatched after their worker died mid-shard.
+    /// Shards re-dispatched after a worker fault (death, hang past the
+    /// shard timeout, or an undecodable response).
     pub shards_retried: u64,
+    /// Replacement workers the supervisor spawned after deaths.
+    pub workers_respawned: u64,
+    /// Shards the coordinator finished in-process after the whole pool was
+    /// lost with the respawn budget spent.
+    pub shards_local_fallback: u64,
     /// Mean fraction of the pool busy over the job's wall time:
     /// `Σ shard wall / (job wall × workers)`.
     pub occupancy: f64,
@@ -458,6 +464,14 @@ impl ClusterPerf {
             (
                 "shards_retried".to_string(),
                 Value::UInt(self.shards_retried),
+            ),
+            (
+                "workers_respawned".to_string(),
+                Value::UInt(self.workers_respawned),
+            ),
+            (
+                "shards_local_fallback".to_string(),
+                Value::UInt(self.shards_local_fallback),
             ),
             ("occupancy".to_string(), Value::Float(self.occupancy)),
             (

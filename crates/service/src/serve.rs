@@ -34,8 +34,9 @@ use serde_json::Value;
 
 use msfu_core::CancelToken;
 
-use crate::cluster::{self, Cluster, ClusterBackend, WorkerFault};
+use crate::cluster::{self, Cluster, ClusterBackend, Supervision};
 use crate::error_code::E_WORKER_LOST;
+use crate::faults::{FaultPlan, WorkerFaultSpec};
 use crate::ndjson::NdjsonSink;
 use crate::protocol::{Job, Payload, Request, RequestError, Response, ResponsePerf, ServiceError};
 use crate::service::{JobHandle, Service};
@@ -58,14 +59,29 @@ pub struct ServeOptions {
     /// How coordinated jobs reach their workers (ignored when `workers` is
     /// `0`).
     pub backend: ClusterBackend,
-    /// Fault injection for crash-recovery tests: kill one worker rank after
-    /// it has served a given number of shards (see [`WorkerFault`]).
-    pub fault: Option<WorkerFault>,
-    /// Worker-side fault hook: serve this many requests normally, then exit
-    /// *without responding* upon receiving the next one — a crash landing
-    /// mid-job, as the coordinator's re-dispatch path sees it. `None`
-    /// serves until EOF.
-    pub exit_after_jobs: Option<usize>,
+    /// Deterministic fault injection for robustness tests: which worker
+    /// ranks crash, stall, or garble a response, and which cache segments
+    /// are corrupted at session start (see [`FaultPlan`]). Each worker
+    /// receives its slice of the plan when the pool connects; cache
+    /// corruption is applied to [`ServeOptions::cache_dir`] before the
+    /// first request runs.
+    pub fault_plan: Option<FaultPlan>,
+    /// This process's *own* worker-side faults, when it is a worker of a
+    /// supervised pool (the coordinator sets this from the plan slice for
+    /// the worker's rank): exit without responding, stall, or garble a
+    /// response at a declared request index. Empty = behave normally.
+    pub worker_fault: WorkerFaultSpec,
+    /// Supervision: how long a dispatched shard may stay in flight before
+    /// its worker is declared hung and the shard re-dispatched (`None` =
+    /// only a job deadline bounds the wait).
+    pub shard_timeout_ms: Option<u64>,
+    /// Supervision: how many replacement workers the coordinator may spawn
+    /// over the session after deaths (`None` = one per configured worker).
+    pub max_respawns: Option<u32>,
+    /// Supervision: how many times one shard may be re-dispatched after
+    /// worker faults before the job fails typed with
+    /// `E_SHARD_RETRY_EXHAUSTED` (`None` = the default budget of 3).
+    pub retry_budget: Option<u32>,
     /// Session-default persistent cache directory: sweep/search/stream
     /// requests that carry no `"cache_dir"` of their own inherit this one, so every
     /// job of the session (and, with `workers > 0`, every worker shard)
@@ -104,11 +120,63 @@ impl ServeOptions {
         self
     }
 
-    /// Injects a worker fault: `rank` exits without responding upon
-    /// receiving its `after_jobs + 1`-th request (builder style).
+    /// Injects a crash fault: `rank` exits without responding upon
+    /// receiving its `after_jobs + 1`-th request (builder style). Thin
+    /// alias for adding a crash to the session's [`FaultPlan`]; prefer
+    /// [`ServeOptions::with_fault_plan`] for anything richer.
     pub fn with_fault(mut self, rank: usize, after_jobs: usize) -> Self {
-        self.fault = Some(WorkerFault { rank, after_jobs });
+        let plan = self.fault_plan.take().unwrap_or_default();
+        self.fault_plan = Some(plan.with_crash(rank, after_jobs));
         self
+    }
+
+    /// Sets the session's deterministic fault plan (builder style).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets this process's own worker-side faults (builder style); used by
+    /// the communicator when spawning pool workers.
+    pub fn with_worker_fault(mut self, fault: WorkerFaultSpec) -> Self {
+        self.worker_fault = fault;
+        self
+    }
+
+    /// Bounds how long a dispatched shard may stay in flight (builder
+    /// style); see [`ServeOptions::shard_timeout_ms`].
+    pub fn with_shard_timeout_ms(mut self, timeout_ms: u64) -> Self {
+        self.shard_timeout_ms = Some(timeout_ms);
+        self
+    }
+
+    /// Caps worker respawns over the session (builder style); see
+    /// [`ServeOptions::max_respawns`].
+    pub fn with_max_respawns(mut self, max_respawns: u32) -> Self {
+        self.max_respawns = Some(max_respawns);
+        self
+    }
+
+    /// Caps re-dispatches per shard (builder style); see
+    /// [`ServeOptions::retry_budget`].
+    pub fn with_retry_budget(mut self, retry_budget: u32) -> Self {
+        self.retry_budget = Some(retry_budget);
+        self
+    }
+
+    /// The supervision configuration these options describe.
+    fn supervision(&self) -> Supervision {
+        let defaults = Supervision::default();
+        Supervision {
+            shard_timeout: self.shard_timeout_ms.map(std::time::Duration::from_millis),
+            // Default respawn budget: one replacement per configured worker —
+            // enough to survive every original rank crashing once.
+            max_respawns: self
+                .max_respawns
+                .unwrap_or_else(|| u32::try_from(self.workers).unwrap_or(u32::MAX)),
+            retry_budget: self.retry_budget.unwrap_or(defaults.retry_budget),
+            ..defaults
+        }
     }
 
     /// Sets the session-default persistent cache directory (builder style);
@@ -192,21 +260,54 @@ where
         }
     });
 
+    if let (Some(plan), Some(dir)) = (&options.fault_plan, &options.cache_dir) {
+        // Deterministic cache sabotage happens before the first request, so
+        // the session exercises the quarantine/recovery path on open.
+        match plan.apply_cache_corruption(dir) {
+            Ok(damaged) => {
+                for path in &damaged {
+                    eprintln!("[msfu faults] corrupted cache segment {}", path.display());
+                }
+            }
+            Err(message) => {
+                eprintln!("[msfu faults] cache corruption not applied: {message}");
+            }
+        }
+    }
+
     let mut cluster: Option<Cluster> = None;
     let mut jobs_received = 0usize;
     for message in rx {
+        let mut garble = false;
         let response = match message {
             Err(error) => Response::for_request_error(error),
             Ok(mut request) => {
+                let job_index = jobs_received;
                 if options
+                    .worker_fault
                     .exit_after_jobs
-                    .is_some_and(|limit| jobs_received >= limit)
+                    .is_some_and(|limit| job_index >= limit)
                 {
                     // Simulated crash (worker-fault hook): exit without
                     // responding, so from the client's point of view this
                     // session died mid-job.
                     break;
                 }
+                if let Some(after) = options.worker_fault.stall_after_jobs {
+                    if job_index >= after {
+                        // Simulated hang: sleep *before* serving, so the
+                        // coordinator sees a request that never answers
+                        // within its shard timeout. The stall is sticky —
+                        // every request from `after` onwards hangs — because
+                        // a wedged worker does not recover by itself.
+                        thread::sleep(std::time::Duration::from_millis(
+                            options.worker_fault.stall_duration_ms,
+                        ));
+                    }
+                }
+                // Garbled-response fault: serve the job normally, then
+                // replace the response line with undecodable output below.
+                garble = options.worker_fault.corrupt_after_jobs == Some(job_index);
                 jobs_received += 1;
                 request.serial = request.serial || options.serial;
                 if let Some(dir) = &options.cache_dir {
@@ -267,7 +368,21 @@ where
             write_bench_report(dir, &response)?;
         }
         let mut out = out.lock().unwrap_or_else(|e| e.into_inner());
-        writeln!(out, "{}", response.to_json())?;
+        if garble {
+            // Corrupt-response fault: a syntactically valid JSON line with a
+            // status no coordinator understands — the supervisor must treat
+            // it as a retryable worker fault, not a typed job error.
+            let line = Value::Object(vec![
+                ("type".to_string(), Value::Str("response".to_string())),
+                ("id".to_string(), Value::Str(response.id.clone())),
+                ("status".to_string(), Value::Str("garbled".to_string())),
+            ]);
+            let text =
+                serde_json::to_string(&line).map_err(|e| std::io::Error::other(e.to_string()))?;
+            writeln!(out, "{text}")?;
+        } else {
+            writeln!(out, "{}", response.to_json())?;
+        }
         out.flush()?;
     }
     Ok(summary)
@@ -279,11 +394,12 @@ fn ensure_cluster<'a>(
     options: &ServeOptions,
 ) -> std::io::Result<&'a mut Cluster> {
     if cluster.is_none() {
-        *cluster = Some(Cluster::connect(
+        let pool = Cluster::connect(
             &options.backend,
             options.workers,
-            options.fault,
-        )?);
+            options.fault_plan.as_ref(),
+        )?;
+        *cluster = Some(pool.with_supervision(options.supervision()));
     }
     Ok(cluster.as_mut().expect("pool was just connected"))
 }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! msfu run <REQUEST.json> [--serial] [--progress] [--lanes K] [--workers N]
-//!          [--cache-dir DIR]
+//!          [--cache-dir DIR] [--fault-plan FILE] [--shard-timeout-ms MS]
+//!          [--max-respawns N]
 //!     Execute one job request and print its JSON response on stdout.
 //!     --progress additionally streams NDJSON progress events on stderr.
 //!     --lanes K overrides a sweep request's lane-batching width (0 or 1
@@ -17,6 +18,7 @@
 //!     results stay byte-identical either way.
 //!
 //! msfu serve [--serial] [--bench-dir DIR] [--workers N] [--cache-dir DIR]
+//!            [--fault-plan FILE] [--shard-timeout-ms MS] [--max-respawns N]
 //!     JSON-lines session: one request per stdin line, interleaved NDJSON
 //!     progress events and responses on stdout, until EOF. Every output
 //!     line is flushed as soon as it is written. A line of
@@ -31,33 +33,61 @@
 //!     sweep/search/stream requests without their own "cache_dir" inherit
 //!     it, and worker shards share it, so jobs warm each other across the
 //!     session and across processes.
+//!
+//! msfu cache verify <DIR>
+//!     Read-only scan of a persistent evaluation-cache directory: prints
+//!     every damaged record and quarantined segment. Exit 0 when the
+//!     directory is clean, 1 when any damage is present.
+//!
+//! msfu cache compact <DIR>
+//!     Rewrites the cache directory keeping exactly the decodable records
+//!     (quarantined segments are salvaged and removed, duplicates and
+//!     damaged bytes dropped), leaving a directory that re-opens
+//!     warning-free.
 //! ```
 //!
-//! Fault-injection environment hooks (CI crash-recovery tests only):
-//! `MSFU_FAULT_WORKER_RANK` + `MSFU_FAULT_AFTER_JOBS` make the coordinator
-//! kill that worker rank after it served that many shards, and
-//! `MSFU_SERVE_EXIT_AFTER_JOBS` makes a `serve` process exit without
-//! responding upon receiving the following request.
+//! Fault injection: `--fault-plan FILE` (or the `MSFU_FAULT_PLAN`
+//! environment variable carrying the same JSON inline) loads a seeded,
+//! declarative fault plan — worker crashes, stalls, garbled responses,
+//! cache corruption — documented in `msfu::service::faults`. Supervision
+//! knobs: `--shard-timeout-ms MS` bounds how long one dispatched shard may
+//! stay in flight before its worker is declared hung, and
+//! `--max-respawns N` caps replacement workers (default: one per
+//! configured worker).
+//!
+//! Deprecated fault hooks, kept as thin aliases for one release:
+//! `MSFU_FAULT_WORKER_RANK` + `MSFU_FAULT_AFTER_JOBS` (a crash entry in
+//! plan terms) and `MSFU_SERVE_EXIT_AFTER_JOBS` (a worker-side crash).
+//! Declare faults in a plan instead.
 //!
 //! Request/response schemas are documented in `msfu::service::protocol` and
 //! the README's "Service protocol" section. Exit status: 0 when every
-//! response is ok, 1 when any response carries an error, 2 on usage or I/O
-//! problems.
+//! response is ok, 1 when any response carries an error (for `cache
+//! verify`: when damage is present), 2 on usage or I/O problems.
 
 use std::io::Write;
 use std::process::ExitCode;
 use std::sync::Mutex;
+use std::time::Duration;
 
-use msfu::service::cluster::{WorkerFault, ENV_EXIT_AFTER_JOBS};
+use msfu::core::{compact_dir, verify_dir};
+use msfu::service::cluster::ENV_EXIT_AFTER_JOBS;
+use msfu::service::faults::ENV_WORKER_FAULT;
 use msfu::service::{
-    run_clustered, serve, Cluster, ClusterBackend, Job, JobHandle, NdjsonSink, Request,
-    ServeOptions, Service,
+    run_clustered, serve, Cluster, ClusterBackend, FaultPlan, Job, JobHandle, NdjsonSink, Request,
+    ServeOptions, Service, Supervision, WorkerFaultSpec,
 };
 
-const USAGE: &str = "usage: msfu run <REQUEST.json> [--serial] [--progress] [--lanes K] [--workers N] [--cache-dir DIR]\n       msfu serve [--serial] [--bench-dir DIR] [--workers N] [--cache-dir DIR]";
+const USAGE: &str = "usage: msfu run <REQUEST.json> [--serial] [--progress] [--lanes K] [--workers N] [--cache-dir DIR] [--fault-plan FILE] [--shard-timeout-ms MS] [--max-respawns N]\n       msfu serve [--serial] [--bench-dir DIR] [--workers N] [--cache-dir DIR] [--fault-plan FILE] [--shard-timeout-ms MS] [--max-respawns N]\n       msfu cache verify <DIR>\n       msfu cache compact <DIR>";
 
-/// Reads the coordinator-side fault-injection hook (CI crash tests).
-fn fault_from_env() -> Result<Option<WorkerFault>, String> {
+/// Reads the fault plan from the environment: `MSFU_FAULT_PLAN` (the JSON
+/// plan inline), plus the deprecated `MSFU_FAULT_WORKER_RANK` +
+/// `MSFU_FAULT_AFTER_JOBS` pair, which folds in as a crash entry.
+fn fault_plan_from_env() -> Result<Option<FaultPlan>, String> {
+    let mut plan = match std::env::var("MSFU_FAULT_PLAN") {
+        Ok(text) => Some(FaultPlan::from_json(&text).map_err(|e| format!("MSFU_FAULT_PLAN: {e}"))?),
+        Err(_) => None,
+    };
     let rank = std::env::var("MSFU_FAULT_WORKER_RANK").ok();
     let after = std::env::var("MSFU_FAULT_AFTER_JOBS").ok();
     match (rank, after) {
@@ -68,12 +98,30 @@ fn fault_from_env() -> Result<Option<WorkerFault>, String> {
             let after_jobs = after
                 .parse()
                 .map_err(|_| format!("bad MSFU_FAULT_AFTER_JOBS `{after}`"))?;
-            Ok(Some(WorkerFault { rank, after_jobs }))
+            plan = Some(plan.unwrap_or_default().with_crash(rank, after_jobs));
         }
-        (None, None) => Ok(None),
+        (None, None) => {}
         _ => {
-            Err("MSFU_FAULT_WORKER_RANK and MSFU_FAULT_AFTER_JOBS must be set together".to_string())
+            return Err(
+                "MSFU_FAULT_WORKER_RANK and MSFU_FAULT_AFTER_JOBS must be set together".to_string(),
+            )
         }
+    }
+    Ok(plan)
+}
+
+/// Loads `--fault-plan FILE`, layered over the environment hooks (the
+/// explicit file wins field-wise by replacing the whole plan).
+fn load_fault_plan(file: Option<&str>) -> Result<Option<FaultPlan>, String> {
+    match file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read fault plan {path}: {e}"))?;
+            Ok(Some(
+                FaultPlan::from_json(&text).map_err(|e| format!("fault plan {path}: {e}"))?,
+            ))
+        }
+        None => fault_plan_from_env(),
     }
 }
 
@@ -84,6 +132,19 @@ fn child_backend() -> Result<ClusterBackend, String> {
     Ok(ClusterBackend::ChildProcess { exe })
 }
 
+/// Builds the supervision policy from the shared CLI knobs.
+fn supervision_from_flags(
+    workers: usize,
+    shard_timeout_ms: Option<u64>,
+    max_respawns: Option<u32>,
+) -> Supervision {
+    Supervision::default()
+        .with_shard_timeout(shard_timeout_ms.map(Duration::from_millis))
+        .with_max_respawns(
+            max_respawns.unwrap_or_else(|| u32::try_from(workers).unwrap_or(u32::MAX)),
+        )
+}
+
 fn run_command(args: &[String]) -> Result<bool, String> {
     let mut request_path: Option<&str> = None;
     let mut serial = false;
@@ -91,6 +152,9 @@ fn run_command(args: &[String]) -> Result<bool, String> {
     let mut lanes: Option<usize> = None;
     let mut workers = 0usize;
     let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut fault_plan_file: Option<&str> = None;
+    let mut shard_timeout_ms: Option<u64> = None;
+    let mut max_respawns: Option<u32> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -108,6 +172,17 @@ fn run_command(args: &[String]) -> Result<bool, String> {
                 let dir = iter.next().ok_or("--cache-dir needs a directory")?;
                 cache_dir = Some(dir.into());
             }
+            "--fault-plan" => {
+                fault_plan_file = Some(iter.next().ok_or("--fault-plan needs a file")?);
+            }
+            "--shard-timeout-ms" => {
+                let v = iter.next().ok_or("--shard-timeout-ms needs a value")?;
+                shard_timeout_ms = Some(v.parse().map_err(|_| format!("bad shard timeout `{v}`"))?);
+            }
+            "--max-respawns" => {
+                let v = iter.next().ok_or("--max-respawns needs a count")?;
+                max_respawns = Some(v.parse().map_err(|_| format!("bad respawn count `{v}`"))?);
+            }
             _ if arg.starts_with("--") => return Err(format!("unknown flag `{arg}`")),
             _ => {
                 if request_path.replace(arg).is_some() {
@@ -117,6 +192,15 @@ fn run_command(args: &[String]) -> Result<bool, String> {
         }
     }
     let path = request_path.ok_or_else(|| USAGE.to_string())?;
+    let plan = load_fault_plan(fault_plan_file)?;
+    if let (Some(plan), Some(dir)) = (&plan, &cache_dir) {
+        for damaged in plan.apply_cache_corruption(dir)? {
+            eprintln!(
+                "[msfu faults] corrupted cache segment {}",
+                damaged.display()
+            );
+        }
+    }
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let response = match Request::from_json(&text) {
         Ok(mut request) => {
@@ -139,8 +223,13 @@ fn run_command(args: &[String]) -> Result<bool, String> {
             if clustered {
                 // One-shot pool of child `msfu serve` workers; dropped (and
                 // reaped) as soon as the merged response is in.
-                let mut pool = Cluster::connect(&child_backend()?, workers, fault_from_env()?)
-                    .map_err(|e| format!("cannot connect the worker pool: {e}"))?;
+                let mut pool = Cluster::connect(&child_backend()?, workers, plan.as_ref())
+                    .map_err(|e| format!("cannot connect the worker pool: {e}"))?
+                    .with_supervision(supervision_from_flags(
+                        workers,
+                        shard_timeout_ms,
+                        max_respawns,
+                    ));
                 let stderr = Mutex::new(std::io::stderr());
                 run_clustered(&mut pool, &request, &handle, progress.then_some(&stderr))
             } else if progress {
@@ -163,6 +252,7 @@ fn run_command(args: &[String]) -> Result<bool, String> {
 
 fn serve_command(args: &[String]) -> Result<bool, String> {
     let mut options = ServeOptions::new();
+    let mut fault_plan_file: Option<&str> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -180,21 +270,44 @@ fn serve_command(args: &[String]) -> Result<bool, String> {
                 let dir = iter.next().ok_or("--cache-dir needs a directory")?;
                 options = options.with_cache_dir(dir);
             }
+            "--fault-plan" => {
+                fault_plan_file = Some(iter.next().ok_or("--fault-plan needs a file")?);
+            }
+            "--shard-timeout-ms" => {
+                let v = iter.next().ok_or("--shard-timeout-ms needs a value")?;
+                let ms = v.parse().map_err(|_| format!("bad shard timeout `{v}`"))?;
+                options = options.with_shard_timeout_ms(ms);
+            }
+            "--max-respawns" => {
+                let v = iter.next().ok_or("--max-respawns needs a count")?;
+                let n = v.parse().map_err(|_| format!("bad respawn count `{v}`"))?;
+                options = options.with_max_respawns(n);
+            }
             _ => return Err(format!("unknown argument `{arg}`")),
         }
     }
+    if let Some(plan) = load_fault_plan(fault_plan_file)? {
+        options = options.with_fault_plan(plan);
+    }
     if options.workers > 0 {
         options = options.with_backend(child_backend()?);
-        if let Some(fault) = fault_from_env()? {
-            options = options.with_fault(fault.rank, fault.after_jobs);
-        }
+    }
+    if let Ok(text) = std::env::var(ENV_WORKER_FAULT) {
+        // This process is a worker of a supervised pool: the coordinator
+        // handed it its slice of the fault plan.
+        options = options.with_worker_fault(
+            WorkerFaultSpec::from_json(&text).map_err(|e| format!("{ENV_WORKER_FAULT}: {e}"))?,
+        );
     }
     if let Ok(v) = std::env::var(ENV_EXIT_AFTER_JOBS) {
-        // Worker-side crash hook, set by a coordinator's fault injection.
-        let after = v
-            .parse()
-            .map_err(|_| format!("bad {ENV_EXIT_AFTER_JOBS} `{v}`"))?;
-        options.exit_after_jobs = Some(after);
+        // Deprecated worker-side crash hook (one release): a crash entry of
+        // the plan slice in disguise.
+        let mut fault = options.worker_fault;
+        fault.exit_after_jobs = Some(
+            v.parse()
+                .map_err(|_| format!("bad {ENV_EXIT_AFTER_JOBS} `{v}`"))?,
+        );
+        options = options.with_worker_fault(fault);
     }
     // StdinLock is not Send (the reader runs on a dedicated thread), so wrap
     // the unlocked handle instead.
@@ -212,11 +325,65 @@ fn serve_command(args: &[String]) -> Result<bool, String> {
     Ok(summary.errors == 0)
 }
 
+fn cache_command(args: &[String]) -> Result<bool, String> {
+    let [action, dir] = args else {
+        return Err(USAGE.to_string());
+    };
+    let dir = std::path::Path::new(dir);
+    match action.as_str() {
+        "verify" => {
+            let report = verify_dir(dir)?;
+            for warning in &report.warnings {
+                eprintln!("[msfu cache] {warning}");
+            }
+            for path in &report.quarantined {
+                eprintln!(
+                    "[msfu cache] quarantined segment present: {}",
+                    path.display()
+                );
+            }
+            println!(
+                "{}: {} segment(s), {} record(s), {} byte(s), {} warning(s), {} quarantined — {}",
+                dir.display(),
+                report.segments,
+                report.records,
+                report.bytes,
+                report.warnings.len(),
+                report.quarantined.len(),
+                if report.is_clean() {
+                    "clean"
+                } else {
+                    "DAMAGED (run `msfu cache compact`)"
+                },
+            );
+            Ok(report.is_clean())
+        }
+        "compact" => {
+            let report = compact_dir(dir)?;
+            println!(
+                "{}: kept {} record(s) ({} duplicate(s) dropped, {} salvaged from quarantine, \
+                 {} damaged dropped), removed {} quarantined segment(s), {} -> {} bytes",
+                dir.display(),
+                report.records_kept,
+                report.duplicates_dropped,
+                report.salvaged,
+                report.damage_dropped,
+                report.quarantined_removed,
+                report.bytes_before,
+                report.bytes_after,
+            );
+            Ok(true)
+        }
+        other => Err(format!("unknown cache action `{other}` (verify | compact)")),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => run_command(&args[1..]),
         Some("serve") => serve_command(&args[1..]),
+        Some("cache") => cache_command(&args[1..]),
         _ => Err(USAGE.to_string()),
     };
     match result {

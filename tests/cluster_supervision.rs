@@ -1,0 +1,182 @@
+//! Supervised-cluster robustness: under any declared fault plan — worker
+//! crashes, sticky stalls, respawned replacements, even losing the whole
+//! pool — a sharded sweep or search must return rows byte-identical to a
+//! serial run, with `perf.cluster` the only field allowed to differ.
+
+use msfu::service::{serve, FaultPlan, ServeOptions};
+use serde_json::Value;
+
+const SWEEP_LINE: &str = concat!(
+    r#"{"protocol_version": 1, "id": "j", "kind": "sweep", "sweep": {"name": "m", "points": ["#,
+    r#"{"label": "p0", "factory": {"k": 2}, "strategy": {"strategy": "linear"}},"#,
+    r#"{"label": "p1", "factory": {"k": 2}, "strategy": {"strategy": "random", "seed": 1}},"#,
+    r#"{"label": "p2", "factory": {"k": 3}, "strategy": {"strategy": "random", "seed": 2}},"#,
+    r#"{"label": "p3", "factory": {"k": 2, "reuse": "NR"}, "strategy": {"strategy": "linear"}},"#,
+    r#"{"label": "p4", "factory": {"k": 2}, "strategy": {"strategy": "graph_partition", "seed": 3}},"#,
+    r#"{"label": "p5", "factory": {"k": 3}, "strategy": {"strategy": "linear"}},"#,
+    r#"{"label": "p6", "factory": {"k": 2}, "strategy": {"strategy": "random", "seed": 4}},"#,
+    r#"{"label": "p7", "factory": {"k": 3}, "strategy": {"strategy": "random", "seed": 5}}]}}"#,
+    "\n",
+);
+
+const SEARCH_LINE: &str = concat!(
+    r#"{"protocol_version": 1, "id": "s", "kind": "search", "search": {"#,
+    r#""name": "srch", "factory": {"k": 2}, "budget": 10, "batch_size": 4, "seed": 7,"#,
+    r#""portfolio": [{"strategy": {"strategy": "random"}, "seeded": true},"#,
+    r#"{"strategy": {"strategy": "linear"}, "seeded": false}]}}"#,
+    "\n",
+);
+
+/// Runs one serve session over the given line and returns the response with
+/// the given id.
+fn response(options: &ServeOptions, line: &str, id: &str) -> Value {
+    let mut output: Vec<u8> = Vec::new();
+    let input = std::io::Cursor::new(line.to_string().into_bytes());
+    serve(input, &mut output, options).unwrap();
+    String::from_utf8(output)
+        .unwrap()
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("output lines are JSON"))
+        .find(|v: &Value| {
+            v.get("type").and_then(Value::as_str) == Some("response")
+                && v.get("id").and_then(Value::as_str) == Some(id)
+        })
+        .expect("session produced the response")
+}
+
+/// Everything that must be byte-identical between serial and supervised
+/// execution: the full response minus the perf stamp.
+fn stable_fields(response: &Value) -> String {
+    let stripped: Vec<(String, Value)> = match response {
+        Value::Object(entries) => entries
+            .iter()
+            .filter(|(k, _)| k != "perf")
+            .cloned()
+            .collect(),
+        _ => panic!("responses are objects"),
+    };
+    serde_json::to_string(&Value::Object(stripped)).unwrap()
+}
+
+fn cluster_counter(response: &Value, key: &str) -> u64 {
+    match response
+        .get("perf")
+        .and_then(|p| p.get("cluster"))
+        .and_then(|c| c.get(key))
+    {
+        Some(Value::UInt(n)) => *n,
+        Some(Value::Int(n)) => u64::try_from(*n).unwrap(),
+        other => panic!("perf.cluster.{key} missing or non-integer: {other:?}"),
+    }
+}
+
+/// One cell of the fault matrix: plan factory + the counter that proves the
+/// intended recovery path actually ran (asserted on the sweep job, whose
+/// response carries the perf.cluster stamp).
+struct FaultCell {
+    name: &'static str,
+    plan: fn(usize) -> Option<FaultPlan>,
+    max_respawns: Option<u32>,
+    shard_timeout_ms: Option<u64>,
+    proof_counter: Option<&'static str>,
+}
+
+const MATRIX: &[FaultCell] = &[
+    FaultCell {
+        name: "none",
+        plan: |_| None,
+        max_respawns: Some(0),
+        shard_timeout_ms: None,
+        proof_counter: None,
+    },
+    FaultCell {
+        name: "crash",
+        plan: |_| Some(FaultPlan::default().with_crash(1, 0)),
+        max_respawns: Some(0),
+        shard_timeout_ms: None,
+        proof_counter: Some("shards_retried"),
+    },
+    FaultCell {
+        name: "stall",
+        plan: |_| Some(FaultPlan::default().with_stall(1, 0, 60_000)),
+        max_respawns: Some(0),
+        shard_timeout_ms: Some(200),
+        proof_counter: Some("shards_retried"),
+    },
+    FaultCell {
+        name: "crash+respawn",
+        plan: |_| Some(FaultPlan::default().with_crash(1, 0)),
+        max_respawns: None, // default budget: the dead worker is replaced
+        shard_timeout_ms: None,
+        proof_counter: Some("workers_respawned"),
+    },
+    FaultCell {
+        name: "pool-loss",
+        plan: |workers| {
+            Some(
+                (0..workers).fold(FaultPlan::default().with_seed(7), |plan, rank| {
+                    plan.with_crash(rank, 0)
+                }),
+            )
+        },
+        max_respawns: Some(0),
+        shard_timeout_ms: None,
+        proof_counter: Some("shards_local_fallback"),
+    },
+];
+
+fn options_for(cell: &FaultCell, workers: usize) -> ServeOptions {
+    let mut options = ServeOptions::new().with_workers(workers);
+    if let Some(plan) = (cell.plan)(workers) {
+        options = options.with_fault_plan(plan);
+    }
+    if let Some(budget) = cell.max_respawns {
+        options = options.with_max_respawns(budget);
+    }
+    if let Some(ms) = cell.shard_timeout_ms {
+        options = options.with_shard_timeout_ms(ms);
+    }
+    options
+}
+
+#[test]
+fn sweeps_survive_every_fault_plan_byte_identically() {
+    let reference = stable_fields(&response(&ServeOptions::new(), SWEEP_LINE, "j"));
+    assert!(reference.contains(r#""status":"ok""#), "{reference}");
+    for workers in [2usize, 4] {
+        for cell in MATRIX {
+            let got = response(&options_for(cell, workers), SWEEP_LINE, "j");
+            assert_eq!(
+                stable_fields(&got),
+                reference,
+                "plan `{}` at {workers} workers changed the rows",
+                cell.name
+            );
+            if let Some(counter) = cell.proof_counter {
+                assert!(
+                    cluster_counter(&got, counter) >= 1,
+                    "plan `{}` at {workers} workers: {counter} stayed zero, the \
+                     recovery path under test never ran",
+                    cell.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn searches_survive_every_fault_plan_byte_identically() {
+    let reference = stable_fields(&response(&ServeOptions::new(), SEARCH_LINE, "s"));
+    assert!(reference.contains(r#""incumbent""#), "{reference}");
+    for workers in [2usize, 4] {
+        for cell in MATRIX {
+            let got = response(&options_for(cell, workers), SEARCH_LINE, "s");
+            assert_eq!(
+                stable_fields(&got),
+                reference,
+                "plan `{}` at {workers} workers changed the search report",
+                cell.name
+            );
+        }
+    }
+}

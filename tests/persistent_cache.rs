@@ -167,6 +167,58 @@ fn stale_version_segments_are_skipped_without_failing_the_sweep() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn a_corrupted_segment_is_quarantined_and_compact_heals_the_directory() {
+    let dir = fresh_cache_dir("heal");
+    let spec = duplicate_heavy_spec().with_cache_dir(&dir);
+    let reference = duplicate_heavy_spec().with_eval_cache(false).run().unwrap();
+    let cold = spec.run_serial_with(&RunControl::default()).unwrap();
+    assert_eq!(cold.results, reference);
+    assert_eq!(cold.cache.persisted, 5, "stats: {:?}", cold.cache);
+
+    // Flip bytes inside one populated segment (deterministic damage).
+    let bucket = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.metadata().is_ok_and(|m| m.len() > 0))
+        .find_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            let hex = name.strip_prefix("seg-")?.strip_suffix(".bin")?;
+            usize::from_str_radix(hex, 16).ok()
+        })
+        .expect("a populated segment to damage");
+    let damaged = msfu_core::damage_segment(&dir, bucket, msfu_core::SegmentDamage::FlipBytes, 9)
+        .expect("damage applies");
+
+    // The next run must quarantine the bad segment on open, count the damage
+    // as a warning, re-simulate whatever the quarantine lost, and still
+    // produce byte-identical rows.
+    let healed = spec.run_serial_with(&RunControl::default()).unwrap();
+    assert_eq!(healed.results, reference, "corruption must not change rows");
+    assert!(healed.cache.warnings > 0, "stats: {:?}", healed.cache);
+    let quarantined = damaged.with_file_name(format!(
+        "{}.quarantined",
+        damaged.file_name().unwrap().to_str().unwrap()
+    ));
+    assert!(
+        quarantined.exists(),
+        "damaged segment must be renamed aside, not left live"
+    );
+
+    // Compaction salvages the quarantined records, drops the damage, and
+    // leaves a directory that re-opens warning-free and fully warm.
+    let report = msfu_core::compact_dir(&dir).expect("compact succeeds");
+    assert_eq!(report.quarantined_removed, 1, "report: {report:?}");
+    let verify = msfu_core::verify_dir(&dir).expect("verify succeeds");
+    assert!(verify.is_clean(), "after compact: {verify:?}");
+    let clean = spec.run_serial_with(&RunControl::default()).unwrap();
+    assert_eq!(clean.results, reference);
+    assert_eq!(clean.cache.warnings, 0, "stats: {:?}", clean.cache);
+    assert_eq!(clean.cache.misses, 0, "stats: {:?}", clean.cache);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A four-point sweep request (two duplicate pairs) for cross-process runs.
 const SWEEP_REQUEST: &str = r#"{"protocol_version": 1, "id": "xproc", "kind": "sweep",
  "sweep": {"name": "xproc", "eval": {"routing": "dimension-ordered"}, "grids": [
